@@ -1,0 +1,82 @@
+// Ablation: starting-point strategies for the SQP refinement (Section IV-C/D
+// motivation).  Compares (a) zero fill, (b) random feasible points,
+// (c) the prior-knowledge-based (PKB) target-density start, and (d) NMMSO
+// multi-modal modes, all refined by the same SQP and judged by the true
+// simulator quality.  The paper's claim: PKB gives fast good solutions but
+// is not guaranteed optimal; multi-modal search buys certainty.
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "fill/neurfill.hpp"
+
+#include "bench_util.hpp"
+
+using namespace neurfill;
+
+int main() {
+  std::printf("=== Ablation: starting-point strategy -> final quality ===\n");
+  neurfill::bench::ProblemBundle b = neurfill::bench::make_bundle('c', 24);
+  const Box box = b.problem.bounds();
+  const ObjectiveFn obj = make_network_objective(b.problem, *b.network);
+  SqpOptions sopt;
+  sopt.max_iterations = 40;
+
+  const auto refine_and_score = [&](const VecD& x0, const char* label) {
+    const SqpResult r = sqp_minimize(obj, x0, box, sopt);
+    const double q_true = b.problem.evaluate(b.problem.unflatten(r.x)).s_qual;
+    const double q_start =
+        b.problem.evaluate(b.problem.unflatten(x0)).s_qual;
+    std::printf("%-28s start %.4f -> refined %.4f (surrogate obj %.4f, %d "
+                "iters)\n",
+                label, q_start, q_true, -r.f, r.iterations);
+    return q_true;
+  };
+
+  // (a) zero start.
+  refine_and_score(VecD(b.problem.num_vars(), 0.0), "zero fill");
+
+  // (b) random feasible starts.
+  Rng rng(77);
+  double best_random = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    VecD x(b.problem.num_vars());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] = rng.uniform(0.0, box.hi[i]);
+    char label[32];
+    std::snprintf(label, sizeof(label), "random #%d", t + 1);
+    best_random = std::max(best_random, refine_and_score(x, label));
+  }
+
+  // (c) PKB.
+  const std::vector<GridD> pkb = pkb_starting_point(
+      b.problem.extraction(),
+      [&](const std::vector<GridD>& x) {
+        return b.network->evaluate(x, false).s_plan;
+      },
+      9);
+  const double q_pkb = refine_and_score(b.problem.flatten(pkb), "PKB (Eq. 18)");
+
+  // (d) NMMSO modes.
+  NmmsoOptions nopt;
+  nopt.max_evaluations = 300;
+  nopt.seed = 5;
+  const ObjectiveFn explore = [&](const VecD& v, VecD*) {
+    return -obj(v, nullptr);
+  };
+  Nmmso nmmso(explore, box, nopt);
+  const std::vector<Mode> modes = nmmso.run();
+  double q_mm = 0.0;
+  for (std::size_t m = 0; m < modes.size() && m < 3; ++m) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "NMMSO mode #%zu", m + 1);
+    q_mm = std::max(q_mm, refine_and_score(modes[m].x, label));
+  }
+
+  std::printf("\nsummary: best-random %.4f | PKB %.4f | best-NMMSO %.4f\n",
+              best_random, q_pkb, q_mm);
+  std::printf("expected shape: PKB and NMMSO reach at least random-start "
+              "quality; the MSP pool (PKB + modes) dominates any single "
+              "start\n");
+  return 0;
+}

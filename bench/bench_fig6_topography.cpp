@@ -1,0 +1,119 @@
+// Fig. 6 reproduction: the quality-score landscape of a layout with two
+// fillable windows is multi-modal; NMMSO must locate the distinct peak
+// regions.  Emits the 2-D score surface (CSV to stdout) plus the peaks the
+// multi-modal search finds, so the figure can be re-plotted directly.
+
+#include <cstdio>
+
+#include "fill/problem.hpp"
+#include "geom/designs.hpp"
+#include "opt/nmmso.hpp"
+
+#include "bench_util.hpp"
+
+using namespace neurfill;
+
+int main() {
+  std::printf("=== Fig. 6: quality-score topography over two fillable "
+              "windows ===\n");
+  const Layout layout = make_design('a', 8, 100.0, /*seed=*/4);
+  WindowExtraction ext = extract_windows(layout);
+  CmpSimulator sim;
+  ScoreCoefficients coeffs = make_coefficients(layout, ext, sim);
+  // Tighten the overlay budget to the two-window scale so the
+  // dummy-to-dummy interaction is visible in this 2-D slice (with the
+  // full-chip beta_ov, two windows' overlay is invisible).
+  coeffs.beta_ov = 0.6 * ext.window_area_um2();
+  FillProblem problem(ext, sim, coeffs);
+
+  // The free variables are one window position on two adjacent layers (the
+  // vertical stacking is what makes the landscape multi-modal: the
+  // dummy-to-dummy overlay term of Eq. 14 penalizes filling *both* layers
+  // past the shared slack, carving the surface into competing basins).
+  const Box full = problem.bounds();
+  const std::size_t per_layer = ext.rows * ext.cols;
+  std::size_t kbest = 0;
+  double best_slack = -1.0;
+  for (std::size_t k = 0; k < per_layer; ++k) {
+    const double s = std::min(ext.layers[0].slack[k], ext.layers[1].slack[k]);
+    if (s > best_slack) {
+      best_slack = s;
+      kbest = k;
+    }
+  }
+  const std::size_t v1 = kbest;              // layer 0
+  const std::size_t v2 = per_layer + kbest;  // layer 1, same window
+  const ObjectiveFn quality2d = [&](const VecD& q, VecD*) {
+    VecD v(problem.num_vars(), 0.0);
+    v[v1] = q[0];
+    v[v2] = q[1];
+    return problem.evaluate(problem.unflatten(v)).s_qual;
+  };
+
+  // Dense surface for plotting.
+  const int steps = 24;
+  std::printf("\ncsv: x1,x2,quality\n");
+  double best = -1e300;
+  for (int i = 0; i <= steps; ++i) {
+    for (int j = 0; j <= steps; ++j) {
+      const VecD q{full.hi[v1] * i / steps, full.hi[v2] * j / steps};
+      const double s = quality2d(q, nullptr);
+      best = std::max(best, s);
+      std::printf("%.4f,%.4f,%.6f\n", q[0], q[1], s);
+    }
+  }
+
+  // NMMSO mode location.
+  Box box2;
+  box2.lo = {0.0, 0.0};
+  box2.hi = {full.hi[v1], full.hi[v2]};
+  NmmsoOptions opt;
+  opt.max_evaluations = 1200;
+  opt.merge_distance = 0.07;
+  opt.seed = 9;
+  Nmmso nmmso(quality2d, box2, opt);
+  const std::vector<Mode> modes = nmmso.run();
+
+  std::printf("\nNMMSO peaks (top 8 of %zu swarms):\n", modes.size());
+  std::size_t strong = 0;
+  for (std::size_t m = 0; m < modes.size() && m < 8; ++m) {
+    std::printf("  (%.4f, %.4f) -> %.6f\n", modes[m].x[0], modes[m].x[1],
+                modes[m].value);
+    if (modes[m].value > 0.95 * best) ++strong;
+  }
+  std::printf("grid-best quality %.6f; NMMSO best %.6f (gap %.2f%%); %zu "
+              "near-optimal peak(s)\n",
+              best, modes.front().value,
+              100.0 * (best - modes.front().value) / std::max(best, 1e-12),
+              strong);
+  std::printf("(under this reproduction's calibrated scoring the 2-window "
+              "slice is %s; the paper's Fig. 6 landscape is benchmark-"
+              "specific)\n",
+              modes.size() > 1 ? "multi-modal" : "unimodal");
+
+  // Control: the same NMMSO configuration on a landscape with two known
+  // peaks must find both — this validates the multi-modal locator itself,
+  // independent of how modal the fill slice happens to be.
+  const ObjectiveFn control = [](const VecD& q, VecD*) {
+    const double d1 =
+        (q[0] - 0.25) * (q[0] - 0.25) + (q[1] - 0.3) * (q[1] - 0.3);
+    const double d2 =
+        (q[0] - 0.75) * (q[0] - 0.75) + (q[1] - 0.7) * (q[1] - 0.7);
+    return std::exp(-d1 / 0.01) + 0.8 * std::exp(-d2 / 0.01);
+  };
+  Box unit;
+  unit.lo = {0.0, 0.0};
+  unit.hi = {1.0, 1.0};
+  Nmmso control_solver(control, unit, opt);
+  const std::vector<Mode> cmodes = control_solver.run();
+  int found = 0;
+  for (const Mode& m : cmodes) {
+    if (std::hypot(m.x[0] - 0.25, m.x[1] - 0.3) < 0.1 && m.value > 0.8)
+      found |= 1;
+    if (std::hypot(m.x[0] - 0.75, m.x[1] - 0.7) < 0.1 && m.value > 0.6)
+      found |= 2;
+  }
+  std::printf("control (two-Gaussian landscape): NMMSO found %s\n",
+              found == 3 ? "both peaks [OK]" : "NOT all peaks [check]");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table III reproduction: filling-quality comparison of Lin [10], Tao [11],
+// Cai [12], NeurFill (PKB) and NeurFill (MM) on the three designs, scored
+// with the full contest metric (Table II coefficients printed first).
+//
+// Scale note (see EXPERIMENTS.md): the paper runs ~100x100-window chips with
+// Cai on 64 cores for hours; this bench uses 24x24-window analogues so the
+// whole 15-run table regenerates in minutes on one core.  The *shape* to
+// check: model-based methods beat rule-based on quality; NeurFill (PKB)
+// reaches Cai-level quality orders of magnitude faster; NeurFill (MM) gets
+// the best quality at the largest runtime; Lin is fastest.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/timer.hpp"
+#include "fill/neurfill.hpp"
+#include "fill/report.hpp"
+
+#include "bench_util.hpp"
+
+using namespace neurfill;
+
+namespace {
+
+void run_design(char design) {
+  neurfill::bench::ProblemBundle b = neurfill::bench::make_bundle(design, 24);
+  const std::string name(1, static_cast<char>(std::toupper(design)));
+  std::printf("\n--- Design %s (%zu windows/layer, 3 layers) ---\n",
+              name.c_str(), b.problem.extraction().rows *
+                                b.problem.extraction().cols);
+  print_coefficients(std::cout, b.problem.coefficients());
+  print_table3_header(std::cout);
+
+  {
+    const FillRunResult r = lin_rule_fill(b.problem);
+    print_table3_row(std::cout, name, score_fill_result(b.problem, b.layout, r));
+  }
+  {
+    TaoOptions opt;
+    opt.sqp.max_iterations = 30;
+    const FillRunResult r = tao_rule_sqp(b.problem, opt);
+    print_table3_row(std::cout, name, score_fill_result(b.problem, b.layout, r));
+  }
+  {
+    CaiOptions opt;
+    opt.pkb_steps = 5;
+    opt.sqp.max_iterations = 4;  // each gradient costs n+1 simulations
+    const FillRunResult r = cai_model_fill(b.problem, opt);
+    print_table3_row(std::cout, name, score_fill_result(b.problem, b.layout, r));
+    // The paper's Cai row pays hours of runtime because each of its
+    // simulator calls costs seconds on an industrial-fidelity solver; this
+    // repo's asperity reference is unrealistically cheap.  Project the same
+    // run onto the high-fidelity (elastic-contact) simulator cost: same
+    // solution, runtime = calls x measured elastic simulation time.
+    CmpProcessParams ep = b.problem.simulator().params();
+    ep.pressure_model = PressureModel::kElastic;
+    const CmpSimulator esim(ep);
+    Timer et;
+    esim.simulate_heights(b.problem.extraction(), r.x);
+    const double t_elastic = et.elapsed_seconds();
+    FillRunResult proj = r;
+    proj.method = "Cai (hi-fi proj.)";
+    proj.runtime_s = static_cast<double>(r.objective_evaluations) * t_elastic;
+    print_table3_row(std::cout, name,
+                     score_fill_result(b.problem, b.layout, proj));
+  }
+  {
+    NeurFillOptions opt;
+    const FillRunResult r = neurfill_pkb(b.problem, *b.network, opt);
+    print_table3_row(std::cout, name, score_fill_result(b.problem, b.layout, r));
+  }
+  {
+    NeurFillOptions opt;
+    opt.nmmso.max_evaluations = 300;
+    opt.mm_starts = 3;
+    const FillRunResult r = neurfill_mm(b.problem, *b.network, opt);
+    print_table3_row(std::cout, name, score_fill_result(b.problem, b.layout, r));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table III: performance comparison on three designs ===\n");
+  for (const char d : {'a', 'b', 'c'}) run_design(d);
+  std::printf("\nexpected shape: quality Lin <= Tao < Cai <= NeurFill(PKB) <= "
+              "NeurFill(MM); runtime Lin < Tao < NeurFill(PKB) << Cai, "
+              "NeurFill(MM)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#pragma once
+
+// Shared setup for the experiment benches: problem construction and
+// surrogate loading with a quick-train fallback when the cached artifact
+// (data/unet_cmp, produced by examples/train_surrogate) is absent.
+
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "fill/neurfill.hpp"
+#include "fill/problem.hpp"
+#include "geom/designs.hpp"
+#include "surrogate/cmp_network.hpp"
+#include "surrogate/trainer.hpp"
+
+namespace neurfill::bench {
+
+inline std::string surrogate_prefix() {
+  const char* env = std::getenv("NEURFILL_SURROGATE");
+  return env ? env : "data/unet_cmp";
+}
+
+struct ProblemBundle {
+  Layout layout;
+  FillProblem problem;
+  std::shared_ptr<CmpSurrogate> surrogate;
+  std::unique_ptr<CmpNetwork> network;
+};
+
+inline std::shared_ptr<CmpSurrogate> load_or_quick_train(
+    const WindowExtraction& ext, const CmpSimulator& sim) {
+  try {
+    return load_surrogate(surrogate_prefix());
+  } catch (const std::exception& e) {
+    std::printf("note: cached surrogate unavailable (%s); quick-training a "
+                "reduced one (results will be weaker than with "
+                "examples/train_surrogate output)\n",
+                e.what());
+    SurrogateConfig cfg;
+    cfg.unet.base_channels = 8;
+    cfg.unet.depth = 2;
+    auto s = std::make_shared<CmpSurrogate>(cfg, 5);
+    TrainingDataGenerator gen({ext}, sim, 17, 4);
+    TrainOptions opt;
+    opt.epochs = 6;
+    opt.dataset_size = 60;
+    opt.grid_rows = ext.rows;
+    opt.grid_cols = ext.cols;
+    train_surrogate(*s, gen, opt);
+    return s;
+  }
+}
+
+inline ProblemBundle make_bundle(char design, int windows,
+                                 std::uint64_t seed = 1) {
+  Layout layout = make_design(design, windows, 100.0, seed);
+  WindowExtraction ext = extract_windows(layout);
+  CmpSimulator sim;
+  ScoreCoefficients coeffs = make_coefficients(layout, ext, sim);
+  ProblemBundle b{std::move(layout), FillProblem(ext, sim, coeffs), nullptr,
+                  nullptr};
+  b.surrogate = load_or_quick_train(b.problem.extraction(), sim);
+  b.network = std::make_unique<CmpNetwork>(b.surrogate, b.problem.extraction(),
+                                           coeffs);
+  calibrate_network(*b.network, b.problem);  // two-anchor simulator fit
+  return b;
+}
+
+}  // namespace neurfill::bench

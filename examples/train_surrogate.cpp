@@ -1,0 +1,88 @@
+// Pre-trains the CMP surrogate (Section IV-F of the paper) and saves the
+// artifact.  This is both a runnable example of the training API and the
+// producer of the cached weights the benchmarks load.
+//
+// Usage:
+//   train_surrogate [out_prefix] [grid] [dataset] [epochs] [seed]
+//
+// Defaults reproduce the repository's cached artifact: sources are Designs A
+// and B (Design C is held out for the extension-ability experiment of
+// Section V-A), 32x32 training layouts assembled by the two-step random
+// procedure of Fig. 8.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "geom/designs.hpp"
+#include "layout/window_grid.hpp"
+#include "surrogate/cmp_network.hpp"
+#include "surrogate/eval.hpp"
+#include "surrogate/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace neurfill;
+  set_log_level(LogLevel::kInfo);
+
+  const std::string out = argc > 1 ? argv[1] : "data/unet_cmp";
+  const std::size_t grid = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 32;
+  const int dataset = argc > 3 ? std::atoi(argv[3]) : 400;
+  const int epochs = argc > 4 ? std::atoi(argv[4]) : 20;
+  const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 7;
+
+  std::printf("== NeurFill surrogate pre-training ==\n");
+  std::printf("sources: designs A+B at %zux%zu windows (C held out)\n", grid,
+              grid);
+
+  const int windows = static_cast<int>(grid);
+  const Layout design_a = make_design('a', windows, 100.0, 11);
+  const Layout design_b = make_design('b', windows, 100.0, 12);
+  std::vector<WindowExtraction> sources{extract_windows(design_a),
+                                        extract_windows(design_b)};
+  CmpSimulator simulator;  // calibrated default process
+  TrainingDataGenerator datagen(std::move(sources), simulator, seed);
+
+  SurrogateConfig config;  // UNet base 8, depth 3, group norm
+  CmpSurrogate surrogate(config, seed);
+  try {
+    // Resume from an existing checkpoint (epoch-granular; see
+    // TrainOptions::checkpoint_prefix).
+    auto prev = load_surrogate(out);
+    surrogate = std::move(*prev);
+    std::printf("resuming from checkpoint %s\n", out.c_str());
+  } catch (const std::exception&) {
+    // fresh start
+  }
+  std::printf("UNet parameters: %lld\n",
+              static_cast<long long>(surrogate.unet().parameter_count()));
+
+  TrainOptions opt;
+  opt.epochs = epochs;
+  opt.dataset_size = dataset;
+  opt.grid_rows = opt.grid_cols = grid;
+  opt.learning_rate = 2e-3f;
+  opt.lr_decay = 0.93f;
+  opt.seed = seed;
+  opt.verbose = true;
+  opt.checkpoint_prefix = out;  // interruption-safe: save every epoch
+
+  Timer timer;
+  const TrainStats stats = train_surrogate(surrogate, datagen, opt);
+  std::printf("trained %d samples in %.1fs; final loss %.5f\n",
+              stats.samples_seen, timer.elapsed_seconds(), stats.final_loss);
+
+  save_surrogate(surrogate, out);
+  std::printf("saved surrogate to %s.{meta,weights}\n", out.c_str());
+
+  // Quick held-out accuracy summary (full Fig. 9 reproduction lives in
+  // bench_fig9_accuracy).
+  const AccuracyReport rep =
+      evaluate_surrogate_accuracy(surrogate, datagen, 10, grid, grid);
+  std::printf("held-out: mean rel err %.2f%%, max window %.2f%%, %0.1f%% of "
+              "windows below %.1f%%\n",
+              100.0 * rep.mean_rel_error, 100.0 * rep.max_window_rel_error,
+              100.0 * rep.frac_windows_below, 100.0 * rep.below_threshold);
+  return 0;
+}

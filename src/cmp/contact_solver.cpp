@@ -1,0 +1,156 @@
+#include "cmp/contact_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace neurfill {
+
+GridD ElasticContactSolver::make_green_kernel(std::size_t rows,
+                                              std::size_t cols,
+                                              const Options& opt) {
+  // Deflection influence of a unit uniform pressure patch (window) on the
+  // centre of another window, Boussinesq half-space:
+  //   self:  u = c0 * a / E*,  c0 = 4 ln(1+sqrt(2)) / pi  (square patch)
+  //   far:   u = a^2 / (pi E* d)
+  // Build on a doubled grid so the circular convolution acts as a linear
+  // (zero-padded) one for in-range outputs.
+  const double a = opt.window_um;
+  const double estar = opt.effective_modulus;
+  const double c0 = 4.0 * std::log(1.0 + std::sqrt(2.0)) / M_PI;
+  const std::size_t R = 2 * rows, C = 2 * cols;
+  GridD k(R, C, 0.0);
+  for (std::size_t i = 0; i < R; ++i) {
+    const double di =
+        (i < rows) ? static_cast<double>(i) : static_cast<double>(i) - static_cast<double>(R);
+    for (std::size_t j = 0; j < C; ++j) {
+      const double dj =
+          (j < cols) ? static_cast<double>(j) : static_cast<double>(j) - static_cast<double>(C);
+      const double d = std::hypot(di, dj) * a;
+      k(i, j) = (d < 0.5 * a) ? c0 * a / estar : a * a / (M_PI * estar * d);
+    }
+  }
+  return k;
+}
+
+ElasticContactSolver::ElasticContactSolver(std::size_t rows, std::size_t cols,
+                                           const Options& opt)
+    : rows_(rows), cols_(cols), opt_(opt),
+      green_(make_green_kernel(rows, cols, opt)) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("ElasticContactSolver: empty grid");
+  if (opt.effective_modulus <= 0.0)
+    throw std::invalid_argument("ElasticContactSolver: E* must be positive");
+}
+
+GridD ElasticContactSolver::deflection(const GridD& pressure) const {
+  assert(pressure.rows() == rows_ && pressure.cols() == cols_);
+  return green_.apply(pressure);
+}
+
+GridD ElasticContactSolver::solve(const GridD& height,
+                                  double nominal_pressure) const {
+  if (height.rows() != rows_ || height.cols() != cols_)
+    throw std::invalid_argument("ElasticContactSolver: shape mismatch");
+  if (nominal_pressure <= 0.0)
+    throw std::invalid_argument("ElasticContactSolver: pressure must be positive");
+  const std::size_t n = rows_ * cols_;
+  const double total_load = nominal_pressure * static_cast<double>(n);
+
+  // Polonsky-Keer: minimize complementarity energy with CG restricted to the
+  // current contact set, re-projecting after each step.
+  GridD p(rows_, cols_, nominal_pressure);
+  GridD d(rows_, cols_, 0.0);   // CG direction
+  GridD r(rows_, cols_, 0.0);   // residual (gap deviation on contact set)
+  double g_old = 1.0;
+  bool restart_cg = true;
+
+  const double href = [&] {
+    double lo = height[0], hi = height[0];
+    for (const double h : height) {
+      lo = std::min(lo, h);
+      hi = std::max(hi, h);
+    }
+    return std::max(hi - lo, 1e-12);
+  }();
+
+  last_iterations_ = 0;
+  for (int it = 0; it < opt_.max_iterations; ++it) {
+    ++last_iterations_;
+    const GridD u = green_.apply(p);
+    // Gap up to the unknown rigid approach delta: g_i = u_i - h_i.  On the
+    // contact set g should be constant (= -delta); use its contact-set mean
+    // as the working delta estimate.
+    double gbar = 0.0;
+    std::size_t nc = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (p[k] > 0.0) {
+        gbar += u[k] - height[k];
+        ++nc;
+      }
+    }
+    if (nc == 0) break;
+    gbar /= static_cast<double>(nc);
+
+    double g_new = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      r[k] = (p[k] > 0.0) ? (u[k] - height[k] - gbar) : 0.0;
+      g_new += r[k] * r[k];
+    }
+    if (std::sqrt(g_new / static_cast<double>(nc)) < opt_.tolerance * href)
+      break;
+
+    const double beta = restart_cg ? 0.0 : g_new / g_old;
+    restart_cg = false;
+    g_old = g_new;
+    for (std::size_t k = 0; k < n; ++k)
+      d[k] = (p[k] > 0.0) ? (-r[k] + beta * d[k]) : 0.0;
+
+    // Step length along d: alpha = (r.r) / (d.(G d)) over the contact set.
+    const GridD Gd = green_.apply(d);
+    double denom = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+      if (p[k] > 0.0) denom += d[k] * Gd[k];
+    if (std::abs(denom) < 1e-300) break;
+    const double alpha = g_new / denom;
+
+    // Take the step and project to p >= 0.  Points whose pressure hits zero
+    // leave the contact set; CG restarts when the set changes.
+    bool set_changed = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (p[k] <= 0.0) continue;
+      const double np = p[k] + alpha * d[k];
+      if (np <= 0.0) {
+        p[k] = 0.0;
+        set_changed = true;
+      } else {
+        p[k] = np;
+      }
+    }
+
+    // Points outside contact that penetrate (gap < -delta) re-enter.
+    const GridD u2 = green_.apply(p);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (p[k] == 0.0 && u2[k] - height[k] < gbar) {
+        p[k] = 1e-6 * nominal_pressure;
+        set_changed = true;
+      }
+    }
+    if (set_changed) restart_cg = true;
+
+    // Load balance.
+    double sum = 0.0;
+    for (const double v : p) sum += v;
+    if (sum <= 0.0) {
+      p.fill(nominal_pressure);
+      restart_cg = true;
+      continue;
+    }
+    const double scale = total_load / sum;
+    for (auto& v : p) v *= scale;
+  }
+  return p;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "common/fft.hpp"
+#include "common/grid2d.hpp"
+
+namespace neurfill {
+
+/// Reference elastic contact solver (Polonsky & Keer style) for the pad /
+/// wafer interface: given the surface height profile, find the contact
+/// pressure distribution p >= 0 such that
+///
+///   u = G * p            (elastic half-space deflection, convolution)
+///   u_i - h_i = -delta   where p_i > 0   (contact)
+///   u_i - h_i >= -delta  where p_i = 0   (separation)
+///   mean(p) = nominal    (load balance; delta is the rigid approach)
+///
+/// G is the Boussinesq kernel g(r) ~ 1 / (pi E* r) discretized per window.
+/// The complementarity problem is solved with projected conjugate gradients,
+/// using FFT circular convolution on a zero-padded grid.
+///
+/// This is the "solve the PDEs of contact mechanics" step of Fig. 2 in its
+/// full form; the production simulator defaults to the cheaper asperity
+/// model (pad_model.hpp) and this solver serves as the high-fidelity option
+/// and cross-check.
+class ElasticContactSolver {
+ public:
+  struct Options {
+    double effective_modulus = 1.0;  ///< E* of the pad (pressure/height unit)
+    double window_um = 100.0;        ///< discretization pitch
+    int max_iterations = 400;
+    double tolerance = 1e-8;  ///< relative complementarity residual
+  };
+
+  ElasticContactSolver(std::size_t rows, std::size_t cols, const Options& opt);
+  ElasticContactSolver(std::size_t rows, std::size_t cols)
+      : ElasticContactSolver(rows, cols, Options()) {}
+
+  /// Heights in the same length unit used by `effective_modulus`; returns
+  /// the pressure grid with mean equal to `nominal_pressure`.
+  GridD solve(const GridD& height, double nominal_pressure) const;
+
+  /// Deflection field for a given pressure (exposed for testing).
+  GridD deflection(const GridD& pressure) const;
+
+  int last_iterations() const { return last_iterations_; }
+
+ private:
+  std::size_t rows_, cols_;
+  Options opt_;
+  CircularConvolver green_;
+  mutable int last_iterations_ = 0;
+
+  static GridD make_green_kernel(std::size_t rows, std::size_t cols,
+                                 const Options& opt);
+};
+
+}  // namespace neurfill

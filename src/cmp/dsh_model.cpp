@@ -1,0 +1,30 @@
+#include "cmp/dsh_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neurfill {
+
+DshRates dsh_removal_rates(double rho, double h, double p,
+                           const DshParams& params) {
+  if (params.critical_step <= 0.0)
+    throw std::invalid_argument("dsh: critical_step must be positive");
+  // Effective density floor: the pad's long-range bending plus asperity
+  // compliance mean even a nominally empty window shares load with its
+  // surroundings, so the removal-rate amplification 1/rho saturates.  A
+  // floor of 0.15 caps the contrast at ~6.7x blanket, which is the regime
+  // foundry-calibrated models operate in (unfloored, an empty calibration
+  // block would erode thousands of Angstrom and no real chip does that).
+  rho = std::clamp(rho, 0.15, 1.0);
+  h = std::max(h, 0.0);
+  const double phi = std::exp(-h / params.critical_step);
+  const double share = rho + (1.0 - rho) * phi;
+  const double blanket = params.preston_k * p * params.velocity;
+  DshRates r;
+  r.up = blanket / share;
+  r.down = phi * r.up;
+  return r;
+}
+
+}  // namespace neurfill

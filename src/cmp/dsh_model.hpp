@@ -1,0 +1,39 @@
+#pragma once
+
+namespace neurfill {
+
+/// Density-step-height (DSH) removal-rate model [Cai, MIT PhD 2007].
+///
+/// Within a window the surface has "up" areas (over metal, fraction =
+/// effective density rho) and "down" areas (trenches), separated by the step
+/// height h.  The pad first contacts the up areas; as h shrinks it
+/// progressively touches the down areas too.  The contact fraction on the
+/// down area decays exponentially with h against the critical step height
+/// h_c, which keeps the model smooth (and therefore learnable by the
+/// surrogate):
+///
+///   phi(h)   = exp(-h / h_c)
+///   share    = rho + (1 - rho) * phi(h)     (pressure-carrying fraction)
+///   rr_up    = preston_k * p * v / share
+///   rr_down  = phi(h) * rr_up
+///
+/// Mass balance: rho*rr_up + (1-rho)*rr_down = preston_k*p*v * (rho +
+/// (1-rho)phi)/share = blanket rate, so total removal always matches the
+/// Preston equation [Cook 1990].
+struct DshRates {
+  double up = 0.0;    ///< removal rate of the up (metal) surface
+  double down = 0.0;  ///< removal rate of the down (trench) surface
+};
+
+struct DshParams {
+  double critical_step = 400.0;  ///< h_c, Angstrom
+  double preston_k = 1.0;        ///< Preston coefficient (A per unit p*v*t)
+  double velocity = 1.0;         ///< pad/wafer relative velocity
+};
+
+/// rho is the *effective* (character-length smoothed) density in (0, 1];
+/// h >= 0 is the local step height; p the window pressure.
+DshRates dsh_removal_rates(double rho, double h, double p,
+                           const DshParams& params);
+
+}  // namespace neurfill

@@ -1,0 +1,54 @@
+#include "cmp/pad_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace neurfill {
+
+GridD make_character_kernel(double char_length_um, double window_um) {
+  if (char_length_um <= 0.0 || window_um <= 0.0)
+    throw std::invalid_argument("make_character_kernel: non-positive length");
+  const double sigma = char_length_um / window_um;  // in window units
+  // 3-sigma support, always at least a 3x3 kernel so some coupling exists.
+  const auto radius = std::max<std::ptrdiff_t>(
+      1, static_cast<std::ptrdiff_t>(std::ceil(3.0 * sigma)));
+  const std::size_t n = static_cast<std::size_t>(2 * radius + 1);
+  GridD k(n, n, 0.0);
+  double sum = 0.0;
+  for (std::ptrdiff_t di = -radius; di <= radius; ++di) {
+    for (std::ptrdiff_t dj = -radius; dj <= radius; ++dj) {
+      const double r2 = static_cast<double>(di * di + dj * dj);
+      const double v = std::exp(-r2 / (2.0 * sigma * sigma));
+      k(static_cast<std::size_t>(di + radius),
+        static_cast<std::size_t>(dj + radius)) = v;
+      sum += v;
+    }
+  }
+  for (auto& v : k) v /= sum;
+  return k;
+}
+
+GridD asperity_pressure(const GridD& smoothed_height, double lambda,
+                        double nominal_pressure) {
+  if (lambda <= 0.0)
+    throw std::invalid_argument("asperity_pressure: lambda must be positive");
+  assert(!smoothed_height.empty());
+  const double zmax =
+      *std::max_element(smoothed_height.begin(), smoothed_height.end());
+  GridD p(smoothed_height.rows(), smoothed_height.cols(), 0.0);
+  double mean = 0.0;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    p[k] = std::exp((smoothed_height[k] - zmax) / lambda);
+    mean += p[k];
+  }
+  mean /= static_cast<double>(p.size());
+  // Load balance: total applied force is fixed, so scale to the nominal
+  // mean pressure.
+  const double scale = nominal_pressure / mean;
+  for (auto& v : p) v *= scale;
+  return p;
+}
+
+}  // namespace neurfill

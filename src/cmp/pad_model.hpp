@@ -1,0 +1,28 @@
+#pragma once
+
+#include "common/grid2d.hpp"
+
+namespace neurfill {
+
+/// Builds a normalized (sums to 1) Gaussian smoothing kernel whose standard
+/// deviation equals the CMP character length.  The rough polishing pad
+/// averages pattern effects over 20-100 um [Feng 2009]; with 100 um windows
+/// the kernel spans a handful of windows.
+GridD make_character_kernel(double char_length_um, double window_um);
+
+/// Greenwood-Williamson style asperity contact: the pad's asperity summit
+/// heights follow an exponential distribution with scale `lambda`, so the
+/// local contact pressure depends exponentially on how far the (pad-bending
+/// smoothed) surface protrudes:
+///
+///   p_i = c * exp((z_i - z_max) / lambda),   mean(p) = nominal_pressure.
+///
+/// Higher regions carry exponentially more pressure, which is the
+/// planarization driver of CMP.
+///
+/// `smoothed_height` must already include pad bending (character-length
+/// smoothing).  Heights in Angstrom, pressure in arbitrary consistent units.
+GridD asperity_pressure(const GridD& smoothed_height, double lambda,
+                        double nominal_pressure);
+
+}  // namespace neurfill

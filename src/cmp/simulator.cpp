@@ -1,0 +1,149 @@
+#include "cmp/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "cmp/contact_solver.hpp"
+#include "cmp/dsh_model.hpp"
+#include "cmp/pad_model.hpp"
+
+namespace neurfill {
+
+CmpSimulator::CmpSimulator(const CmpProcessParams& params)
+    : params_(params),
+      kernel_(make_character_kernel(params.char_length_um, params.window_um)) {
+  if (params.polish_time_s <= 0.0 || params.dt_s <= 0.0)
+    throw std::invalid_argument("CmpSimulator: non-positive polish time/step");
+  if (params.trench_depth <= 0.0)
+    throw std::invalid_argument("CmpSimulator: non-positive trench depth");
+}
+
+LayerSimResult CmpSimulator::simulate_layer(const LayerSimInput& input) const {
+  const std::size_t rows = input.density.rows(), cols = input.density.cols();
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("simulate_layer: empty grid");
+  if (!input.incoming_height.same_shape(input.density) ||
+      !input.avg_width_um.same_shape(input.density))
+    throw std::invalid_argument("simulate_layer: grid shape mismatch");
+
+  // Effective density: the pad averages pattern density over the character
+  // length; it is constant over the polish (pattern does not change).
+  const GridD rho_eff =
+      convolve_small(input.density, kernel_, /*normalize_boundary=*/true);
+
+  // Post-deposition state: the envelope (up-area surface) sits one trench
+  // depth above the incoming topography; conformal deposition makes the
+  // initial step height the trench depth everywhere there is pattern.
+  GridD z_up(rows, cols, 0.0);
+  GridD h(rows, cols, 0.0);
+  for (std::size_t k = 0; k < z_up.size(); ++k) {
+    z_up[k] = input.incoming_height[k] + params_.trench_depth;
+    h[k] = params_.trench_depth;
+  }
+
+  DshParams dsh;
+  dsh.critical_step = params_.critical_step;
+  dsh.preston_k = params_.preston_k;
+  dsh.velocity = params_.velocity;
+
+  std::unique_ptr<ElasticContactSolver> elastic;
+  if (params_.pressure_model == PressureModel::kElastic) {
+    ElasticContactSolver::Options eopt;
+    eopt.window_um = params_.window_um;
+    // E* such that the pad's self-deflection under the nominal pressure is a
+    // quarter of the trench depth: compliant enough to keep most of the
+    // surface in contact (a stiffer pad would load only the highest window
+    // and the explicit time stepping would sawtooth).
+    const double c0 = 4.0 * std::log(1.0 + std::sqrt(2.0)) / M_PI;
+    eopt.effective_modulus = c0 * params_.window_um *
+                             params_.nominal_pressure /
+                             (0.25 * params_.trench_depth);
+    elastic = std::make_unique<ElasticContactSolver>(rows, cols, eopt);
+  }
+
+  const int steps =
+      static_cast<int>(std::ceil(params_.polish_time_s / params_.dt_s));
+  for (int s = 0; s < steps; ++s) {
+    const double dt =
+        std::min(params_.dt_s, params_.polish_time_s - s * params_.dt_s);
+    // Pad bending: the pad cannot follow window-scale detail, so the
+    // pressure responds to the character-length smoothed envelope.
+    const GridD z_smooth =
+        convolve_small(z_up, kernel_, /*normalize_boundary=*/true);
+    const GridD p =
+        (params_.pressure_model == PressureModel::kAsperity)
+            ? asperity_pressure(z_smooth, params_.asperity_lambda,
+                                params_.nominal_pressure)
+            : elastic->solve(z_smooth, params_.nominal_pressure);
+    for (std::size_t k = 0; k < z_up.size(); ++k) {
+      const DshRates r = dsh_removal_rates(rho_eff[k], h[k], p[k], dsh);
+      z_up[k] -= r.up * dt;
+      h[k] = std::max(0.0, h[k] - (r.up - r.down) * dt);
+    }
+  }
+
+  LayerSimResult out;
+  out.final_step = h;
+  out.dishing = GridD(rows, cols, 0.0);
+  out.height = GridD(rows, cols, 0.0);
+  out.erosion = GridD(rows, cols, 0.0);
+  double zmax = z_up[0];
+  for (std::size_t k = 0; k < z_up.size(); ++k) {
+    // Dishing: wide soft-metal features recess below the surrounding oxide;
+    // saturates with width.
+    const double w = input.avg_width_um[k];
+    out.dishing[k] = params_.dish_coeff * w / (w + params_.dish_ref_width_um);
+    // Average surface height: density-weighted mix of the (dished) up
+    // surface and the trench surface.
+    const double rho = std::clamp(input.density[k], 0.0, 1.0);
+    out.height[k] = rho * (z_up[k] - out.dishing[k]) + (1.0 - rho) * (z_up[k] - h[k]);
+    zmax = std::max(zmax, z_up[k]);
+  }
+  for (std::size_t k = 0; k < z_up.size(); ++k)
+    out.erosion[k] = zmax - z_up[k];
+  return out;
+}
+
+std::vector<LayerSimResult> CmpSimulator::simulate(
+    const WindowExtraction& ext, const std::vector<GridD>& x) const {
+  if (!x.empty() && x.size() != ext.num_layers())
+    throw std::invalid_argument("simulate: fill layer count mismatch");
+  std::vector<LayerSimResult> results;
+  results.reserve(ext.num_layers());
+  GridD incoming(ext.rows, ext.cols, 0.0);
+  for (std::size_t l = 0; l < ext.num_layers(); ++l) {
+    const LayerWindowData& d = ext.layers[l];
+    LayerSimInput in;
+    in.density = d.wire_density;
+    for (std::size_t k = 0; k < in.density.size(); ++k) {
+      in.density[k] += d.dummy_density[k];
+      if (!x.empty()) in.density[k] += std::max(0.0, x[l][k]);
+      in.density[k] = std::min(in.density[k], 1.0);
+    }
+    in.avg_width_um = d.avg_width_um;
+    in.perimeter_um = d.perimeter_um;
+    in.incoming_height = incoming;
+    results.push_back(simulate_layer(in));
+    // Pattern transfer: the next layer inherits an attenuated, zero-mean
+    // copy of this layer's topography.
+    const LayerSimResult& r = results.back();
+    double mean = 0.0;
+    for (const double v : r.height) mean += v;
+    mean /= static_cast<double>(r.height.size());
+    for (std::size_t k = 0; k < incoming.size(); ++k)
+      incoming[k] = params_.topo_transfer * (r.height[k] - mean);
+  }
+  return results;
+}
+
+std::vector<GridD> CmpSimulator::simulate_heights(
+    const WindowExtraction& ext, const std::vector<GridD>& x) const {
+  std::vector<GridD> heights;
+  for (auto& r : simulate(ext, x)) heights.push_back(std::move(r.height));
+  return heights;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,138 @@
+#include "common/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace neurfill {
+
+void fft(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  assert((n & (n - 1)) == 0 && "fft size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+void fft2d(std::vector<std::complex<double>>& a, std::size_t rows,
+           std::size_t cols, bool inverse) {
+  assert(a.size() == rows * cols);
+  std::vector<std::complex<double>> tmp;
+  // Rows.
+  for (std::size_t i = 0; i < rows; ++i) {
+    tmp.assign(a.begin() + static_cast<std::ptrdiff_t>(i * cols),
+               a.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols));
+    fft(tmp, inverse);
+    std::copy(tmp.begin(), tmp.end(),
+              a.begin() + static_cast<std::ptrdiff_t>(i * cols));
+  }
+  // Columns.
+  tmp.resize(rows);
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) tmp[i] = a[i * cols + j];
+    fft(tmp, inverse);
+    for (std::size_t i = 0; i < rows; ++i) a[i * cols + j] = tmp[i];
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+CircularConvolver::CircularConvolver(const GridD& kernel)
+    : rows_(next_pow2(kernel.rows())), cols_(next_pow2(kernel.cols())) {
+  // Embed the wrap-around kernel into the power-of-two grid preserving the
+  // "offset modulo size" interpretation: entries near (0,0) stay near (0,0),
+  // entries near the far edge stay near the far edge.
+  kernel_hat_.assign(rows_ * cols_, {0.0, 0.0});
+  const std::size_t kr = kernel.rows(), kc = kernel.cols();
+  for (std::size_t i = 0; i < kr; ++i) {
+    const std::size_t ti = (i <= kr / 2) ? i : rows_ - (kr - i);
+    for (std::size_t j = 0; j < kc; ++j) {
+      const std::size_t tj = (j <= kc / 2) ? j : cols_ - (kc - j);
+      kernel_hat_[ti * cols_ + tj] += kernel(i, j);
+    }
+  }
+  fft2d(kernel_hat_, rows_, cols_, /*inverse=*/false);
+}
+
+GridD CircularConvolver::apply(const GridD& input) const {
+  // The convolver is constructed for exact power-of-two grids in the contact
+  // solver; callers with other sizes pad before constructing.
+  assert(input.rows() <= rows_ && input.cols() <= cols_);
+  std::vector<std::complex<double>> x(rows_ * cols_, {0.0, 0.0});
+  for (std::size_t i = 0; i < input.rows(); ++i)
+    for (std::size_t j = 0; j < input.cols(); ++j)
+      x[i * cols_ + j] = input(i, j);
+  fft2d(x, rows_, cols_, false);
+  for (std::size_t k = 0; k < x.size(); ++k) x[k] *= kernel_hat_[k];
+  fft2d(x, rows_, cols_, true);
+  GridD out(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.rows(); ++i)
+    for (std::size_t j = 0; j < input.cols(); ++j)
+      out(i, j) = x[i * cols_ + j].real();
+  return out;
+}
+
+GridD convolve_small(const GridD& input, const GridD& kernel,
+                     bool normalize_boundary) {
+  assert(kernel.rows() % 2 == 1 && kernel.cols() % 2 == 1 &&
+         "kernel must be odd-sized and centered");
+  const std::ptrdiff_t R = static_cast<std::ptrdiff_t>(input.rows());
+  const std::ptrdiff_t C = static_cast<std::ptrdiff_t>(input.cols());
+  const std::ptrdiff_t kr = static_cast<std::ptrdiff_t>(kernel.rows()) / 2;
+  const std::ptrdiff_t kc = static_cast<std::ptrdiff_t>(kernel.cols()) / 2;
+  GridD out(input.rows(), input.cols(), 0.0);
+  for (std::ptrdiff_t i = 0; i < R; ++i) {
+    for (std::ptrdiff_t j = 0; j < C; ++j) {
+      double acc = 0.0;
+      double mass = 0.0;
+      for (std::ptrdiff_t di = -kr; di <= kr; ++di) {
+        const std::ptrdiff_t ii = i + di;
+        if (ii < 0 || ii >= R) continue;
+        for (std::ptrdiff_t dj = -kc; dj <= kc; ++dj) {
+          const std::ptrdiff_t jj = j + dj;
+          if (jj < 0 || jj >= C) continue;
+          const double w = kernel(static_cast<std::size_t>(di + kr),
+                                  static_cast<std::size_t>(dj + kc));
+          acc += input(static_cast<std::size_t>(ii),
+                       static_cast<std::size_t>(jj)) *
+                 w;
+          mass += w;
+        }
+      }
+      if (normalize_boundary && mass > 0.0) acc /= mass;
+      out(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/grid2d.hpp"
+
+namespace neurfill {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.  n must be a power of two.
+void fft(std::vector<std::complex<double>>& a, bool inverse);
+
+/// 2-D FFT over a rows x cols complex grid (both dimensions powers of two).
+void fft2d(std::vector<std::complex<double>>& a, std::size_t rows,
+           std::size_t cols, bool inverse);
+
+std::size_t next_pow2(std::size_t n);
+
+/// Circular 2-D convolution of two equally-sized grids via FFT.  Sizes need
+/// not be powers of two externally; this is the power-of-two core used by
+/// CircularConvolver.
+class CircularConvolver {
+ public:
+  /// Prepares the frequency-domain kernel for repeated convolutions.  The
+  /// kernel grid is interpreted as centered at (0,0) with wrap-around (i.e.
+  /// kernel(i,j) weights offset (i,j) modulo the grid).
+  CircularConvolver(const GridD& kernel);
+
+  /// Returns the circular convolution kernel * input (same shape as kernel).
+  GridD apply(const GridD& input) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::complex<double>> kernel_hat_;
+};
+
+/// Linear (zero-padded) 2-D convolution of `input` with a small centered
+/// kernel, computed directly.  Used for character-length density smoothing
+/// where the kernel radius is a handful of windows.  With
+/// `normalize_boundary`, each output is divided by the kernel mass that fell
+/// inside the grid, which treats the chip boundary as statistically
+/// replicated instead of empty (the physical choice for density smoothing).
+GridD convolve_small(const GridD& input, const GridD& kernel,
+                     bool normalize_boundary = false);
+
+}  // namespace neurfill

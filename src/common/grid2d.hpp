@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace neurfill {
+
+/// Dense row-major 2-D container used for window grids (heights, densities,
+/// pressures, fill amounts).  Indexing is (row, col) = (i, j); row i maps to
+/// the chip's y direction, column j to x.
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Flat access in row-major order; used when a grid is treated as a vector
+  /// of optimization variables.
+  T& operator[](std::size_t k) {
+    assert(k < data_.size());
+    return data_[k];
+  }
+  const T& operator[](std::size_t k) const {
+    assert(k < data_.size());
+    return data_[k];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  typename std::vector<T>::iterator begin() { return data_.begin(); }
+  typename std::vector<T>::iterator end() { return data_.end(); }
+  typename std::vector<T>::const_iterator begin() const { return data_.begin(); }
+  typename std::vector<T>::const_iterator end() const { return data_.end(); }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  bool same_shape(const Grid2D& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  friend bool operator==(const Grid2D& a, const Grid2D& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using GridF = Grid2D<float>;
+using GridD = Grid2D<double>;
+
+}  // namespace neurfill

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace neurfill {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal stderr logger.  Verbosity is a process-wide knob so benches can
+/// silence the library while tests keep diagnostics.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+#define NEURFILL_LOG(level, ...)                                   \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::neurfill::log_level())) {               \
+      char buf_[512];                                              \
+      std::snprintf(buf_, sizeof(buf_), __VA_ARGS__);              \
+      ::neurfill::log_message(level, buf_);                        \
+    }                                                              \
+  } while (0)
+
+#define LOG_DEBUG(...) NEURFILL_LOG(::neurfill::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) NEURFILL_LOG(::neurfill::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) NEURFILL_LOG(::neurfill::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) NEURFILL_LOG(::neurfill::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace neurfill

@@ -1,0 +1,14 @@
+#include "common/resource.hpp"
+
+#include <sys/resource.h>
+
+namespace neurfill {
+
+std::size_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is in kilobytes on Linux.
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,11 @@
+#pragma once
+
+#include <cstddef>
+
+namespace neurfill {
+
+/// Peak resident set size of this process in bytes (Linux getrusage).  Used
+/// for the memory column of the Table III reproduction.
+std::size_t peak_rss_bytes();
+
+}  // namespace neurfill

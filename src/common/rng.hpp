@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace neurfill {
+
+/// Deterministic xoshiro256** PRNG.  Experiments and tests must be exactly
+/// reproducible across runs and platforms, so we avoid std::mt19937's
+/// distribution implementation differences and own the whole stack.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Bernoulli with probability p of true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent stream (for per-worker/per-sample seeding).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace neurfill

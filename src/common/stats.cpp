@@ -1,0 +1,85 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace neurfill {
+
+namespace {
+template <typename T>
+Summary summarize_impl(std::span<const T> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = s.max = static_cast<double>(values[0]);
+  for (const T v : values) {
+    const double d = static_cast<double>(v);
+    sum += d;
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (const T v : values) {
+    const double d = static_cast<double>(v) - s.mean;
+    ss += d * d;
+  }
+  s.variance = ss / static_cast<double>(s.count);
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+}  // namespace
+
+Summary summarize(std::span<const double> values) {
+  return summarize_impl(values);
+}
+Summary summarize(std::span<const float> values) { return summarize_impl(values); }
+
+double percentile(std::vector<double> values, double p) {
+  assert(!values.empty());
+  std::sort(values.begin(), values.end());
+  const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - std::floor(rank);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins)
+    : lo(lo_), hi(hi_), counts(bins, 0) {
+  assert(bins > 0 && hi_ > lo_);
+}
+
+void Histogram::add(double v) {
+  const double t = (v - lo) / (hi - lo);
+  auto b = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts.size()));
+  b = std::clamp<std::ptrdiff_t>(b, 0,
+                                 static_cast<std::ptrdiff_t>(counts.size()) - 1);
+  ++counts[static_cast<std::size_t>(b)];
+}
+
+std::size_t Histogram::total() const {
+  return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+}
+
+double Histogram::fraction_below(double x) const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double upper =
+        lo + (hi - lo) * static_cast<double>(b + 1) / static_cast<double>(counts.size());
+    if (upper <= x) acc += counts[b];
+  }
+  return static_cast<double>(acc) / static_cast<double>(n);
+}
+
+double Histogram::bucket_center(std::size_t b) const {
+  return lo + (hi - lo) * (static_cast<double>(b) + 0.5) /
+                  static_cast<double>(counts.size());
+}
+
+}  // namespace neurfill

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace neurfill {
+
+/// Summary statistics over a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance (divides by n)
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+Summary summarize(std::span<const float> values);
+
+/// p in [0, 100]; linear interpolation between order statistics.
+double percentile(std::vector<double> values, double p);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; out-of-range
+/// values are clamped into the end buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double v);
+  std::size_t total() const;
+  /// Fraction of samples in buckets whose upper edge is <= x.
+  double fraction_below(double x) const;
+  double bucket_center(std::size_t b) const;
+};
+
+}  // namespace neurfill

@@ -1,0 +1,83 @@
+#include "fill/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neurfill {
+
+PlanarityMetrics compute_planarity(const std::vector<GridD>& heights) {
+  if (heights.empty())
+    throw std::invalid_argument("compute_planarity: no layers");
+  PlanarityMetrics m;
+  double global_min = heights[0][0], global_max = heights[0][0];
+  for (const GridD& h : heights) {
+    const std::size_t N = h.rows(), M = h.cols();
+    const double inv_nm = 1.0 / static_cast<double>(N * M);
+    double mean = 0.0;
+    for (const double v : h) {
+      mean += v;
+      global_min = std::min(global_min, v);
+      global_max = std::max(global_max, v);
+    }
+    mean *= inv_nm;
+    // Eq. 1: per-layer variance (averaged over windows), summed over layers.
+    double var = 0.0;
+    for (const double v : h) var += (v - mean) * (v - mean);
+    var *= inv_nm;
+    m.sigma += var;
+    // Eq. 2: |H_ij - column mean| summed.  H-bar_{l,j} is the average height
+    // of column j in layer l.
+    std::vector<double> col_mean(M, 0.0);
+    for (std::size_t i = 0; i < N; ++i)
+      for (std::size_t j = 0; j < M; ++j) col_mean[j] += h(i, j);
+    for (auto& c : col_mean) c /= static_cast<double>(N);
+    for (std::size_t i = 0; i < N; ++i)
+      for (std::size_t j = 0; j < M; ++j)
+        m.sigma_star += std::fabs(h(i, j) - col_mean[j]);
+    // Eq. 3: mass above mean + 3*sigma_l of the layer.  (The paper writes
+    // H - 3*sigma_l; heights are absolute so the mean offset is included to
+    // make the threshold scale-invariant, matching the contest intent of
+    // penalizing high outlier windows.)
+    const double sig_l = std::sqrt(var);
+    const double threshold = mean + 3.0 * sig_l;
+    for (const double v : h) m.outliers += std::max(0.0, v - threshold);
+  }
+  m.delta_h = global_max - global_min;
+  return m;
+}
+
+QualityBreakdown assemble_quality(const PlanarityMetrics& pm,
+                                  double overlay_um2, double fill_um2,
+                                  const ScoreCoefficients& c) {
+  QualityBreakdown q;
+  q.planarity = pm;
+  q.overlay_um2 = overlay_um2;
+  q.fill_um2 = fill_um2;
+  q.s_sigma = ScoreCoefficients::score(pm.sigma, c.beta_sigma);
+  q.s_sigma_star = ScoreCoefficients::score(pm.sigma_star, c.beta_sigma_star);
+  q.s_ol = ScoreCoefficients::score(pm.outliers, c.beta_ol);
+  q.s_ov = ScoreCoefficients::score(overlay_um2, c.beta_ov);
+  q.s_fa = ScoreCoefficients::score(fill_um2, c.beta_fa);
+  q.s_plan = c.alpha_sigma * q.s_sigma + c.alpha_sigma_star * q.s_sigma_star +
+             c.alpha_ol * q.s_ol;
+  q.s_pd = c.alpha_ov * q.s_ov + c.alpha_fa * q.s_fa;
+  q.s_qual = q.s_plan + q.s_pd;
+  return q;
+}
+
+OverallScore assemble_overall(const QualityBreakdown& quality,
+                              double file_size_bytes, double runtime_s,
+                              double memory_bytes,
+                              const ScoreCoefficients& c) {
+  OverallScore o;
+  o.quality = quality;
+  o.s_fs = ScoreCoefficients::score(file_size_bytes, c.beta_fs);
+  o.s_t = ScoreCoefficients::score(runtime_s, c.beta_t);
+  o.s_m = ScoreCoefficients::score(memory_bytes, c.beta_m);
+  o.overall = quality.s_qual + c.alpha_fs * o.s_fs + c.alpha_t * o.s_t +
+              c.alpha_m * o.s_m;
+  return o;
+}
+
+}  // namespace neurfill

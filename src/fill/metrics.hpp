@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "common/grid2d.hpp"
+#include "fill/score_coeffs.hpp"
+
+namespace neurfill {
+
+/// The raw planarity objectives of Eqs. (1)-(3), computed from per-layer
+/// post-CMP height profiles (Angstrom).
+struct PlanarityMetrics {
+  double sigma = 0.0;        ///< Eq. 1: summed per-layer height variance (A^2)
+  double sigma_star = 0.0;   ///< Eq. 2: line deviation (A)
+  double outliers = 0.0;     ///< Eq. 3: above 3*sigma_l excess (A)
+  double delta_h = 0.0;      ///< max-min height range over all layers (A),
+                             ///< the Delta-H column of Table III
+};
+
+PlanarityMetrics compute_planarity(const std::vector<GridD>& heights);
+
+/// Score assembly (Eq. 5): S_plan from the planarity metrics, S_PD from
+/// overlay/fill amounts (um^2), S_qual = S_plan + S_PD.
+struct QualityBreakdown {
+  PlanarityMetrics planarity;
+  double overlay_um2 = 0.0;
+  double fill_um2 = 0.0;
+  double s_sigma = 0.0;
+  double s_sigma_star = 0.0;
+  double s_ol = 0.0;
+  double s_ov = 0.0;
+  double s_fa = 0.0;
+  double s_plan = 0.0;
+  double s_pd = 0.0;
+  double s_qual = 0.0;
+};
+
+QualityBreakdown assemble_quality(const PlanarityMetrics& pm,
+                                  double overlay_um2, double fill_um2,
+                                  const ScoreCoefficients& coeffs);
+
+/// The full Table III row: quality plus file-size / runtime / memory scores.
+struct OverallScore {
+  QualityBreakdown quality;
+  double s_fs = 0.0;
+  double s_t = 0.0;
+  double s_m = 0.0;
+  double overall = 0.0;
+};
+
+OverallScore assemble_overall(const QualityBreakdown& quality,
+                              double file_size_bytes, double runtime_s,
+                              double memory_bytes,
+                              const ScoreCoefficients& coeffs);
+
+}  // namespace neurfill

@@ -1,0 +1,169 @@
+#include "fill/neurfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.hpp"
+
+namespace neurfill {
+
+void calibrate_network(CmpNetwork& network, const FillProblem& problem) {
+  const WindowExtraction& ext = problem.extraction();
+  std::vector<GridD> zero(ext.num_layers(), GridD(ext.rows, ext.cols, 0.0));
+  std::vector<GridD> full;
+  full.reserve(ext.num_layers());
+  for (const auto& l : ext.layers) full.push_back(l.slack);
+
+  const CmpSimulator& sim = problem.simulator();
+  const PlanarityMetrics t0 = compute_planarity(sim.simulate_heights(ext, zero));
+  const PlanarityMetrics t1 = compute_planarity(sim.simulate_heights(ext, full));
+  const CmpNetwork::Eval n0 = network.evaluate(zero, false);
+  const CmpNetwork::Eval n1 = network.evaluate(full, false);
+
+  // Log-space power fit through the two anchors: exp(a) * raw^b.  Falls
+  // back to identity when an anchor is non-positive or the network shows no
+  // usable (same-sign, non-degenerate) response between the anchors.
+  const auto fit = [](double true0, double true1, double net0,
+                      double net1) -> CmpNetwork::MetricCalibration {
+    CmpNetwork::MetricCalibration c;
+    const double eps = 1e-6;
+    if (true0 <= eps || true1 <= eps || net0 <= eps || net1 <= eps) return c;
+    const double dn = std::log(net0 + eps) - std::log(net1 + eps);
+    const double dt = std::log(true0) - std::log(true1);
+    if (std::fabs(dn) < 1e-9 || dt * dn <= 0.0) return c;
+    c.b = std::clamp(dt / dn, 0.1, 10.0);
+    c.a = std::log(true0) - c.b * std::log(net0 + eps);
+    return c;
+  };
+  network.set_calibration(fit(t0.sigma, t1.sigma, n0.sigma, n1.sigma),
+                          fit(t0.sigma_star, t1.sigma_star, n0.sigma_star,
+                              n1.sigma_star),
+                          fit(t0.outliers, t1.outliers, n0.outliers,
+                              n1.outliers));
+}
+
+ObjectiveFn make_network_objective(const FillProblem& problem,
+                                   const CmpNetwork& network,
+                                   long* eval_counter) {
+  return [&problem, &network, eval_counter](const VecD& v,
+                                            VecD* grad) -> double {
+    if (eval_counter) ++*eval_counter;
+    const std::vector<GridD> x = problem.unflatten(v);
+    const CmpNetwork::Eval net =
+        network.evaluate(x, /*with_grad=*/grad != nullptr);
+    const PdScore pd =
+        pd_score_and_gradient(problem.extraction(), x, problem.coefficients());
+    if (grad) {
+      grad->assign(v.size(), 0.0);
+      std::size_t k = 0;
+      for (std::size_t l = 0; l < net.grad.size(); ++l)
+        for (std::size_t w = 0; w < net.grad[l].size(); ++w, ++k)
+          (*grad)[k] = -(net.grad[l][w] + pd.grad[l][w]);
+    }
+    return -(net.s_plan + pd.s_pd);
+  };
+}
+
+namespace {
+
+/// Network-based quality callback for starting-point generation.
+double network_quality(const FillProblem& problem, const CmpNetwork& network,
+                       const std::vector<GridD>& x, long* eval_counter) {
+  if (eval_counter) ++*eval_counter;
+  const CmpNetwork::Eval net = network.evaluate(x, false);
+  const PdScore pd =
+      pd_score_and_gradient(problem.extraction(), x, problem.coefficients());
+  return net.s_plan + pd.s_pd;
+}
+
+}  // namespace
+
+FillRunResult neurfill_pkb(const FillProblem& problem,
+                           const CmpNetwork& network,
+                           const NeurFillOptions& options) {
+  Timer timer;
+  long evals = 0;
+  const std::vector<GridD> start = pkb_starting_point(
+      problem.extraction(),
+      [&](const std::vector<GridD>& x) {
+        return network_quality(problem, network, x, &evals);
+      },
+      options.pkb_steps);
+  const ObjectiveFn obj = make_network_objective(problem, network, &evals);
+  const SqpResult sqp =
+      sqp_minimize(obj, problem.flatten(start), problem.bounds(), options.sqp);
+
+  FillRunResult res;
+  res.method = "NeurFill (PKB)";
+  res.x = problem.unflatten(sqp.x);
+  res.iterations = sqp.iterations;
+  res.objective_evaluations = evals;
+  res.runtime_s = timer.elapsed_seconds();
+  return res;
+}
+
+FillRunResult neurfill_mm(const FillProblem& problem, const CmpNetwork& network,
+                          const NeurFillOptions& options) {
+  Timer timer;
+  long evals = 0;
+  const ObjectiveFn obj = make_network_objective(problem, network, &evals);
+
+  // Multi-modal exploration maximizes the quality score (value only).
+  const ObjectiveFn explore = [&](const VecD& v, VecD*) -> double {
+    ++evals;
+    return -obj(v, nullptr);  // NMMSO maximizes
+  };
+  Nmmso nmmso(explore, problem.bounds(), options.nmmso);
+  const std::vector<Mode> modes = nmmso.run();
+
+  // MSP-SQP over a diverse pool: the best NMMSO modes, the PKB start, and a
+  // spread of target-density fills (the structured corners of the landscape
+  // the paper's multi-modal search is meant to cover — distinct basins of
+  // the quality score reached from different fill levels).
+  std::vector<VecD> starts;
+  for (const Mode& m : modes) {
+    if (static_cast<int>(starts.size()) >= options.mm_starts) break;
+    starts.push_back(m.x);
+  }
+  const std::vector<GridD> pkb = pkb_starting_point(
+      problem.extraction(),
+      [&](const std::vector<GridD>& x) {
+        return network_quality(problem, network, x, &evals);
+      },
+      options.pkb_steps);
+  starts.push_back(problem.flatten(pkb));
+  {
+    const WindowExtraction& ext = problem.extraction();
+    std::vector<double> lo(ext.num_layers(), 1.0), hi(ext.num_layers(), 0.0);
+    for (std::size_t l = 0; l < ext.num_layers(); ++l) {
+      const auto& d = ext.layers[l];
+      double mean_rho = 0.0;
+      for (std::size_t k = 0; k < d.slack.size(); ++k) {
+        const double rho = d.wire_density[k] + d.dummy_density[k];
+        mean_rho += rho;
+        hi[l] = std::max(hi[l], rho + d.slack[k]);
+      }
+      lo[l] = mean_rho / static_cast<double>(d.slack.size());
+    }
+    for (const double t : {0.25, 0.55, 0.85}) {
+      std::vector<double> td(ext.num_layers());
+      for (std::size_t l = 0; l < td.size(); ++l)
+        td[l] = lo[l] + t * (hi[l] - lo[l]);
+      starts.push_back(problem.flatten(target_density_fill(ext, td)));
+    }
+  }
+
+  const std::vector<SqpResult> results =
+      msp_sqp_minimize(obj, starts, problem.bounds(), options.sqp);
+
+  FillRunResult res;
+  res.method = "NeurFill (MM)";
+  res.x = problem.unflatten(results.front().x);
+  res.iterations = 0;
+  for (const auto& r : results) res.iterations += r.iterations;
+  res.objective_evaluations = evals;
+  res.runtime_s = timer.elapsed_seconds();
+  return res;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,127 @@
+#include "fill/pd_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neurfill {
+
+FourTypeSplit split_four_type(double x, double s1, double s2, double s3,
+                              double s4) {
+  FourTypeSplit r;
+  x = std::max(0.0, x);
+  r.x1 = std::min(x, std::max(0.0, s1));
+  x -= r.x1;
+  r.x2 = std::min(x, std::max(0.0, s2));
+  x -= r.x2;
+  r.x3 = std::min(x, std::max(0.0, s3));
+  x -= r.x3;
+  r.x4 = std::min(x, std::max(0.0, s4));
+  return r;
+}
+
+PdEstimate estimate_pd(const WindowExtraction& ext,
+                       const std::vector<GridD>& x) {
+  if (x.size() != ext.num_layers())
+    throw std::invalid_argument("estimate_pd: layer count mismatch");
+  const std::size_t L = ext.num_layers();
+  const double wa = ext.window_area_um2();
+
+  PdEstimate out;
+  out.grad_overlay.assign(L, GridD(ext.rows, ext.cols, 0.0));
+
+  // First pass: four-type split per window (x1 of every layer is needed for
+  // the dummy-to-dummy term of the layer below).
+  std::vector<GridD> x1(L, GridD(ext.rows, ext.cols, 0.0));
+  std::vector<GridD> marginal_type(L, GridD(ext.rows, ext.cols, 0.0));
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& d = ext.layers[l];
+    if (!x[l].same_shape(d.slack))
+      throw std::invalid_argument("estimate_pd: grid shape mismatch");
+    for (std::size_t k = 0; k < d.slack.size(); ++k) {
+      const FourTypeSplit s =
+          split_four_type(x[l][k], d.slack_type[0][k], d.slack_type[1][k],
+                          d.slack_type[2][k], d.slack_type[3][k]);
+      x1[l][k] = s.x1;
+      out.fill_um2 += x[l][k] * wa;
+      // Eq. 13: dummy-to-wire overlay.
+      out.overlay_um2 += (s.x2 + s.x3 + 2.0 * s.x4) * wa;
+      // Which type would the *next* unit of fill land in?  That determines
+      // the subgradient (Eq. 16's structure).
+      double remaining = x[l][k] - (s.x1 + s.x2 + s.x3 + s.x4);
+      double t;
+      if (remaining > 1e-15) {
+        t = 4.0;  // saturated: treated as type 4 for gradient purposes
+      } else if (s.x1 < d.slack_type[0][k] - 1e-15) {
+        t = 1.0;
+      } else if (s.x2 < d.slack_type[1][k] - 1e-15) {
+        t = 2.0;
+      } else if (s.x3 < d.slack_type[2][k] - 1e-15) {
+        t = 3.0;
+      } else {
+        t = 4.0;
+      }
+      marginal_type[l][k] = t;
+    }
+  }
+
+  // Second pass: dummy-to-dummy overlay (Eq. 14) and gradients.  x1 of
+  // layer l participates in two d-d terms: its own (with layer l+1) and the
+  // one of the layer below (where l is the upper layer), so the type-1
+  // subgradient counts both active terms — a refinement of Eq. 16's cases.
+  for (std::size_t l = 0; l < L; ++l) {
+    const auto& d = ext.layers[l];
+    for (std::size_t k = 0; k < d.slack.size(); ++k) {
+      bool dd_upper_active = false;  // term of layer l (shares with l+1)
+      if (l + 1 < L) {
+        const double excess = x1[l][k] + x1[l + 1][k] - d.nonoverlap_slack[k];
+        if (excess > 0.0) {
+          out.overlay_um2 += excess * wa;
+          dd_upper_active = true;
+        }
+      }
+      bool dd_lower_active = false;  // term of layer l-1 (shares with l)
+      if (l > 0) {
+        dd_lower_active = x1[l - 1][k] + x1[l][k] -
+                              ext.layers[l - 1].nonoverlap_slack[k] >
+                          0.0;
+      }
+      const double t = marginal_type[l][k];
+      double g = 0.0;
+      if (t == 1.0) {
+        g = (dd_upper_active ? 1.0 : 0.0) + (dd_lower_active ? 1.0 : 0.0);
+      } else if (t == 2.0 || t == 3.0) {
+        g = 1.0;
+      } else {
+        g = 2.0;
+      }
+      out.grad_overlay[l](k / ext.cols, k % ext.cols) = g * wa;
+    }
+  }
+  return out;
+}
+
+PdScore pd_score_and_gradient(const WindowExtraction& ext,
+                              const std::vector<GridD>& x,
+                              const ScoreCoefficients& c) {
+  PdEstimate est = estimate_pd(ext, x);
+  PdScore out;
+  out.overlay_um2 = est.overlay_um2;
+  out.fill_um2 = est.fill_um2;
+  const double s_ov = ScoreCoefficients::score(est.overlay_um2, c.beta_ov);
+  const double s_fa = ScoreCoefficients::score(est.fill_um2, c.beta_fa);
+  out.s_pd = c.alpha_ov * s_ov + c.alpha_fa * s_fa;
+
+  const double wa = ext.window_area_um2();
+  // Eq. 17 with the score clamp: once a term bottoms out at 0 its gradient
+  // vanishes.
+  const double g_ov = est.overlay_um2 < c.beta_ov ? -c.alpha_ov / c.beta_ov : 0.0;
+  const double g_fa = est.fill_um2 < c.beta_fa ? -c.alpha_fa / c.beta_fa : 0.0;
+  out.grad.assign(ext.num_layers(), GridD(ext.rows, ext.cols, 0.0));
+  for (std::size_t l = 0; l < ext.num_layers(); ++l)
+    for (std::size_t k = 0; k < out.grad[l].size(); ++k)
+      out.grad[l][k] = g_ov * est.grad_overlay[l][k] + g_fa * wa;
+  return out;
+}
+
+}  // namespace neurfill

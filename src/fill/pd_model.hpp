@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "common/grid2d.hpp"
+#include "fill/score_coeffs.hpp"
+#include "layout/window_grid.hpp"
+
+namespace neurfill {
+
+/// Four-type region insertion (Fig. 5): a window's fill amount x is placed
+/// into its four slack types by priority 1..4 (type 1 has neither wire above
+/// nor below, so it causes no dummy-to-wire overlay).
+struct FourTypeSplit {
+  double x1 = 0.0, x2 = 0.0, x3 = 0.0, x4 = 0.0;
+};
+
+/// Splits a fill fraction into the four types given the window's type
+/// capacities (all in window-area fraction units).
+FourTypeSplit split_four_type(double x, double s1, double s2, double s3,
+                              double s4);
+
+/// Overlay and fill-amount estimate (Eqs. 4, 13-15) for a full fill
+/// solution.  Amounts are converted to um^2 with the extraction's window
+/// area so they are comparable with the beta coefficients.
+struct PdEstimate {
+  double overlay_um2 = 0.0;
+  double fill_um2 = 0.0;
+  /// d(overlay_um2) / d x_{l,i,j} with x in fraction units: the analytic
+  /// subgradient of Eq. 16 scaled by the window area.
+  std::vector<GridD> grad_overlay;
+};
+
+PdEstimate estimate_pd(const WindowExtraction& ext,
+                       const std::vector<GridD>& x);
+
+/// S_PD (Eq. 5c) and its analytic gradient w.r.t. x (Eq. 17).  The gradient
+/// accounts for the max(0, .) clamp of the score function: a term whose
+/// objective already exceeds beta contributes zero gradient.
+struct PdScore {
+  double s_pd = 0.0;
+  double overlay_um2 = 0.0;
+  double fill_um2 = 0.0;
+  std::vector<GridD> grad;  ///< d S_PD / d x_{l,i,j}
+};
+
+PdScore pd_score_and_gradient(const WindowExtraction& ext,
+                              const std::vector<GridD>& x,
+                              const ScoreCoefficients& coeffs);
+
+}  // namespace neurfill

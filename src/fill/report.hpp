@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fill/baselines.hpp"
+#include "fill/metrics.hpp"
+#include "fill/problem.hpp"
+#include "geom/layout.hpp"
+
+namespace neurfill {
+
+/// One row of the Table III reproduction: a filling method's solution scored
+/// against the ground-truth simulator with the full contest metric.
+struct MethodReport {
+  std::string method;
+  PlanarityMetrics truth;  ///< simulator-evaluated planarity of the solution
+  OverallScore score;
+  double runtime_s = 0.0;
+  double file_size_bytes = 0.0;
+  double memory_bytes = 0.0;
+  long objective_evaluations = 0;
+};
+
+/// Scores a fill result: simulates the filled layout, assembles quality,
+/// materializes the dummies into a copy of the layout for the output
+/// file-size term, and reads the process peak RSS for the memory term.
+MethodReport score_fill_result(const FillProblem& problem,
+                               const Layout& layout,
+                               const FillRunResult& result);
+
+/// Pretty-printers used by the benches and examples.
+void print_table3_header(std::ostream& os);
+void print_table3_row(std::ostream& os, const std::string& design,
+                      const MethodReport& report);
+void print_coefficients(std::ostream& os, const ScoreCoefficients& coeffs);
+
+}  // namespace neurfill

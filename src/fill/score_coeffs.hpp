@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+namespace neurfill {
+
+/// Benchmark-related score-function coefficients (Table II of the paper).
+/// Every objective t is folded into a score by f(t) = max(0, 1 - t/beta)
+/// (Eq. 6) and weighted by its alpha; alphas sum to 1 across the overall
+/// score's terms.
+///
+/// The planarity terms (sigma, sigma*, ol) and the performance-degradation
+/// terms (ov, fa) form the *quality* score (Eq. 5); file size, runtime and
+/// memory complete the *overall* score, mirroring the ICCAD-2014 contest
+/// metric the paper modifies.
+struct ScoreCoefficients {
+  std::string design_name;
+
+  double alpha_ov = 0.15;
+  double beta_ov = 1.0;  ///< um^2 of overlay area
+  double alpha_fa = 0.05;
+  double beta_fa = 1.0;  ///< um^2 of fill amount
+  double alpha_sigma = 0.2;
+  double beta_sigma = 1.0;  ///< A^2 height variance
+  double alpha_sigma_star = 0.2;
+  double beta_sigma_star = 1.0;  ///< A line deviation
+  double alpha_ol = 0.15;
+  double beta_ol = 1.0;  ///< A outliers
+  double alpha_fs = 0.05;
+  double beta_fs = 1.0;  ///< bytes of output file size
+  double alpha_t = 0.15;
+  double beta_t = 1200.0;  ///< seconds of runtime (paper: 20 min)
+  double alpha_m = 0.05;
+  double beta_m = 8.0 * 1024.0 * 1024.0 * 1024.0;  ///< bytes of memory (8G)
+
+  /// Eq. 6: the generalized score function.
+  static double score(double t, double beta) {
+    const double s = 1.0 - t / beta;
+    return s > 0.0 ? s : 0.0;
+  }
+};
+
+}  // namespace neurfill

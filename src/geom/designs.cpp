@@ -1,0 +1,205 @@
+#include "geom/designs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace neurfill {
+
+namespace {
+
+/// Fill the block [bx0,by0,bx1,by1] on `layer` with parallel lines of the
+/// given pitch and duty cycle.  `horizontal` selects the line direction.
+/// Lines are segmented with random gaps so perimeter varies independently of
+/// density.
+void add_line_array(Layer& layer, const Rect& block, double pitch,
+                    double duty, bool horizontal, Rng& rng,
+                    double segment_gap_prob = 0.15) {
+  if (block.empty() || pitch <= 0.0 || duty <= 0.0) return;
+  duty = std::min(duty, 1.0);
+  const double line_w = pitch * duty;
+  if (horizontal) {
+    for (double y = block.y0; y + line_w <= block.y1 + 1e-9; y += pitch) {
+      // Break the line into segments to create realistic perimeter.
+      double x = block.x0;
+      while (x < block.x1 - 1e-9) {
+        const double max_len = block.x1 - x;
+        double len = std::min(max_len, rng.uniform(0.3, 1.0) * (block.x1 - block.x0));
+        if (rng.bernoulli(segment_gap_prob)) {
+          x += std::min(max_len, pitch * rng.uniform(0.5, 2.0));
+          continue;
+        }
+        len = std::max(len, std::min(max_len, line_w));
+        layer.wires.emplace_back(x, y, x + len, std::min(y + line_w, block.y1));
+        x += len + pitch * rng.uniform(0.0, 0.5);
+      }
+    }
+  } else {
+    for (double x = block.x0; x + line_w <= block.x1 + 1e-9; x += pitch) {
+      double y = block.y0;
+      while (y < block.y1 - 1e-9) {
+        const double max_len = block.y1 - y;
+        double len = std::min(max_len, rng.uniform(0.3, 1.0) * (block.y1 - block.y0));
+        if (rng.bernoulli(segment_gap_prob)) {
+          y += std::min(max_len, pitch * rng.uniform(0.5, 2.0));
+          continue;
+        }
+        len = std::max(len, std::min(max_len, line_w));
+        layer.wires.emplace_back(x, y, std::min(x + line_w, block.x1), y + len);
+        y += len + pitch * rng.uniform(0.0, 0.5);
+      }
+    }
+  }
+}
+
+/// Scatter random non-overlapping-ish small rects to a target density.
+/// Overlaps are tolerated (density extraction clips per window and the
+/// generator keeps attempts sparse enough that the error is small).
+void add_random_logic(Layer& layer, const Rect& block, double target_density,
+                      double feature_um, Rng& rng) {
+  const double area = block.area();
+  double placed = 0.0;
+  const double want = target_density * area;
+  int guard = 0;
+  while (placed < want && guard++ < 200000) {
+    const double w = feature_um * rng.uniform(0.5, 2.0);
+    const double h = feature_um * rng.uniform(0.5, 2.0);
+    const double x = rng.uniform(block.x0, std::max(block.x0, block.x1 - w));
+    const double y = rng.uniform(block.y0, std::max(block.y0, block.y1 - h));
+    Rect r(x, y, std::min(x + w, block.x1), std::min(y + h, block.y1));
+    if (r.empty()) continue;
+    layer.wires.push_back(r);
+    placed += r.area();
+  }
+}
+
+Layout make_base(const std::string& name, double chip_um, int num_layers) {
+  if (chip_um <= 0.0 || num_layers <= 0)
+    throw std::invalid_argument("design generator: bad chip size/layer count");
+  Layout layout;
+  layout.name = name;
+  layout.width_um = chip_um;
+  layout.height_um = chip_um;
+  layout.layers.resize(static_cast<std::size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l)
+    layout.layers[static_cast<std::size_t>(l)].name = "m" + std::to_string(l + 1);
+  return layout;
+}
+
+}  // namespace
+
+Layout make_design_a(double chip_um, int num_layers, std::uint64_t seed) {
+  Layout layout = make_base("designA", chip_um, num_layers);
+  Rng rng(seed ^ 0xA0A0A0A0ull);
+  // Test-chip: a grid of square calibration blocks.  Density ramps smoothly
+  // from sparse to dense across the diagonal; ~12% of blocks are left empty.
+  const int nb = 8;
+  const double bs = chip_um / nb;
+  for (int l = 0; l < num_layers; ++l) {
+    Layer& layer = layout.layers[static_cast<std::size_t>(l)];
+    const bool horiz = (l % 2 == 0);
+    Rng lrng = rng.split();
+    for (int bi = 0; bi < nb; ++bi) {
+      for (int bj = 0; bj < nb; ++bj) {
+        if (lrng.bernoulli(0.12)) continue;  // empty calibration block
+        const Rect block(bj * bs + 4.0, bi * bs + 4.0, (bj + 1) * bs - 4.0,
+                         (bi + 1) * bs - 4.0);
+        // Ramp: duty from 0.10 to 0.70 along the diagonal plus jitter.
+        const double t = (bi + bj) / static_cast<double>(2 * (nb - 1));
+        const double duty =
+            std::clamp(0.10 + 0.60 * t + lrng.uniform(-0.05, 0.05), 0.05, 0.8);
+        const double pitch = lrng.uniform(20.0, 60.0);
+        add_line_array(layer, block, pitch, duty, horiz, lrng);
+      }
+    }
+  }
+  return layout;
+}
+
+Layout make_design_b(double chip_um, int num_layers, std::uint64_t seed) {
+  Layout layout = make_base("designB", chip_um, num_layers);
+  Rng rng(seed ^ 0xB1B1B1B1ull);
+  // FPGA fabric: dense logic tiles in a periodic array, thin sparse routing
+  // channels between them, and a sparse IO ring around the edge.
+  const double ring = chip_um * 0.05;
+  const double tile = 420.0;
+  const double channel = 120.0;
+  const double period = tile + channel;
+  for (int l = 0; l < num_layers; ++l) {
+    Layer& layer = layout.layers[static_cast<std::size_t>(l)];
+    const bool horiz = (l % 2 == 0);
+    Rng lrng = rng.split();
+    // Logic tiles.
+    for (double y = ring; y + tile <= chip_um - ring; y += period) {
+      for (double x = ring; x + tile <= chip_um - ring; x += period) {
+        const Rect block(x, y, x + tile, y + tile);
+        const double duty = std::clamp(0.55 + lrng.uniform(-0.06, 0.06), 0.1, 0.8);
+        add_line_array(layer, block, lrng.uniform(25.0, 45.0), duty, horiz, lrng,
+                       /*segment_gap_prob=*/0.05);
+      }
+    }
+    // Routing channels: sparse long lines spanning the fabric.
+    for (double y = ring + tile; y + channel <= chip_um - ring; y += period) {
+      const Rect ch(ring, y, chip_um - ring, y + channel);
+      add_line_array(layer, ch, 60.0, 0.15, /*horizontal=*/true, lrng, 0.3);
+    }
+    for (double x = ring + tile; x + channel <= chip_um - ring; x += period) {
+      const Rect ch(x, ring, x + channel, chip_um - ring);
+      add_line_array(layer, ch, 60.0, 0.15, /*horizontal=*/false, lrng, 0.3);
+    }
+    // IO ring: very sparse pads.
+    add_random_logic(layer, Rect(0, 0, chip_um, ring), 0.08, 50.0, lrng);
+    add_random_logic(layer, Rect(0, chip_um - ring, chip_um, chip_um), 0.08,
+                     50.0, lrng);
+  }
+  return layout;
+}
+
+Layout make_design_c(double chip_um, int num_layers, std::uint64_t seed) {
+  Layout layout = make_base("designC", chip_um, num_layers);
+  Rng rng(seed ^ 0xC2C2C2C2ull);
+  // CPU-like floorplan with fixed macro fractions of the die.
+  const double W = chip_um;
+  const Rect datapath(0.05 * W, 0.45 * W, 0.55 * W, 0.95 * W);   // dense
+  const Rect icache(0.60 * W, 0.55 * W, 0.95 * W, 0.95 * W);     // regular
+  const Rect dcache(0.60 * W, 0.10 * W, 0.95 * W, 0.50 * W);     // regular
+  const Rect control(0.05 * W, 0.10 * W, 0.55 * W, 0.40 * W);    // random
+  const Rect analog(0.0, 0.0, 0.35 * W, 0.08 * W);               // near-empty
+  for (int l = 0; l < num_layers; ++l) {
+    Layer& layer = layout.layers[static_cast<std::size_t>(l)];
+    const bool horiz = (l % 2 == 0);
+    Rng lrng = rng.split();
+    add_line_array(layer, datapath, lrng.uniform(22.0, 35.0), 0.65, horiz, lrng,
+                   0.08);
+    add_line_array(layer, icache, 40.0, 0.55, horiz, lrng, 0.02);
+    add_line_array(layer, dcache, 40.0, 0.55, horiz, lrng, 0.02);
+    add_random_logic(layer, control, 0.35, 30.0, lrng);
+    add_random_logic(layer, analog, 0.05, 60.0, lrng);
+    // Top-level routing over the whole die keeps inter-macro regions from
+    // being perfectly empty.
+    add_line_array(layer, Rect(0, 0, W, W), 400.0, 0.04, horiz, lrng, 0.5);
+  }
+  return layout;
+}
+
+Layout make_design(char which, int windows, double window_um,
+                   std::uint64_t seed) {
+  const double chip = windows * window_um;
+  switch (which) {
+    case 'a':
+    case 'A':
+      return make_design_a(chip, 3, seed);
+    case 'b':
+    case 'B':
+      return make_design_b(chip, 3, seed);
+    case 'c':
+    case 'C':
+      return make_design_c(chip, 3, seed);
+    default:
+      throw std::invalid_argument("make_design: unknown design id");
+  }
+}
+
+}  // namespace neurfill

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geom/layout.hpp"
+
+namespace neurfill {
+
+/// Synthetic stand-ins for the paper's three proprietary layout designs.
+/// The filling flow consumes per-window densities / perimeters / slacks, so
+/// each generator reproduces the *density character* of its counterpart:
+///
+///  * Design A — CMP test chip: blocks of parallel-line test structures whose
+///    pitch and duty cycle ramp across the die (smooth density gradients plus
+///    deliberately empty calibration blocks).
+///  * Design B — FPGA: a periodic fabric of dense logic tiles separated by
+///    sparse routing channels, with a sparse IO ring.
+///  * Design C — RISC-V CPU: heterogeneous macros (dense datapath, regular
+///    cache arrays, random-logic control, nearly-empty analog/IO corners).
+///
+/// All generators are deterministic given the seed.  `chip_um` is the square
+/// die edge; `num_layers` metal layers are produced with alternating
+/// preferred routing direction.
+Layout make_design_a(double chip_um, int num_layers, std::uint64_t seed);
+Layout make_design_b(double chip_um, int num_layers, std::uint64_t seed);
+Layout make_design_c(double chip_um, int num_layers, std::uint64_t seed);
+
+/// Convenience: designs at the default experiment scale (see DESIGN.md) —
+/// `windows` x `windows` filling windows of `window_um` each.
+Layout make_design(char which, int windows = 64, double window_um = 100.0,
+                   std::uint64_t seed = 1);
+
+}  // namespace neurfill

@@ -1,0 +1,121 @@
+#include "geom/glf_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace neurfill {
+
+namespace {
+void write_rect(std::ostream& os, char tag, const Rect& r) {
+  os << tag << ' ' << r.x0 << ' ' << r.y0 << ' ' << r.x1 << ' ' << r.y1
+     << '\n';
+}
+
+Rect read_rect(std::istream& is, char expected_tag) {
+  std::string tag;
+  Rect r;
+  if (!(is >> tag >> r.x0 >> r.y0 >> r.x1 >> r.y1))
+    throw std::runtime_error("GLF: truncated rectangle record");
+  if (tag.size() != 1 || tag[0] != expected_tag)
+    throw std::runtime_error("GLF: expected '" + std::string(1, expected_tag) +
+                             "' record, got '" + tag + "'");
+  if (r.x1 < r.x0 || r.y1 < r.y0)
+    throw std::runtime_error("GLF: degenerate rectangle");
+  return r;
+}
+
+/// std::streambuf that only counts bytes; lets glf_encoded_size reuse the
+/// writer without materializing the text.
+class CountingBuf : public std::streambuf {
+ public:
+  std::size_t count() const { return count_; }
+
+ protected:
+  int overflow(int ch) override {
+    ++count_;
+    return ch;
+  }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    count_ += static_cast<std::size_t>(n);
+    return n;
+  }
+
+ private:
+  std::size_t count_ = 0;
+};
+}  // namespace
+
+void write_glf(std::ostream& os, const Layout& layout) {
+  // Full round-trip precision: layout coordinates must survive
+  // write -> read exactly enough for window extraction to be stable.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "GLF 1\n";
+  os << "name " << (layout.name.empty() ? "unnamed" : layout.name) << '\n';
+  os << "size " << layout.width_um << ' ' << layout.height_um << '\n';
+  os << "layers " << layout.layers.size() << '\n';
+  for (const auto& layer : layout.layers) {
+    os << "layer " << (layer.name.empty() ? "m" : layer.name) << " wires "
+       << layer.wires.size() << " dummies " << layer.dummies.size() << '\n';
+    for (const auto& r : layer.wires) write_rect(os, 'w', r);
+    for (const auto& r : layer.dummies) write_rect(os, 'd', r);
+  }
+}
+
+void write_glf_file(const std::string& path, const Layout& layout) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("GLF: cannot open for write: " + path);
+  write_glf(os, layout);
+}
+
+Layout read_glf(std::istream& is) {
+  std::string kw;
+  int version = 0;
+  if (!(is >> kw >> version) || kw != "GLF" || version != 1)
+    throw std::runtime_error("GLF: bad magic/version");
+  Layout layout;
+  if (!(is >> kw >> layout.name) || kw != "name")
+    throw std::runtime_error("GLF: missing name");
+  if (!(is >> kw >> layout.width_um >> layout.height_um) || kw != "size")
+    throw std::runtime_error("GLF: missing size");
+  if (layout.width_um <= 0.0 || layout.height_um <= 0.0)
+    throw std::runtime_error("GLF: non-positive extents");
+  std::size_t nlayers = 0;
+  if (!(is >> kw >> nlayers) || kw != "layers")
+    throw std::runtime_error("GLF: missing layer count");
+  layout.layers.resize(nlayers);
+  for (auto& layer : layout.layers) {
+    std::size_t nw = 0, nd = 0;
+    std::string kw2;
+    if (!(is >> kw >> layer.name >> kw2 >> nw) || kw != "layer" ||
+        kw2 != "wires")
+      throw std::runtime_error("GLF: malformed layer header");
+    if (!(is >> kw2 >> nd) || kw2 != "dummies")
+      throw std::runtime_error("GLF: malformed layer header (dummies)");
+    layer.wires.reserve(nw);
+    layer.dummies.reserve(nd);
+    for (std::size_t i = 0; i < nw; ++i) layer.wires.push_back(read_rect(is, 'w'));
+    for (std::size_t i = 0; i < nd; ++i)
+      layer.dummies.push_back(read_rect(is, 'd'));
+  }
+  return layout;
+}
+
+Layout read_glf_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("GLF: cannot open for read: " + path);
+  return read_glf(is);
+}
+
+std::size_t glf_encoded_size(const Layout& layout) {
+  CountingBuf buf;
+  std::ostream os(&buf);
+  write_glf(os, layout);
+  os.flush();
+  return buf.count();
+}
+
+}  // namespace neurfill

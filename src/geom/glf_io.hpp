@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "geom/layout.hpp"
+
+namespace neurfill {
+
+/// GLF ("grid layout format") is this project's lightweight stand-in for
+/// GDSII: a line-oriented text format holding the layout extents, layers and
+/// rectangles.  It exists so that (a) examples can exchange layouts with the
+/// library, and (b) the file-size score term fs of the contest metric has a
+/// concrete artifact to measure.
+///
+/// Format:
+///   GLF 1
+///   name <string-without-spaces>
+///   size <width_um> <height_um>
+///   layers <L>
+///   layer <name> wires <n> dummies <m>
+///   w <x0> <y0> <x1> <y1>     (n lines)
+///   d <x0> <y0> <x1> <y1>     (m lines)
+///   ... repeated per layer
+void write_glf(std::ostream& os, const Layout& layout);
+void write_glf_file(const std::string& path, const Layout& layout);
+
+/// Throws std::runtime_error on malformed input.
+Layout read_glf(std::istream& is);
+Layout read_glf_file(const std::string& path);
+
+/// Size in bytes the layout would occupy as a GLF file (streams to a
+/// counting sink; no file is written).  Used for the file-size score.
+std::size_t glf_encoded_size(const Layout& layout);
+
+}  // namespace neurfill

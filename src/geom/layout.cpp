@@ -1,0 +1,24 @@
+#include "geom/layout.hpp"
+
+namespace neurfill {
+
+std::size_t Layout::total_wire_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.wires.size();
+  return n;
+}
+
+std::size_t Layout::total_dummy_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.dummies.size();
+  return n;
+}
+
+double Layout::total_wire_area() const {
+  double a = 0.0;
+  for (const auto& l : layers)
+    for (const auto& r : l.wires) a += r.area();
+  return a;
+}
+
+}  // namespace neurfill

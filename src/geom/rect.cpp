@@ -1,0 +1,29 @@
+#include "geom/rect.hpp"
+
+namespace neurfill {
+
+namespace {
+// Overlap length of [a0, a1) with [b0, b1).
+double overlap(double a0, double a1, double b0, double b1) {
+  const double lo = std::max(a0, b0);
+  const double hi = std::min(a1, b1);
+  return hi > lo ? hi - lo : 0.0;
+}
+}  // namespace
+
+double perimeter_inside(const Rect& r, const Rect& clip) {
+  if (r.empty() || clip.empty()) return 0.0;
+  double total = 0.0;
+  // Vertical edges of r (at x0 and x1) contribute their y-overlap with the
+  // clip window when the edge's x coordinate is inside [clip.x0, clip.x1).
+  const double yov = overlap(r.y0, r.y1, clip.y0, clip.y1);
+  if (r.x0 >= clip.x0 && r.x0 < clip.x1) total += yov;
+  if (r.x1 > clip.x0 && r.x1 <= clip.x1) total += yov;
+  // Horizontal edges at y0 and y1.
+  const double xov = overlap(r.x0, r.x1, clip.x0, clip.x1);
+  if (r.y0 >= clip.y0 && r.y0 < clip.y1) total += xov;
+  if (r.y1 > clip.y0 && r.y1 <= clip.y1) total += xov;
+  return total;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace neurfill {
+
+/// Axis-aligned rectangle in micrometres, closed-open on both axes:
+/// [x0, x1) x [y0, y1).  All layout geometry (wires, dummies, windows) is
+/// rectangular, matching the Manhattan assumption of the filling flow.
+struct Rect {
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+
+  Rect() = default;
+  Rect(double x0_, double y0_, double x1_, double y1_)
+      : x0(x0_), y0(y0_), x1(x1_), y1(y1_) {
+    assert(x1 >= x0 && y1 >= y0);
+  }
+
+  double width() const { return x1 - x0; }
+  double height() const { return y1 - y0; }
+  double area() const { return width() * height(); }
+  double perimeter() const { return 2.0 * (width() + height()); }
+  bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+  bool contains(double x, double y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+
+  bool intersects(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+
+  /// Intersection; empty (zero-area) rect when disjoint.
+  Rect intersect(const Rect& o) const {
+    const double ix0 = std::max(x0, o.x0);
+    const double iy0 = std::max(y0, o.y0);
+    const double ix1 = std::min(x1, o.x1);
+    const double iy1 = std::min(y1, o.y1);
+    if (ix1 <= ix0 || iy1 <= iy0) return Rect{};
+    return Rect{ix0, iy0, ix1, iy1};
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.x0 == b.x0 && a.y0 == b.y0 && a.x1 == b.x1 && a.y1 == b.y1;
+  }
+};
+
+/// Length of the part of `r`'s perimeter that lies strictly inside `clip`.
+/// Used for window perimeter extraction: an edge on the window boundary is
+/// shared with the neighbouring window and must not be double counted, so we
+/// attribute boundary edges to the window containing the rect interior side.
+double perimeter_inside(const Rect& r, const Rect& clip);
+
+}  // namespace neurfill

@@ -1,0 +1,122 @@
+#include "layout/fill_insertion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neurfill {
+
+namespace {
+
+/// Buckets wire indices per window so the per-site checks only look at
+/// local geometry.
+std::vector<std::vector<const Rect*>> bucket_wires(const Layout& layout,
+                                                   std::size_t layer,
+                                                   const WindowExtraction& ext,
+                                                   double halo) {
+  std::vector<std::vector<const Rect*>> buckets(ext.rows * ext.cols);
+  const double w = ext.window_um;
+  for (const Rect& r : layout.layers[layer].wires) {
+    const auto j0 = static_cast<std::size_t>(
+        std::max(0.0, std::floor((r.x0 - halo) / w)));
+    const auto i0 = static_cast<std::size_t>(
+        std::max(0.0, std::floor((r.y0 - halo) / w)));
+    const auto j1 = std::min(
+        ext.cols - 1,
+        static_cast<std::size_t>(std::max(0.0, std::floor((r.x1 + halo) / w))));
+    const auto i1 = std::min(
+        ext.rows - 1,
+        static_cast<std::size_t>(std::max(0.0, std::floor((r.y1 + halo) / w))));
+    for (std::size_t i = i0; i <= i1; ++i)
+      for (std::size_t j = j0; j <= j1; ++j)
+        buckets[i * ext.cols + j].push_back(&r);
+  }
+  return buckets;
+}
+
+bool clear_of(const Rect& candidate, const std::vector<const Rect*>& wires,
+              const std::vector<Rect>& placed, double spacing) {
+  const Rect grown(candidate.x0 - spacing, candidate.y0 - spacing,
+                   candidate.x1 + spacing, candidate.y1 + spacing);
+  for (const Rect* w : wires)
+    if (grown.intersects(*w)) return false;
+  for (const Rect& d : placed)
+    if (grown.intersects(d)) return false;
+  return true;
+}
+
+}  // namespace
+
+DrcInsertStats insert_dummies_drc(Layout& layout, const WindowExtraction& ext,
+                                  const std::vector<GridD>& x,
+                                  const DrcRules& rules) {
+  if (x.size() != ext.num_layers() || x.size() != layout.num_layers())
+    throw std::invalid_argument("insert_dummies_drc: layer count mismatch");
+  if (rules.sites_per_axis < 1 || rules.min_edge_um <= 0.0 ||
+      rules.max_edge_um < rules.min_edge_um)
+    throw std::invalid_argument("insert_dummies_drc: bad rules");
+
+  DrcInsertStats stats;
+  const double wa = ext.window_area_um2();
+  const double pitch = ext.window_um / rules.sites_per_axis;
+
+  for (std::size_t l = 0; l < ext.num_layers(); ++l) {
+    if (!x[l].same_shape(ext.layers[l].slack))
+      throw std::invalid_argument("insert_dummies_drc: grid shape mismatch");
+    const auto buckets = bucket_wires(layout, l, ext, rules.spacing_um);
+    auto& dummies = layout.layers[l].dummies;
+
+    for (std::size_t i = 0; i < ext.rows; ++i) {
+      for (std::size_t j = 0; j < ext.cols; ++j) {
+        const double target = std::clamp(x[l](i, j), 0.0, 1.0) * wa;
+        stats.requested_um2 += target;
+        if (target < rules.min_edge_um * rules.min_edge_um) continue;
+
+        const auto& wires = buckets[i * ext.cols + j];
+        // Per-site target area; edges adapt but stay within rules.
+        const int sites = rules.sites_per_axis * rules.sites_per_axis;
+        double per_site = target / sites;
+        double edge = std::clamp(std::sqrt(per_site), rules.min_edge_um,
+                                 std::min(rules.max_edge_um,
+                                          pitch - rules.spacing_um));
+        std::vector<Rect> placed_here;
+        double realized = 0.0;
+        for (int s = 0; s < sites && realized < target; ++s) {
+          const int si = s / rules.sites_per_axis;
+          const int sj = s % rules.sites_per_axis;
+          const double cx = j * ext.window_um + (sj + 0.5) * pitch;
+          const double cy = i * ext.window_um + (si + 0.5) * pitch;
+          const Rect cand(cx - edge / 2, cy - edge / 2, cx + edge / 2,
+                          cy + edge / 2);
+          if (!clear_of(cand, wires, placed_here, rules.spacing_um)) {
+            ++stats.blocked_sites;
+            continue;
+          }
+          placed_here.push_back(cand);
+          realized += cand.area();
+        }
+        for (const Rect& d : placed_here) dummies.push_back(d);
+        stats.placed += placed_here.size();
+        stats.realized_um2 += realized;
+      }
+    }
+  }
+  return stats;
+}
+
+bool fill_is_drc_clean(const Layout& layout, double spacing_um) {
+  for (const auto& layer : layout.layers) {
+    for (std::size_t a = 0; a < layer.dummies.size(); ++a) {
+      const Rect& d = layer.dummies[a];
+      const Rect grown(d.x0 - spacing_um, d.y0 - spacing_um,
+                       d.x1 + spacing_um, d.y1 + spacing_um);
+      for (const Rect& w : layer.wires)
+        if (grown.intersects(w)) return false;
+      for (std::size_t b2 = a + 1; b2 < layer.dummies.size(); ++b2)
+        if (grown.intersects(layer.dummies[b2])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,51 @@
+#include "nn/gemm.hpp"
+
+#include <cstring>
+
+namespace neurfill::nn {
+
+void gemm_nn(int M, int N, int K, const float* A, const float* B, float* C,
+             bool accumulate) {
+  if (!accumulate) std::memset(C, 0, sizeof(float) * static_cast<std::size_t>(M) * N);
+  for (int i = 0; i < M; ++i) {
+    const float* a_row = A + static_cast<std::size_t>(i) * K;
+    float* c_row = C + static_cast<std::size_t>(i) * N;
+    for (int k = 0; k < K; ++k) {
+      const float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = B + static_cast<std::size_t>(k) * N;
+      for (int j = 0; j < N; ++j) c_row[j] += a * b_row[j];
+    }
+  }
+}
+
+void gemm_nt(int M, int N, int K, const float* A, const float* B, float* C,
+             bool accumulate) {
+  for (int i = 0; i < M; ++i) {
+    const float* a_row = A + static_cast<std::size_t>(i) * K;
+    float* c_row = C + static_cast<std::size_t>(i) * N;
+    for (int j = 0; j < N; ++j) {
+      const float* b_row = B + static_cast<std::size_t>(j) * K;
+      float acc = accumulate ? c_row[j] : 0.0f;
+      for (int k = 0; k < K; ++k) acc += a_row[k] * b_row[k];
+      c_row[j] = acc;
+    }
+  }
+}
+
+void gemm_tn(int M, int N, int K, const float* A, const float* B, float* C,
+             bool accumulate) {
+  if (!accumulate) std::memset(C, 0, sizeof(float) * static_cast<std::size_t>(M) * N);
+  for (int k = 0; k < K; ++k) {
+    const float* a_row = A + static_cast<std::size_t>(k) * M;
+    const float* b_row = B + static_cast<std::size_t>(k) * N;
+    for (int i = 0; i < M; ++i) {
+      const float a = a_row[i];
+      if (a == 0.0f) continue;
+      float* c_row = C + static_cast<std::size_t>(i) * N;
+      for (int j = 0; j < N; ++j) c_row[j] += a * b_row[j];
+    }
+  }
+}
+
+}  // namespace neurfill::nn

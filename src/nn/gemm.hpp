@@ -1,0 +1,20 @@
+#pragma once
+
+namespace neurfill::nn {
+
+/// Minimal single-precision GEMM kernels used by conv2d/linear.  Row-major
+/// storage.  C (MxN) += A op * B op; `accumulate=false` overwrites C.
+/// The loops are ordered i-k-j so the inner loop streams both B and C rows,
+/// which auto-vectorizes well at -O2/-O3.
+
+/// C = A(MxK) * B(KxN)
+void gemm_nn(int M, int N, int K, const float* A, const float* B, float* C,
+             bool accumulate);
+/// C = A(MxK) * B(NxK)^T
+void gemm_nt(int M, int N, int K, const float* A, const float* B, float* C,
+             bool accumulate);
+/// C = A(KxM)^T * B(KxN)
+void gemm_tn(int M, int N, int K, const float* A, const float* B, float* C,
+             bool accumulate);
+
+}  // namespace neurfill::nn

@@ -1,0 +1,354 @@
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "nn/ops.hpp"
+
+namespace neurfill::nn {
+
+namespace {
+
+/// im2col: unfold (C,H,W) into a (C*kh*kw, Hout*Wout) matrix for kernel
+/// (kh,kw), stride s, symmetric zero padding p.
+void im2col(const float* x, int C, int H, int W, int kh, int kw, int stride,
+            int pad, int Hout, int Wout, float* col) {
+  const int cols = Hout * Wout;
+  for (int c = 0; c < C; ++c) {
+    for (int ki = 0; ki < kh; ++ki) {
+      for (int kj = 0; kj < kw; ++kj) {
+        float* dst = col + ((c * kh + ki) * kw + kj) * cols;
+        for (int oi = 0; oi < Hout; ++oi) {
+          const int ii = oi * stride + ki - pad;
+          if (ii < 0 || ii >= H) {
+            std::memset(dst + oi * Wout, 0, sizeof(float) * static_cast<std::size_t>(Wout));
+            continue;
+          }
+          const float* src = x + (c * H + ii) * W;
+          for (int oj = 0; oj < Wout; ++oj) {
+            const int jj = oj * stride + kj - pad;
+            dst[oi * Wout + oj] = (jj >= 0 && jj < W) ? src[jj] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// col2im: adjoint of im2col; accumulates into x.
+void col2im(const float* col, int C, int H, int W, int kh, int kw, int stride,
+            int pad, int Hout, int Wout, float* x) {
+  const int cols = Hout * Wout;
+  for (int c = 0; c < C; ++c) {
+    for (int ki = 0; ki < kh; ++ki) {
+      for (int kj = 0; kj < kw; ++kj) {
+        const float* src = col + ((c * kh + ki) * kw + kj) * cols;
+        for (int oi = 0; oi < Hout; ++oi) {
+          const int ii = oi * stride + ki - pad;
+          if (ii < 0 || ii >= H) continue;
+          float* dst = x + (c * H + ii) * W;
+          for (int oj = 0; oj < Wout; ++oj) {
+            const int jj = oj * stride + kj - pad;
+            if (jj >= 0 && jj < W) dst[jj] += src[oi * Wout + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != 2 || b.ndim() != 2 || a.dim(1) != b.dim(0))
+    throw std::invalid_argument("matmul: need (M,K)x(K,N)");
+  const int M = a.dim(0), K = a.dim(1), N = b.dim(1);
+  Tensor out({M, N});
+  gemm_nn(M, N, K, a.data(), b.data(), out.data(), false);
+  Tensor::attach_backward(out, {a, b}, [a, b, out, M, N, K]() mutable {
+    const float* go = out.impl()->grad.data();
+    if (a.requires_grad())  // dA = dOut (MxN) * B^T (NxK)
+      gemm_nt(M, K, N, go, b.data(), a.grad(), true);
+    if (b.requires_grad())  // dB = A^T (KxM) * dOut (MxN)
+      gemm_tn(K, N, M, a.data(), go, b.grad(), true);
+  });
+  return out;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+  if (x.ndim() != 2 || w.ndim() != 2 || x.dim(1) != w.dim(1))
+    throw std::invalid_argument("linear: need x(N,K), w(O,K)");
+  const int N = x.dim(0), K = x.dim(1), O = w.dim(0);
+  if (b.defined() && (b.ndim() != 1 || b.dim(0) != O))
+    throw std::invalid_argument("linear: bias shape mismatch");
+  Tensor out({N, O});
+  gemm_nt(N, O, K, x.data(), w.data(), out.data(), false);
+  if (b.defined()) {
+    float* po = out.data();
+    for (int n = 0; n < N; ++n)
+      for (int o = 0; o < O; ++o) po[n * O + o] += b.data()[o];
+  }
+  std::vector<Tensor> inputs{x, w};
+  if (b.defined()) inputs.push_back(b);
+  Tensor::attach_backward(out, inputs, [x, w, b, out, N, K, O]() mutable {
+    const float* go = out.impl()->grad.data();
+    if (x.requires_grad())  // dX = dOut (N,O) * W (O,K)
+      gemm_nn(N, K, O, go, w.data(), x.grad(), true);
+    if (w.requires_grad())  // dW = dOut^T (O,N) * X (N,K)
+      gemm_tn(O, K, N, go, x.data(), w.grad(), true);
+    if (b.defined() && b.requires_grad()) {
+      float* gb = b.grad();
+      for (int n = 0; n < N; ++n)
+        for (int o = 0; o < O; ++o) gb[o] += go[n * O + o];
+    }
+  });
+  return out;
+}
+
+Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              int stride, int padding) {
+  if (x.ndim() != 4 || weight.ndim() != 4)
+    throw std::invalid_argument("conv2d: need 4-D input and weight");
+  const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  const int O = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  if (weight.dim(1) != C)
+    throw std::invalid_argument("conv2d: channel mismatch");
+  if (stride < 1) throw std::invalid_argument("conv2d: bad stride");
+  const int Hout = (H + 2 * padding - kh) / stride + 1;
+  const int Wout = (W + 2 * padding - kw) / stride + 1;
+  if (Hout <= 0 || Wout <= 0)
+    throw std::invalid_argument("conv2d: kernel larger than padded input");
+  if (bias.defined() && (bias.ndim() != 1 || bias.dim(0) != O))
+    throw std::invalid_argument("conv2d: bias shape mismatch");
+
+  Tensor out({N, O, Hout, Wout});
+  const int K = C * kh * kw;
+  const int cols = Hout * Wout;
+  std::vector<float> col(static_cast<std::size_t>(K) * cols);
+  for (int n = 0; n < N; ++n) {
+    im2col(x.data() + static_cast<std::int64_t>(n) * C * H * W, C, H, W, kh,
+           kw, stride, padding, Hout, Wout, col.data());
+    float* po = out.data() + static_cast<std::int64_t>(n) * O * cols;
+    gemm_nn(O, cols, K, weight.data(), col.data(), po, false);
+    if (bias.defined())
+      for (int o = 0; o < O; ++o)
+        for (int i = 0; i < cols; ++i) po[o * cols + i] += bias.data()[o];
+  }
+
+  std::vector<Tensor> inputs{x, weight};
+  if (bias.defined()) inputs.push_back(bias);
+  Tensor::attach_backward(
+      out, inputs,
+      [x, weight, bias, out, N, C, H, W, O, kh, kw, stride, padding, Hout,
+       Wout, K, cols]() mutable {
+        const float* go = out.impl()->grad.data();
+        std::vector<float> col(static_cast<std::size_t>(K) * cols);
+        std::vector<float> dcol;
+        if (x.requires_grad()) dcol.resize(static_cast<std::size_t>(K) * cols);
+        for (int n = 0; n < N; ++n) {
+          const float* gout = go + static_cast<std::int64_t>(n) * O * cols;
+          // The unfolded input is recomputed rather than cached: it is the
+          // largest intermediate and recomputation is one im2col pass.
+          if (weight.requires_grad() || x.requires_grad())
+            im2col(x.data() + static_cast<std::int64_t>(n) * C * H * W, C, H,
+                   W, kh, kw, stride, padding, Hout, Wout, col.data());
+          if (weight.requires_grad())  // dW += dOut (O,cols) * col^T (cols,K)
+            gemm_nt(O, K, cols, gout, col.data(), weight.grad(), true);
+          if (x.requires_grad()) {  // dcol = W^T (K,O) * dOut (O,cols)
+            gemm_tn(K, cols, O, weight.data(), gout, dcol.data(), false);
+            col2im(dcol.data(), C, H, W, kh, kw, stride, padding, Hout, Wout,
+                   x.grad() + static_cast<std::int64_t>(n) * C * H * W);
+          }
+          if (bias.defined() && bias.requires_grad()) {
+            float* gb = bias.grad();
+            for (int o = 0; o < O; ++o)
+              for (int i = 0; i < cols; ++i) gb[o] += gout[o * cols + i];
+          }
+        }
+      });
+  return out;
+}
+
+Tensor maxpool2x2(const Tensor& x) {
+  if (x.ndim() != 4) throw std::invalid_argument("maxpool2x2: need 4-D input");
+  const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  if (H % 2 != 0 || W % 2 != 0)
+    throw std::invalid_argument("maxpool2x2: H and W must be even");
+  const int Ho = H / 2, Wo = W / 2;
+  Tensor out({N, C, Ho, Wo});
+  auto indices = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(out.numel()));
+  const float* px = x.data();
+  float* po = out.data();
+  std::int64_t o = 0;
+  for (int nc = 0; nc < N * C; ++nc) {
+    const float* plane = px + static_cast<std::int64_t>(nc) * H * W;
+    for (int i = 0; i < Ho; ++i) {
+      for (int j = 0; j < Wo; ++j) {
+        const std::int64_t base = static_cast<std::int64_t>(2 * i) * W + 2 * j;
+        std::int64_t best = base;
+        float bv = plane[base];
+        for (const std::int64_t cand :
+             {base + 1, base + W, base + W + 1}) {
+          if (plane[cand] > bv) {
+            bv = plane[cand];
+            best = cand;
+          }
+        }
+        po[o] = bv;
+        (*indices)[static_cast<std::size_t>(o)] =
+            static_cast<std::int64_t>(nc) * H * W + best;
+        ++o;
+      }
+    }
+  }
+  Tensor::attach_backward(out, {x}, [x, out, indices]() mutable {
+    const float* go = out.impl()->grad.data();
+    float* gx = x.grad();
+    for (std::size_t i = 0; i < indices->size(); ++i)
+      gx[(*indices)[i]] += go[i];
+  });
+  return out;
+}
+
+Tensor upsample_nearest2x(const Tensor& x) {
+  if (x.ndim() != 4)
+    throw std::invalid_argument("upsample_nearest2x: need 4-D input");
+  const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  Tensor out({N, C, 2 * H, 2 * W});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int nc = 0; nc < N * C; ++nc) {
+    const float* sp = px + static_cast<std::int64_t>(nc) * H * W;
+    float* dp = po + static_cast<std::int64_t>(nc) * 4 * H * W;
+    for (int i = 0; i < H; ++i) {
+      for (int j = 0; j < W; ++j) {
+        const float v = sp[i * W + j];
+        const std::int64_t b = static_cast<std::int64_t>(2 * i) * 2 * W + 2 * j;
+        dp[b] = v;
+        dp[b + 1] = v;
+        dp[b + 2 * W] = v;
+        dp[b + 2 * W + 1] = v;
+      }
+    }
+  }
+  Tensor::attach_backward(out, {x}, [x, out, N, C, H, W]() mutable {
+    const float* go = out.impl()->grad.data();
+    float* gx = x.grad();
+    for (int nc = 0; nc < N * C; ++nc) {
+      const float* gp = go + static_cast<std::int64_t>(nc) * 4 * H * W;
+      float* sp = gx + static_cast<std::int64_t>(nc) * H * W;
+      for (int i = 0; i < H; ++i)
+        for (int j = 0; j < W; ++j) {
+          const std::int64_t b = static_cast<std::int64_t>(2 * i) * 2 * W + 2 * j;
+          sp[i * W + j] += gp[b] + gp[b + 1] + gp[b + 2 * W] + gp[b + 2 * W + 1];
+        }
+    }
+  });
+  return out;
+}
+
+Tensor group_norm(const Tensor& x, int groups, const Tensor& gamma,
+                  const Tensor& beta, float eps) {
+  if (x.ndim() != 4) throw std::invalid_argument("group_norm: need 4-D input");
+  const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  if (groups <= 0 || C % groups != 0)
+    throw std::invalid_argument("group_norm: C must be divisible by groups");
+  if (gamma.ndim() != 1 || gamma.dim(0) != C || beta.ndim() != 1 ||
+      beta.dim(0) != C)
+    throw std::invalid_argument("group_norm: gamma/beta must be (C)");
+  const int cpg = C / groups;
+  const std::int64_t gsize = static_cast<std::int64_t>(cpg) * H * W;
+  Tensor out(x.shape());
+  auto mean_v = std::make_shared<std::vector<double>>(
+      static_cast<std::size_t>(N) * groups);
+  auto istd_v = std::make_shared<std::vector<double>>(
+      static_cast<std::size_t>(N) * groups);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int n = 0; n < N; ++n) {
+    for (int g = 0; g < groups; ++g) {
+      const float* base = px + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
+      double m = 0.0;
+      for (std::int64_t i = 0; i < gsize; ++i) m += base[i];
+      m /= static_cast<double>(gsize);
+      double v = 0.0;
+      for (std::int64_t i = 0; i < gsize; ++i) {
+        const double d = base[i] - m;
+        v += d * d;
+      }
+      v /= static_cast<double>(gsize);
+      const double istd = 1.0 / std::sqrt(v + eps);
+      (*mean_v)[static_cast<std::size_t>(n * groups + g)] = m;
+      (*istd_v)[static_cast<std::size_t>(n * groups + g)] = istd;
+      float* ob = po + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
+      for (int c = 0; c < cpg; ++c) {
+        const float gm = gamma.data()[g * cpg + c];
+        const float bt = beta.data()[g * cpg + c];
+        const float* sb = base + static_cast<std::int64_t>(c) * H * W;
+        float* db = ob + static_cast<std::int64_t>(c) * H * W;
+        for (int i = 0; i < H * W; ++i)
+          db[i] = static_cast<float>((sb[i] - m) * istd) * gm + bt;
+      }
+    }
+  }
+  Tensor::attach_backward(
+      out, {x, gamma, beta},
+      [x, gamma, beta, out, N, C, H, W, groups, cpg, gsize, mean_v,
+       istd_v]() mutable {
+        const float* go = out.impl()->grad.data();
+        const float* px = x.data();
+        for (int n = 0; n < N; ++n) {
+          for (int g = 0; g < groups; ++g) {
+            const double m = (*mean_v)[static_cast<std::size_t>(n * groups + g)];
+            const double istd = (*istd_v)[static_cast<std::size_t>(n * groups + g)];
+            const float* xb =
+                px + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
+            const float* gb =
+                go + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
+            // dgamma/dbeta, plus the two group-wide sums needed for dx.
+            double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+            for (int c = 0; c < cpg; ++c) {
+              const double gm = gamma.data()[g * cpg + c];
+              const float* xc = xb + static_cast<std::int64_t>(c) * H * W;
+              const float* gc = gb + static_cast<std::int64_t>(c) * H * W;
+              double dg = 0.0, db = 0.0;
+              for (int i = 0; i < H * W; ++i) {
+                const double xhat = (xc[i] - m) * istd;
+                const double dxhat = gc[i] * gm;
+                sum_dxhat += dxhat;
+                sum_dxhat_xhat += dxhat * xhat;
+                dg += gc[i] * xhat;
+                db += gc[i];
+              }
+              if (gamma.requires_grad())
+                gamma.grad()[g * cpg + c] += static_cast<float>(dg);
+              if (beta.requires_grad())
+                beta.grad()[g * cpg + c] += static_cast<float>(db);
+            }
+            if (x.requires_grad()) {
+              float* gx = x.grad() +
+                          (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
+              const double inv_n = 1.0 / static_cast<double>(gsize);
+              for (int c = 0; c < cpg; ++c) {
+                const double gm = gamma.data()[g * cpg + c];
+                const float* xc = xb + static_cast<std::int64_t>(c) * H * W;
+                const float* gc = gb + static_cast<std::int64_t>(c) * H * W;
+                float* gxc = gx + static_cast<std::int64_t>(c) * H * W;
+                for (int i = 0; i < H * W; ++i) {
+                  const double xhat = (xc[i] - m) * istd;
+                  const double dxhat = gc[i] * gm;
+                  gxc[i] += static_cast<float>(
+                      istd * (dxhat - inv_n * sum_dxhat -
+                              xhat * inv_n * sum_dxhat_xhat));
+                }
+              }
+            }
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace neurfill::nn

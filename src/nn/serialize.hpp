@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace neurfill::nn {
+
+/// Binary checkpoint format for module parameters:
+///   magic "NFW1", u32 count, then per parameter:
+///   u32 name_len, name bytes, u32 ndim, u32 dims[ndim], f32 data[numel].
+/// Little-endian (the only platform we target).  Loading matches strictly by
+/// name and shape and throws on any mismatch, so silently loading the wrong
+/// architecture is impossible.
+void save_parameters(const Module& module, const std::string& path);
+void load_parameters(Module& module, const std::string& path);
+
+}  // namespace neurfill::nn

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace neurfill::nn {
+
+class Tensor;
+
+namespace detail {
+
+/// Shared tensor storage plus the autograd tape node.  A tensor produced by
+/// an op keeps handles to its parents and a closure that scatters the output
+/// gradient back into the parents' gradients.
+struct TensorImpl {
+  std::vector<int> shape;
+  std::vector<float> data;
+  std::vector<float> grad;  ///< lazily allocated, same numel as data
+  bool requires_grad = false;
+
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  /// Propagates this node's grad into the parents' grads.  Null for leaves.
+  std::function<void()> backward_fn;
+
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (const int d : shape) n *= d;
+    return n;
+  }
+  void ensure_grad() {
+    if (grad.empty()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace detail
+
+/// A cheap value-semantics handle to shared float storage with reverse-mode
+/// autodiff.  Up to 4 dimensions; convolution ops interpret shapes as
+/// (N, C, H, W).  Ops are pure: they never mutate their inputs.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Allocates zero-initialized storage.
+  explicit Tensor(std::vector<int> shape, bool requires_grad = false);
+
+  static Tensor zeros(std::vector<int> shape, bool requires_grad = false);
+  static Tensor ones(std::vector<int> shape, bool requires_grad = false);
+  static Tensor full(std::vector<int> shape, float value,
+                     bool requires_grad = false);
+  static Tensor from_data(std::vector<int> shape, std::vector<float> values,
+                          bool requires_grad = false);
+  static Tensor scalar(float value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int>& shape() const { return impl_->shape; }
+  std::int64_t numel() const { return impl_->numel(); }
+  int dim(int i) const { return impl_->shape[static_cast<std::size_t>(i)]; }
+  int ndim() const { return static_cast<int>(impl_->shape.size()); }
+
+  /// Tensor is a shared handle; constness is shallow (like shared_ptr), so
+  /// data()/grad() are const members returning mutable storage.
+  float* data() const { return impl_->data.data(); }
+  float item() const;  ///< value of a 1-element tensor
+
+  bool requires_grad() const { return impl_->requires_grad; }
+  void set_requires_grad(bool v) const { impl_->requires_grad = v; }
+
+  /// Gradient buffer (allocated zero on first access).
+  float* grad() const;
+  const std::vector<float>& grad_vector() const { return impl_->grad; }
+  bool has_grad() const { return !impl_->grad.empty(); }
+  void zero_grad() const;
+
+  /// Reverse-mode sweep from a scalar (1-element) tensor: seeds d(self)=1
+  /// and runs every recorded backward closure in reverse topological order.
+  void backward();
+
+  /// Detached copy sharing no storage or tape history.
+  Tensor detach() const;
+
+  std::shared_ptr<detail::TensorImpl> impl() const { return impl_; }
+
+  /// Op helper: wires `out` as the child of `inputs` with the given
+  /// gradient-propagation closure (only recorded if some input requires
+  /// grad).
+  static void attach_backward(Tensor& out, const std::vector<Tensor>& inputs,
+                              std::function<void()> backward);
+
+ private:
+  std::shared_ptr<detail::TensorImpl> impl_;
+};
+
+/// Shape utilities shared by the op implementations.
+std::string shape_to_string(const std::vector<int>& shape);
+bool same_shape(const Tensor& a, const Tensor& b);
+
+}  // namespace neurfill::nn

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace neurfill::nn {
+
+/// Configuration of the UNet surrogate (Fig. 4 of the paper).
+struct UNetConfig {
+  int in_channels = 6;    ///< layout-parameter matrix channels
+  int out_channels = 1;   ///< post-CMP height profile
+  int base_channels = 8;  ///< channels of the first encoder stage
+  int depth = 3;          ///< number of down/up sampling stages
+  /// Group normalization inside the conv blocks.  Off by default: for this
+  /// smooth regression task the normalization's scale invariance slows
+  /// convergence more than it stabilizes (measured in the ablation bench).
+  bool use_group_norm = false;
+};
+
+/// UNet [Ronneberger 2015]: an encoder path that halves resolution and
+/// doubles channels per stage, a bottleneck, and a decoder path of
+/// nearest-neighbour upsampling + conv with skip concatenations.  Input H/W
+/// must be divisible by 2^depth.
+class UNet : public Module {
+ public:
+  UNet(const UNetConfig& config, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+
+  const UNetConfig& config() const { return config_; }
+
+ private:
+  UNetConfig config_;
+  std::vector<std::shared_ptr<DoubleConv>> enc_;
+  std::shared_ptr<DoubleConv> bottleneck_;
+  std::vector<std::shared_ptr<Conv2d>> up_;       ///< post-upsample 3x3 convs
+  std::vector<std::shared_ptr<DoubleConv>> dec_;  ///< after skip concat
+  std::shared_ptr<Conv2d> head_;                  ///< 1x1 output conv
+};
+
+}  // namespace neurfill::nn

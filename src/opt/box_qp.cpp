@@ -1,0 +1,120 @@
+#include "opt/box_qp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neurfill {
+
+namespace {
+
+double dot(const VecD& a, const VecD& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double quad_value(const HessVec& B, const VecD& g, const VecD& d, VecD& tmp) {
+  B(d, tmp);
+  return 0.5 * dot(d, tmp) + dot(g, d);
+}
+
+}  // namespace
+
+BoxQpResult solve_box_qp(const HessVec& B, const VecD& g, const Box& box,
+                         const BoxQpOptions& options) {
+  const std::size_t n = g.size();
+  if (box.lo.size() != n || box.hi.size() != n)
+    throw std::invalid_argument("solve_box_qp: box size mismatch");
+  for (std::size_t i = 0; i < n; ++i)
+    if (box.lo[i] > box.hi[i])
+      throw std::invalid_argument("solve_box_qp: empty box");
+
+  BoxQpResult res;
+  res.d.assign(n, 0.0);
+  box.clamp(res.d);
+
+  VecD grad(n), tmp(n), pg(n);
+  VecD r(n), p(n), Bp(n);
+  std::vector<bool> active(n, false);
+
+  const double gscale = std::max(1.0, std::sqrt(dot(g, g)));
+
+  for (int outer = 0; outer < options.max_outer; ++outer) {
+    res.outer_iterations = outer + 1;
+    // Gradient of the quadratic at d.
+    B(res.d, grad);
+    for (std::size_t i = 0; i < n; ++i) grad[i] += g[i];
+    // Projected gradient: zero where the bound blocks descent.
+    const double tol_b = 1e-12;
+    for (std::size_t i = 0; i < n; ++i) {
+      pg[i] = grad[i];
+      if (res.d[i] <= box.lo[i] + tol_b && grad[i] > 0.0) pg[i] = 0.0;
+      if (res.d[i] >= box.hi[i] - tol_b && grad[i] < 0.0) pg[i] = 0.0;
+    }
+    const double pgnorm = std::sqrt(dot(pg, pg));
+    if (pgnorm < options.tolerance * gscale) break;
+
+    // --- Cauchy phase: projected steepest-descent step with backtracking.
+    B(pg, tmp);
+    const double curv = dot(pg, tmp);
+    double alpha = curv > 0.0 ? dot(pg, pg) / curv : 1.0;
+    const double q0 = quad_value(B, g, res.d, tmp);
+    VecD trial(n);
+    for (int bt = 0; bt < 20; ++bt) {
+      for (std::size_t i = 0; i < n; ++i)
+        trial[i] = std::clamp(res.d[i] - alpha * pg[i], box.lo[i], box.hi[i]);
+      if (quad_value(B, g, trial, tmp) < q0) break;
+      alpha *= 0.5;
+    }
+    res.d = trial;
+
+    // --- Active set at the Cauchy point.
+    for (std::size_t i = 0; i < n; ++i)
+      active[i] = (res.d[i] <= box.lo[i] + tol_b) ||
+                  (res.d[i] >= box.hi[i] - tol_b);
+
+    // --- CG in the free subspace, truncated at the box boundary.
+    B(res.d, r);
+    for (std::size_t i = 0; i < n; ++i)
+      r[i] = active[i] ? 0.0 : -(r[i] + g[i]);  // residual = -grad on free set
+    double rr = dot(r, r);
+    if (rr < 1e-30) continue;
+    p = r;
+    for (int cg = 0; cg < options.max_cg; ++cg) {
+      B(p, Bp);
+      for (std::size_t i = 0; i < n; ++i)
+        if (active[i]) Bp[i] = 0.0;
+      const double pBp = dot(p, Bp);
+      if (pBp <= 1e-30) break;  // nonconvex or flat direction: stop CG
+      double step = rr / pBp;
+      // Truncate the step at the first bound hit.
+      double max_step = step;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (active[i] || p[i] == 0.0) continue;
+        const double limit = p[i] > 0.0 ? (box.hi[i] - res.d[i]) / p[i]
+                                        : (box.lo[i] - res.d[i]) / p[i];
+        max_step = std::min(max_step, limit);
+      }
+      const bool hit_bound = max_step < step;
+      step = std::max(0.0, std::min(step, max_step));
+      for (std::size_t i = 0; i < n; ++i) res.d[i] += step * p[i];
+      if (hit_bound) break;  // active set changed: restart outer loop
+      double rr_new = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        r[i] -= step * Bp[i];
+        rr_new += r[i] * r[i];
+      }
+      if (rr_new < options.tolerance * options.tolerance * gscale * gscale)
+        break;
+      const double beta = rr_new / rr;
+      rr = rr_new;
+      for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    }
+    box.clamp(res.d);
+  }
+  res.objective = quad_value(B, g, res.d, tmp);
+  return res;
+}
+
+}  // namespace neurfill

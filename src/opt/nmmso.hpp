@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "opt/objective.hpp"
+
+namespace neurfill {
+
+/// One located peak region of the objective.
+struct Mode {
+  VecD x;
+  double value = 0.0;  ///< objective value (maximization)
+};
+
+struct NmmsoOptions {
+  int max_evaluations = 4000;
+  int swarm_size = 10;          ///< particle cap per swarm
+  int max_evolutions = 8;       ///< swarms advanced per iteration
+  double merge_distance = 0.05; ///< normalized gbest distance triggering merge checks
+  double immigrant_prob = 0.1;  ///< chance of seeding a fresh random swarm
+  double inertia = 0.5;         ///< PSO w
+  double cognitive = 1.5;       ///< PSO c1
+  double social = 1.5;          ///< PSO c2
+  std::uint64_t seed = 1;
+};
+
+/// Niching Migratory Multi-Swarm Optimiser [Fieldsend, CEC 2014], the
+/// multi-modal starting-points search of NeurFill (Section IV-D).  The
+/// optimizer *maximizes* f over the box and returns one mode per surviving
+/// swarm: the potential peak regions of the quality score, each of which the
+/// MSP-SQP framework then refines.
+///
+/// Faithful to the reference algorithm in its essential mechanics: swarms
+/// are seeded from a single random particle; swarms whose gbests are close
+/// or fail the midpoint valley test merge; swarms evolve by PSO velocity
+/// updates (new particles are sampled inside the nearest-swarm half-radius
+/// while a swarm is below its particle cap); improved particles that are
+/// separated from their gbest by a valley hive off into new swarms; random
+/// immigrants keep exploring.
+class Nmmso {
+ public:
+  /// `f` is evaluated without gradients (multi-modal search is derivative
+  /// free); pass nullptr-tolerant objectives.
+  Nmmso(ObjectiveFn f, Box box, const NmmsoOptions& options = NmmsoOptions());
+
+  /// Runs until the evaluation budget is exhausted; returns the located
+  /// modes sorted best first.
+  std::vector<Mode> run();
+
+  int evaluations_used() const { return evaluations_; }
+
+ private:
+  struct Particle {
+    VecD x, v;
+    VecD pbest_x;
+    double pbest_val = 0.0;
+  };
+  struct Swarm {
+    std::vector<Particle> particles;
+    VecD gbest_x;
+    double gbest_val = 0.0;
+    bool just_changed = true;  ///< flags merge re-checks
+  };
+
+  double evaluate(const VecD& x);
+  VecD random_point();
+  double normalized_distance(const VecD& a, const VecD& b) const;
+  void try_merges();
+  void evolve(Swarm& swarm);
+  Swarm make_swarm(VecD x, double val);
+
+  ObjectiveFn f_;
+  Box box_;
+  NmmsoOptions opt_;
+  Rng rng_;
+  std::vector<Swarm> swarms_;
+  int evaluations_ = 0;
+};
+
+}  // namespace neurfill

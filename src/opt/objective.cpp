@@ -1,0 +1,37 @@
+#include "opt/objective.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace neurfill {
+
+void Box::clamp(VecD& x) const {
+  if (x.size() != lo.size())
+    throw std::invalid_argument("Box::clamp: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::clamp(x[i], lo[i], hi[i]);
+}
+
+bool Box::contains(const VecD& x, double tol) const {
+  if (x.size() != lo.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (x[i] < lo[i] - tol || x[i] > hi[i] + tol) return false;
+  return true;
+}
+
+VecD numerical_gradient(const ObjectiveFn& f, const VecD& x, double eps) {
+  VecD g(x.size(), 0.0);
+  VecD xp = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double orig = xp[i];
+    xp[i] = orig + eps;
+    const double fp = f(xp, nullptr);
+    xp[i] = orig - eps;
+    const double fm = f(xp, nullptr);
+    xp[i] = orig;
+    g[i] = (fp - fm) / (2.0 * eps);
+  }
+  return g;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,177 @@
+#include "opt/sqp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neurfill {
+
+namespace {
+double dot(const VecD& a, const VecD& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+}  // namespace
+
+void LbfgsHessian::reset() {
+  raw_.clear();
+  terms_.clear();
+  sigma_ = 1.0;
+}
+
+void LbfgsHessian::update(const VecD& s, const VecD& y) {
+  const double sy = dot(s, y);
+  const double ss = dot(s, s);
+  if (ss <= 1e-300) return;  // zero step: nothing to learn
+  raw_.push_back({s, y});
+  while (static_cast<int>(raw_.size()) > memory_) raw_.pop_front();
+  // Scale B0 to the newest curvature when it is positive.
+  if (sy > 1e-12 * ss) sigma_ = dot(y, y) / sy;
+  rebuild();
+}
+
+void LbfgsHessian::rebuild() {
+  terms_.clear();
+  terms_.reserve(raw_.size());
+  VecD Bs;
+  for (const Pair& p : raw_) {
+    // Bs = B_current * s via the terms accumulated so far.
+    apply(p.s, Bs);
+    const double sBs = dot(p.s, Bs);
+    if (sBs <= 1e-300) continue;
+    double sy = dot(p.s, p.y);
+    VecD y = p.y;
+    // Powell damping: blend y toward Bs when curvature is weak/negative so
+    // the update keeps B positive definite.
+    if (sy < 0.2 * sBs) {
+      const double theta = 0.8 * sBs / (sBs - sy);
+      for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = theta * p.y[i] + (1.0 - theta) * Bs[i];
+      sy = dot(p.s, y);
+    }
+    Term t;
+    t.y = std::move(y);
+    t.Bs = std::move(Bs);
+    Bs = VecD();
+    t.sy = sy;
+    t.sBs = sBs;
+    terms_.push_back(std::move(t));
+  }
+}
+
+void LbfgsHessian::apply(const VecD& v, VecD& out) const {
+  out.assign(v.size(), 0.0);
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = sigma_ * v[i];
+  for (const Term& t : terms_) {
+    const double yv = dot(t.y, v) / t.sy;
+    const double bv = dot(t.Bs, v) / t.sBs;
+    for (std::size_t i = 0; i < v.size(); ++i)
+      out[i] += t.y[i] * yv - t.Bs[i] * bv;
+  }
+}
+
+SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
+                       const SqpOptions& options) {
+  const std::size_t n = x0.size();
+  if (box.lo.size() != n)
+    throw std::invalid_argument("sqp_minimize: box size mismatch");
+  SqpResult res;
+  box.clamp(x0);
+  res.x = std::move(x0);
+
+  VecD g(n), g_new(n);
+  double fx = f(res.x, &g);
+  ++res.function_evaluations;
+
+  LbfgsHessian hessian(options.lbfgs_memory);
+  VecD trial(n), s(n), y(n);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    res.iterations = it + 1;
+    // Convergence: projected gradient (KKT residual for box constraints).
+    double pg_inf = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double pg = g[i];
+      if (res.x[i] <= box.lo[i] + 1e-12 && pg > 0.0) pg = 0.0;
+      if (res.x[i] >= box.hi[i] - 1e-12 && pg < 0.0) pg = 0.0;
+      pg_inf = std::max(pg_inf, std::fabs(pg));
+    }
+    if (pg_inf < options.tolerance) {
+      res.converged = true;
+      break;
+    }
+
+    // QP subproblem over the shifted box lo-x <= d <= hi-x.
+    Box shifted;
+    shifted.lo.resize(n);
+    shifted.hi.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shifted.lo[i] = box.lo[i] - res.x[i];
+      shifted.hi[i] = box.hi[i] - res.x[i];
+    }
+    const HessVec Bv = [&hessian](const VecD& v, VecD& out) {
+      hessian.apply(v, out);
+    };
+    const BoxQpResult qp = solve_box_qp(Bv, g, shifted, options.qp);
+    const VecD& d = qp.d;
+    const double gd = dot(g, d);
+    double dnorm = 0.0;
+    for (const double v : d) dnorm = std::max(dnorm, std::fabs(v));
+    if (dnorm < 1e-14 || gd > -1e-16) {
+      // No descent available from the quadratic model.
+      res.converged = pg_inf < 10.0 * options.tolerance;
+      break;
+    }
+
+    // Armijo backtracking along the (feasible) SQP direction.
+    double alpha = 1.0;
+    double f_trial = fx;
+    bool accepted = false;
+    for (int ls = 0; ls < options.max_line_search; ++ls) {
+      for (std::size_t i = 0; i < n; ++i) trial[i] = res.x[i] + alpha * d[i];
+      box.clamp(trial);  // guard rounding
+      f_trial = f(trial, nullptr);
+      ++res.function_evaluations;
+      if (f_trial <= fx + options.armijo_c1 * alpha * gd) {
+        accepted = true;
+        break;
+      }
+      alpha *= 0.5;
+    }
+    if (!accepted) break;  // line search failed: stationary to our accuracy
+
+    const double f_old = fx;
+    fx = f(trial, &g_new);
+    ++res.function_evaluations;
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = trial[i] - res.x[i];
+      y[i] = g_new[i] - g[i];
+    }
+    hessian.update(s, y);
+    res.x = trial;
+    g = g_new;
+    if (std::fabs(f_old - fx) <
+        1e-12 * std::max(1.0, std::fabs(f_old))) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.f = fx;
+  return res;
+}
+
+std::vector<SqpResult> msp_sqp_minimize(const ObjectiveFn& f,
+                                        const std::vector<VecD>& starts,
+                                        const Box& box,
+                                        const SqpOptions& options) {
+  std::vector<SqpResult> results;
+  results.reserve(starts.size());
+  for (const VecD& x0 : starts)
+    results.push_back(sqp_minimize(f, x0, box, options));
+  std::sort(results.begin(), results.end(),
+            [](const SqpResult& a, const SqpResult& b) { return a.f < b.f; });
+  return results;
+}
+
+}  // namespace neurfill

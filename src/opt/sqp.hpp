@@ -1,0 +1,73 @@
+#pragma once
+
+#include <deque>
+
+#include "opt/box_qp.hpp"
+#include "opt/objective.hpp"
+
+namespace neurfill {
+
+/// Limited-memory BFGS approximation of the *direct* Hessian B (not its
+/// inverse), kept as B = sigma*I plus a sum of rank-2 terms so that
+/// Hessian-vector products for the box-QP subproblem cost O(m n).
+/// Powell damping keeps B positive definite when curvature is poor.
+class LbfgsHessian {
+ public:
+  explicit LbfgsHessian(int memory = 8) : memory_(memory) {}
+
+  void reset();
+  /// Feeds the step s = x_{k+1} - x_k and gradient change y = g_{k+1} - g_k.
+  void update(const VecD& s, const VecD& y);
+  /// out = B * v.
+  void apply(const VecD& v, VecD& out) const;
+  bool empty() const { return raw_.empty(); }
+
+ private:
+  struct Pair {
+    VecD s, y;
+  };
+  struct Term {
+    VecD y, Bs;
+    double sy = 0.0, sBs = 0.0;
+  };
+  void rebuild();
+
+  int memory_;
+  double sigma_ = 1.0;
+  std::deque<Pair> raw_;
+  std::vector<Term> terms_;
+};
+
+struct SqpOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-6;  ///< on the projected-gradient infinity norm
+  int lbfgs_memory = 8;
+  double armijo_c1 = 1e-4;
+  int max_line_search = 30;
+  BoxQpOptions qp;
+};
+
+struct SqpResult {
+  VecD x;
+  double f = 0.0;
+  int iterations = 0;
+  int function_evaluations = 0;
+  bool converged = false;
+};
+
+/// Bound-constrained SQP (the optimizer of the NeurFill framework, Fig. 7):
+/// at each iterate a quadratic model with L-BFGS Hessian is minimized over
+/// the shifted box (the QP subproblem, Eq. 5d being the only constraints),
+/// followed by an Armijo backtracking line search.  Minimizes f; callers
+/// maximizing a score pass its negation.
+SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
+                       const SqpOptions& options = SqpOptions());
+
+/// Multiple-starting-points driver (the "MSP" of MSP-SQP): runs SQP from
+/// every start and returns the results sorted best (lowest f) first.
+std::vector<SqpResult> msp_sqp_minimize(const ObjectiveFn& f,
+                                        const std::vector<VecD>& starts,
+                                        const Box& box,
+                                        const SqpOptions& options = SqpOptions());
+
+}  // namespace neurfill

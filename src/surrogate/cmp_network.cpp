@@ -1,0 +1,250 @@
+#include "surrogate/cmp_network.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "nn/ops.hpp"
+#include "nn/serialize.hpp"
+
+namespace neurfill {
+
+CmpSurrogate::CmpSurrogate(const SurrogateConfig& config, std::uint64_t seed)
+    : config_(config) {
+  if (config.unet.in_channels != FeatureConstants::kInChannels)
+    throw std::invalid_argument(
+        "CmpSurrogate: UNet in_channels must match the feature planes");
+  Rng rng(seed);
+  unet_ = std::make_shared<nn::UNet>(config.unet, rng);
+}
+
+nn::Tensor CmpSurrogate::incoming_from_height(
+    const nn::Tensor& height_ang) const {
+  // Attenuated, zero-mean copy in normalized units — the same chaining rule
+  // the simulator applies between layers.
+  const nn::Tensor centered = nn::sub(height_ang, nn::mean(height_ang));
+  return nn::mul_scalar(
+      centered,
+      static_cast<float>(config_.topo_transfer / config_.features.height_scale));
+}
+
+std::vector<nn::Tensor> CmpSurrogate::forward_heights(
+    const std::vector<StaticLayerFeatures>& layers,
+    const std::vector<nn::Tensor>& fills,
+    const std::vector<nn::Tensor>& incoming_override) const {
+  using nn::Tensor;
+  if (layers.empty() || layers.size() != fills.size())
+    throw std::invalid_argument("forward_heights: layer/fill mismatch");
+  if (!incoming_override.empty() && incoming_override.size() != layers.size())
+    throw std::invalid_argument("forward_heights: incoming override mismatch");
+  const int pr = layers[0].padded_rows, pc = layers[0].padded_cols;
+  const std::vector<int> plane{1, 1, pr, pc};
+  const auto& fc = config_.features;
+
+  std::vector<Tensor> heights;
+  heights.reserve(layers.size());
+  Tensor incoming = Tensor::zeros(plane);  // normalized units
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    if (!incoming_override.empty()) incoming = incoming_override[l];
+    const Tensor input =
+        assemble_layer_input(layers[l], fc, fills[l], incoming);
+    const Tensor h_norm = unet_->forward(input);
+    // Hard-center the prediction: every planarity objective (Eqs. 1-3) and
+    // the layer chaining are invariant to a layer's mean height, so the
+    // surrogate regresses *topography* (zero-mean profiles).  This removes
+    // the per-sample mean-level mode — the hardest-to-learn and least
+    // useful component — from the problem entirely.
+    const Tensor h_centered = nn::sub(h_norm, nn::mean(h_norm));
+    // Denormalize to Angstrom (offset kept for API symmetry; zero after
+    // calibration).
+    const Tensor h_ang = nn::add_scalar(
+        nn::mul_scalar(h_centered, static_cast<float>(fc.height_scale)),
+        static_cast<float>(fc.height_offset));
+    heights.push_back(h_ang);
+    if (l + 1 < layers.size() && incoming_override.empty())
+      incoming = incoming_from_height(h_ang);
+  }
+  return heights;
+}
+
+void save_surrogate(const CmpSurrogate& s, const std::string& path_prefix) {
+  std::ofstream meta(path_prefix + ".meta");
+  if (!meta) throw std::runtime_error("save_surrogate: cannot write meta");
+  const SurrogateConfig& c = s.config();
+  meta << "unet " << c.unet.in_channels << ' ' << c.unet.out_channels << ' '
+       << c.unet.base_channels << ' ' << c.unet.depth << ' '
+       << (c.unet.use_group_norm ? 1 : 0) << '\n';
+  meta << "features " << c.features.window_um << ' '
+       << c.features.dummy_edge_um << ' ' << c.features.perimeter_norm << ' '
+       << c.features.width_ref_um << ' ' << c.features.height_scale << ' '
+       << c.features.height_offset << '\n';
+  meta << "chain " << c.topo_transfer << ' ' << c.outlier_eta << '\n';
+  nn::save_parameters(s.unet(), path_prefix + ".weights");
+}
+
+std::shared_ptr<CmpSurrogate> load_surrogate(const std::string& path_prefix) {
+  std::ifstream meta(path_prefix + ".meta");
+  if (!meta)
+    throw std::runtime_error("load_surrogate: missing " + path_prefix + ".meta");
+  SurrogateConfig c;
+  std::string kw;
+  int use_norm = 0;
+  if (!(meta >> kw >> c.unet.in_channels >> c.unet.out_channels >>
+        c.unet.base_channels >> c.unet.depth >> use_norm) ||
+      kw != "unet")
+    throw std::runtime_error("load_surrogate: bad meta (unet)");
+  c.unet.use_group_norm = use_norm != 0;
+  if (!(meta >> kw >> c.features.window_um >> c.features.dummy_edge_um >>
+        c.features.perimeter_norm >> c.features.width_ref_um >>
+        c.features.height_scale >> c.features.height_offset) ||
+      kw != "features")
+    throw std::runtime_error("load_surrogate: bad meta (features)");
+  if (!(meta >> kw >> c.topo_transfer >> c.outlier_eta) || kw != "chain")
+    throw std::runtime_error("load_surrogate: bad meta (chain)");
+  auto s = std::make_shared<CmpSurrogate>(c, /*seed=*/0);
+  nn::load_parameters(s->unet(), path_prefix + ".weights");
+  return s;
+}
+
+CmpNetwork::CmpNetwork(std::shared_ptr<const CmpSurrogate> surrogate,
+                       const WindowExtraction& ext, ScoreCoefficients coeffs)
+    : surrogate_(std::move(surrogate)), coeffs_(std::move(coeffs)),
+      rows_(ext.rows), cols_(ext.cols) {
+  if (!surrogate_) throw std::invalid_argument("CmpNetwork: null surrogate");
+  const int divisor = 1 << surrogate_->config().unet.depth;
+  static_ = build_static_features(ext, surrogate_->config().features, divisor);
+}
+
+nn::Tensor CmpNetwork::make_fill_tensor(const GridD& x,
+                                        bool requires_grad) const {
+  const int pr = static_[0].padded_rows, pc = static_[0].padded_cols;
+  std::vector<float> data(static_cast<std::size_t>(pr) * pc, 0.0f);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      data[i * static_cast<std::size_t>(pc) + j] =
+          static_cast<float>(x(i, j));
+  return nn::Tensor::from_data({1, 1, pr, pc}, std::move(data), requires_grad);
+}
+
+CmpNetwork::Eval CmpNetwork::evaluate(const std::vector<GridD>& x,
+                                      bool with_grad) const {
+  using nn::Tensor;
+  if (x.size() != static_.size())
+    throw std::invalid_argument("CmpNetwork::evaluate: layer count mismatch");
+
+  std::vector<Tensor> fills;
+  fills.reserve(x.size());
+  for (const GridD& g : x) fills.push_back(make_fill_tensor(g, with_grad));
+  const std::vector<Tensor> heights =
+      surrogate_->forward_heights(static_, fills);
+
+  // Validity mask: metrics are computed over the un-padded N x M region.
+  const int pr = static_[0].padded_rows, pc = static_[0].padded_cols;
+  std::vector<float> mask_data(static_cast<std::size_t>(pr) * pc, 0.0f);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      mask_data[i * static_cast<std::size_t>(pc) + j] = 1.0f;
+  const Tensor mask = Tensor::from_data({1, 1, pr, pc}, std::move(mask_data));
+  const float count = static_cast<float>(rows_ * cols_);
+
+  // Objective layers (Eqs. 10a-c), masked to the valid region.
+  Tensor sigma_total = Tensor::scalar(0.0f);
+  Tensor sigma_star_total = Tensor::scalar(0.0f);
+  Tensor ol_total = Tensor::scalar(0.0f);
+  for (const Tensor& h : heights) {
+    const Tensor hm = nn::mul(h, mask);
+    const Tensor mean_h = nn::mul_scalar(nn::sum(hm), 1.0f / count);
+    const Tensor dev = nn::mul(nn::sub(h, mean_h), mask);
+    const Tensor var = nn::mul_scalar(nn::sum(nn::square(dev)), 1.0f / count);
+    sigma_total = nn::add(sigma_total, var);
+    // Line deviation: per-column mean over the valid rows.
+    const Tensor col_mean =
+        nn::mul_scalar(nn::sum_axis(hm, 2), 1.0f / static_cast<float>(rows_));
+    const Tensor col_dev = nn::mul(nn::sub(h, col_mean), mask);
+    sigma_star_total = nn::add(sigma_star_total, nn::sum(nn::abs_op(col_dev)));
+    // Outliers: smooth max(0, H - (mean + 3*sigma_l)).
+    const Tensor sig_l = nn::sqrt_op(nn::add_scalar(var, 1e-6f));
+    const Tensor threshold = nn::add(mean_h, nn::mul_scalar(sig_l, 3.0f));
+    const Tensor excess = nn::sub(h, threshold);
+    const Tensor smooth = nn::softplus(
+        excess, static_cast<float>(surrogate_->config().outlier_eta));
+    ol_total = nn::add(ol_total, nn::sum(nn::mul(smooth, mask)));
+  }
+
+  // Simulator-anchored log-space corrections (identity unless calibrated):
+  // corrected = exp(a) * (raw + eps)^b, computed differentiably.
+  const auto apply_cal = [](const Tensor& t, const MetricCalibration& c) {
+    if (c.a == 0.0 && c.b == 1.0) return t;
+    const Tensor log_t = nn::log_op(nn::add_scalar(t, 1e-6f));
+    return nn::exp_op(nn::add_scalar(
+        nn::mul_scalar(log_t, static_cast<float>(c.b)),
+        static_cast<float>(c.a)));
+  };
+  sigma_total = apply_cal(sigma_total, cal_sigma_);
+  sigma_star_total = apply_cal(sigma_star_total, cal_sigma_star_);
+  ol_total = apply_cal(ol_total, cal_ol_);
+
+  // Merging layer (Eq. 5b) with the Eq. 6 score function (relu = max(0,.)).
+  const auto score_term = [](const Tensor& t, double alpha, double beta) {
+    return nn::mul_scalar(
+        nn::relu(nn::add_scalar(nn::mul_scalar(t, -1.0f / static_cast<float>(beta)),
+                                1.0f)),
+        static_cast<float>(alpha));
+  };
+  Tensor s_plan =
+      nn::add(score_term(sigma_total, coeffs_.alpha_sigma, coeffs_.beta_sigma),
+              nn::add(score_term(sigma_star_total, coeffs_.alpha_sigma_star,
+                                 coeffs_.beta_sigma_star),
+                      score_term(ol_total, coeffs_.alpha_ol, coeffs_.beta_ol)));
+
+  Eval out;
+  out.s_plan = s_plan.item();
+  out.sigma = sigma_total.item();
+  out.sigma_star = sigma_star_total.item();
+  out.outliers = ol_total.item();
+  out.heights.reserve(heights.size());
+  for (const Tensor& h : heights)
+    out.heights.push_back(
+        crop_to_grid(h, static_cast<int>(rows_), static_cast<int>(cols_)));
+
+  if (with_grad) {
+    s_plan.backward();
+    out.grad.reserve(fills.size());
+    for (const Tensor& f : fills) {
+      GridD g(rows_, cols_, 0.0);
+      if (f.has_grad()) {
+        for (std::size_t i = 0; i < rows_; ++i)
+          for (std::size_t j = 0; j < cols_; ++j)
+            g(i, j) = f.grad()[i * static_cast<std::size_t>(pc) + j];
+      }
+      out.grad.push_back(std::move(g));
+    }
+  }
+  return out;
+}
+
+void CmpNetwork::set_calibration(const MetricCalibration& sigma,
+                                 const MetricCalibration& sigma_star,
+                                 const MetricCalibration& outliers) {
+  cal_sigma_ = sigma;
+  cal_sigma_star_ = sigma_star;
+  cal_ol_ = outliers;
+}
+
+std::vector<GridD> CmpNetwork::predict_heights(
+    const std::vector<GridD>& x) const {
+  std::vector<nn::Tensor> fills;
+  fills.reserve(x.size());
+  for (const GridD& g : x) fills.push_back(make_fill_tensor(g, false));
+  const auto heights = surrogate_->forward_heights(static_, fills);
+  std::vector<GridD> out;
+  out.reserve(heights.size());
+  for (const auto& h : heights)
+    out.push_back(
+        crop_to_grid(h, static_cast<int>(rows_), static_cast<int>(cols_)));
+  return out;
+}
+
+}  // namespace neurfill

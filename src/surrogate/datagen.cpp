@@ -1,0 +1,95 @@
+#include "surrogate/datagen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace neurfill {
+
+TrainingDataGenerator::TrainingDataGenerator(
+    std::vector<WindowExtraction> sources, CmpSimulator simulator,
+    std::uint64_t seed, std::size_t block)
+    : sources_(std::move(sources)), sim_(std::move(simulator)), rng_(seed),
+      block_(block) {
+  if (sources_.empty())
+    throw std::invalid_argument("TrainingDataGenerator: no sources");
+  if (block_ == 0) throw std::invalid_argument("TrainingDataGenerator: block=0");
+  const std::size_t L = sources_[0].num_layers();
+  for (const auto& s : sources_) {
+    if (s.num_layers() != L)
+      throw std::invalid_argument(
+          "TrainingDataGenerator: sources differ in layer count");
+    if (s.rows < block_ || s.cols < block_)
+      throw std::invalid_argument(
+          "TrainingDataGenerator: source smaller than block");
+  }
+}
+
+TrainingSample TrainingDataGenerator::generate(std::size_t rows,
+                                               std::size_t cols) {
+  const std::size_t L = sources_[0].num_layers();
+  TrainingSample s;
+  s.ext.window_um = sources_[0].window_um;
+  s.ext.rows = rows;
+  s.ext.cols = cols;
+  s.ext.layers.resize(L);
+  for (auto& layer : s.ext.layers) {
+    layer.wire_density = GridD(rows, cols, 0.0);
+    layer.dummy_density = GridD(rows, cols, 0.0);
+    layer.perimeter_um = GridD(rows, cols, 0.0);
+    layer.avg_width_um = GridD(rows, cols, 0.0);
+    layer.slack = GridD(rows, cols, 0.0);
+    for (auto& st : layer.slack_type) st = GridD(rows, cols, 0.0);
+    layer.nonoverlap_slack = GridD(rows, cols, 1.0);
+  }
+
+  // Step 1: tile the target grid with random source blocks.  The same block
+  // location is copied across all layers so inter-layer density correlation
+  // survives the shuffle.
+  for (std::size_t bi = 0; bi < rows; bi += block_) {
+    for (std::size_t bj = 0; bj < cols; bj += block_) {
+      const auto& src =
+          sources_[static_cast<std::size_t>(rng_.uniform_index(sources_.size()))];
+      const std::size_t oi = static_cast<std::size_t>(
+          rng_.uniform_index(src.rows - block_ + 1));
+      const std::size_t oj = static_cast<std::size_t>(
+          rng_.uniform_index(src.cols - block_ + 1));
+      for (std::size_t l = 0; l < L; ++l) {
+        const auto& sl = src.layers[l];
+        auto& dl = s.ext.layers[l];
+        for (std::size_t di = 0; di < block_ && bi + di < rows; ++di) {
+          for (std::size_t dj = 0; dj < block_ && bj + dj < cols; ++dj) {
+            const std::size_t ti = bi + di, tj = bj + dj;
+            const std::size_t si = oi + di, sj = oj + dj;
+            dl.wire_density(ti, tj) = sl.wire_density(si, sj);
+            dl.dummy_density(ti, tj) = sl.dummy_density(si, sj);
+            dl.perimeter_um(ti, tj) = sl.perimeter_um(si, sj);
+            dl.avg_width_um(ti, tj) = sl.avg_width_um(si, sj);
+            dl.slack(ti, tj) = sl.slack(si, sj);
+            for (int t = 0; t < 4; ++t)
+              dl.slack_type[static_cast<std::size_t>(t)](ti, tj) =
+                  sl.slack_type[static_cast<std::size_t>(t)](si, sj);
+            dl.nonoverlap_slack(ti, tj) = sl.nonoverlap_slack(si, sj);
+          }
+        }
+      }
+    }
+  }
+
+  // Step 2: random dummies.  A per-sample global level plus per-window
+  // jitter covers the whole range the optimizer will explore, from empty to
+  // saturated fill.
+  s.fill.assign(L, GridD(rows, cols, 0.0));
+  for (std::size_t l = 0; l < L; ++l) {
+    const double level = rng_.uniform();
+    for (std::size_t k = 0; k < s.fill[l].size(); ++k) {
+      const double u =
+          std::clamp(level + rng_.uniform(-0.3, 0.3), 0.0, 1.0);
+      s.fill[l][k] = u * s.ext.layers[l].slack[k];
+    }
+  }
+
+  s.heights = sim_.simulate_heights(s.ext, s.fill);
+  return s;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,161 @@
+#include "surrogate/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "nn/ops.hpp"
+#include "nn/optim.hpp"
+
+namespace neurfill {
+
+namespace {
+
+/// Builds the padded fill tensors of a sample (no gradient tracking).
+std::vector<nn::Tensor> sample_fill_tensors(
+    const std::vector<StaticLayerFeatures>& feats,
+    const std::vector<GridD>& fill) {
+  std::vector<nn::Tensor> out;
+  out.reserve(fill.size());
+  for (std::size_t l = 0; l < fill.size(); ++l) {
+    const int pr = feats[l].padded_rows, pc = feats[l].padded_cols;
+    std::vector<float> data(static_cast<std::size_t>(pr) * pc, 0.0f);
+    for (std::size_t i = 0; i < fill[l].rows(); ++i)
+      for (std::size_t j = 0; j < fill[l].cols(); ++j)
+        data[i * static_cast<std::size_t>(pc) + j] =
+            static_cast<float>(fill[l](i, j));
+    out.push_back(nn::Tensor::from_data({1, 1, pr, pc}, std::move(data)));
+  }
+  return out;
+}
+
+/// Normalized-MSE loss tensor of one sample against simulator labels, with
+/// teacher forcing: each layer's incoming topography comes from the
+/// *simulator's* lower-layer height labels, so early-training noise in one
+/// layer's prediction does not corrupt the next layer's regression target.
+nn::Tensor sample_loss_tensor(const CmpSurrogate& surrogate,
+                              const TrainingSample& sample) {
+  const auto& fc = surrogate.config().features;
+  const int divisor = 1 << surrogate.config().unet.depth;
+  const auto feats = build_static_features(sample.ext, fc, divisor);
+  const auto fills = sample_fill_tensors(feats, sample.fill);
+  std::vector<nn::Tensor> incoming;
+  incoming.reserve(feats.size());
+  for (std::size_t l = 0; l < feats.size(); ++l) {
+    const int pr = feats[l].padded_rows, pc = feats[l].padded_cols;
+    if (l == 0) {
+      incoming.push_back(nn::Tensor::zeros({1, 1, pr, pc}));
+    } else {
+      const nn::Tensor label = nn::Tensor::from_data(
+          {1, 1, pr, pc}, pad_replicate(sample.heights[l - 1], pr, pc));
+      incoming.push_back(surrogate.incoming_from_height(label));
+    }
+  }
+  const auto heights = surrogate.forward_heights(feats, fills, incoming);
+
+  const float inv_scale = 1.0f / static_cast<float>(fc.height_scale);
+  nn::Tensor loss = nn::Tensor::scalar(0.0f);
+  for (std::size_t l = 0; l < heights.size(); ++l) {
+    const int pr = feats[l].padded_rows, pc = feats[l].padded_cols;
+    // Targets: *centered* simulator heights (the surrogate regresses
+    // topography; see CmpSurrogate::forward_heights), replicated into the
+    // padding so the border pixels see a consistent regression target.
+    double mean_h = 0.0;
+    for (const double v : sample.heights[l]) mean_h += v;
+    mean_h /= static_cast<double>(sample.heights[l].size());
+    GridD centered = sample.heights[l];
+    for (auto& v : centered) v -= mean_h;
+    std::vector<float> target = pad_replicate(centered, pr, pc);
+    for (auto& v : target) v *= inv_scale;
+    const nn::Tensor t = nn::Tensor::from_data({1, 1, pr, pc}, std::move(target));
+    const nn::Tensor pred_norm = nn::mul_scalar(heights[l], inv_scale);
+    loss = nn::add(loss, nn::mse_loss(pred_norm, t));
+  }
+  return loss;
+}
+
+}  // namespace
+
+double surrogate_sample_loss(const CmpSurrogate& surrogate,
+                             const TrainingSample& sample) {
+  return sample_loss_tensor(surrogate, sample).item();
+}
+
+TrainStats train_surrogate(CmpSurrogate& surrogate,
+                           TrainingDataGenerator& datagen,
+                           const TrainOptions& options) {
+  TrainStats stats;
+
+  // Calibrate the height normalization from a few samples so the regression
+  // target is O(1).
+  {
+    std::vector<double> values;
+    for (int i = 0; i < options.calibration_samples; ++i) {
+      const TrainingSample s =
+          datagen.generate(options.grid_rows, options.grid_cols);
+      for (const auto& h : s.heights) {
+        double mean_h = 0.0;
+        for (const double v : h) mean_h += v;
+        mean_h /= static_cast<double>(h.size());
+        for (const double v : h) values.push_back(v - mean_h);
+      }
+    }
+    const Summary sum = summarize(values);
+    auto& fc = surrogate.mutable_config().features;
+    fc.height_offset = 0.0;  // the surrogate predicts centered topography
+    fc.height_scale = std::max(sum.stddev * 3.0, 10.0);
+    LOG_INFO("surrogate calibration: offset=%.1fA scale=%.1fA", fc.height_offset,
+             fc.height_scale);
+  }
+
+  // Optional fixed dataset (the paper's regime); otherwise pure online.
+  std::vector<TrainingSample> dataset;
+  dataset.reserve(static_cast<std::size_t>(std::max(options.dataset_size, 0)));
+  for (int i = 0; i < options.dataset_size; ++i)
+    dataset.push_back(datagen.generate(options.grid_rows, options.grid_cols));
+  Rng shuffle_rng(options.seed ^ 0x5EEDull);
+  std::vector<std::size_t> order(dataset.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  nn::Adam opt(surrogate.unet().parameters(), options.learning_rate);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    opt.set_learning_rate(options.learning_rate *
+                          std::pow(options.lr_decay, static_cast<float>(epoch)));
+    if (!dataset.empty()) shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    opt.zero_grad();
+    const int steps = dataset.empty() ? options.samples_per_epoch
+                                      : static_cast<int>(dataset.size());
+    for (int i = 0; i < steps; ++i) {
+      const TrainingSample sample =
+          dataset.empty()
+              ? datagen.generate(options.grid_rows, options.grid_cols)
+              : dataset[order[static_cast<std::size_t>(i)]];
+      nn::Tensor loss = sample_loss_tensor(surrogate, sample);
+      loss.backward();
+      epoch_loss += loss.item();
+      ++stats.samples_seen;
+      if (++in_batch >= options.grad_accumulation) {
+        opt.step();
+        opt.zero_grad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      opt.step();
+      opt.zero_grad();
+    }
+    epoch_loss /= static_cast<double>(std::max(steps, 1));
+    stats.epoch_loss.push_back(epoch_loss);
+    if (options.verbose)
+      LOG_INFO("epoch %d/%d: loss=%.5f", epoch + 1, options.epochs, epoch_loss);
+    if (!options.checkpoint_prefix.empty())
+      save_surrogate(surrogate, options.checkpoint_prefix);
+  }
+  stats.final_loss = stats.epoch_loss.empty() ? 0.0 : stats.epoch_loss.back();
+  return stats;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,145 @@
+// End-to-end flow tests mirroring the CLI tools: generate -> write GLF ->
+// read back -> extract -> fill -> insert -> re-extract -> re-score, checking
+// that every hand-off preserves what the next stage needs.  Plus simulator
+// time-step convergence and extraction-consistency property sweeps.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fill/baselines.hpp"
+#include "fill/report.hpp"
+#include "geom/designs.hpp"
+#include "geom/glf_io.hpp"
+#include "layout/fill_insertion.hpp"
+
+namespace neurfill {
+namespace {
+
+TEST(EndToEnd, GlfRoundTripPreservesExtraction) {
+  // Writing a design to GLF and reading it back must produce an extraction
+  // identical to within float-printing precision — the guarantee a
+  // file-based tool flow (nf_gen | nf_fill) depends on.
+  const Layout original = make_design('b', 12, 100.0, 9);
+  std::stringstream ss;
+  write_glf(ss, original);
+  const Layout restored = read_glf(ss);
+  const WindowExtraction e1 = extract_windows(original);
+  const WindowExtraction e2 = extract_windows(restored);
+  ASSERT_EQ(e1.num_layers(), e2.num_layers());
+  for (std::size_t l = 0; l < e1.num_layers(); ++l)
+    for (std::size_t k = 0; k < e1.layers[l].slack.size(); ++k) {
+      EXPECT_NEAR(e1.layers[l].wire_density[k], e2.layers[l].wire_density[k],
+                  1e-9);
+      EXPECT_NEAR(e1.layers[l].slack[k], e2.layers[l].slack[k], 1e-9);
+      EXPECT_NEAR(e1.layers[l].perimeter_um[k], e2.layers[l].perimeter_um[k],
+                  1e-6);
+    }
+}
+
+TEST(EndToEnd, InsertedFillSurvivesRescoring) {
+  // fill -> insert -> re-extract: the dummy densities seen by a fresh
+  // extraction must track the optimizer's x, so downstream tools measuring
+  // the *file* agree with the synthesis result.
+  Layout layout = make_design('a', 10, 100.0, 4);
+  const WindowExtraction ext = extract_windows(layout);
+  CmpSimulator sim;
+  FillProblem problem(ext, sim, make_coefficients(layout, ext, sim));
+  const FillRunResult lin = lin_rule_fill(problem);
+  insert_dummies(layout, ext, lin.x);
+  const WindowExtraction ext2 = extract_windows(layout);
+  double err = 0.0, total = 0.0;
+  for (std::size_t l = 0; l < ext.num_layers(); ++l)
+    for (std::size_t k = 0; k < lin.x[l].size(); ++k) {
+      err += std::fabs(ext2.layers[l].dummy_density[k] - lin.x[l][k]);
+      total += lin.x[l][k];
+    }
+  // Mean absolute realization error below 15% of the mean fill level.
+  EXPECT_LT(err, 0.15 * total + 0.05);
+}
+
+TEST(EndToEnd, DrcInsertionAlsoSurvivesRescoring) {
+  Layout layout = make_design('c', 10, 100.0, 4);
+  const WindowExtraction ext = extract_windows(layout);
+  CmpSimulator sim;
+  FillProblem problem(ext, sim, make_coefficients(layout, ext, sim));
+  const FillRunResult lin = lin_rule_fill(problem);
+  const DrcInsertStats stats = insert_dummies_drc(layout, ext, lin.x);
+  EXPECT_TRUE(fill_is_drc_clean(layout, DrcRules().spacing_um * 0.999));
+  // DRC placement realizes a substantial part of the request (blocked sites
+  // near dense geometry are expected).
+  EXPECT_GT(stats.realized_um2, 0.5 * stats.requested_um2);
+}
+
+TEST(EndToEnd, ScoredReportConsistentAcrossPaths) {
+  // score_fill_result must agree with manually assembling the same pieces.
+  const Layout layout = make_design('b', 10, 100.0, 6);
+  const WindowExtraction ext = extract_windows(layout);
+  CmpSimulator sim;
+  const ScoreCoefficients coeffs = make_coefficients(layout, ext, sim);
+  FillProblem problem(ext, sim, coeffs);
+  FillRunResult run;
+  run.method = "manual";
+  run.x = problem.zero_fill();
+  run.runtime_s = 2.0;
+  const MethodReport rep = score_fill_result(problem, layout, run);
+  const QualityBreakdown q = problem.evaluate(run.x);
+  EXPECT_NEAR(rep.score.quality.s_qual, q.s_qual, 1e-12);
+  EXPECT_NEAR(rep.score.s_t, ScoreCoefficients::score(2.0, coeffs.beta_t),
+              1e-12);
+}
+
+class DtConvergenceP : public ::testing::TestWithParam<char> {};
+
+TEST_P(DtConvergenceP, HalvingTimeStepBarelyMovesHeights) {
+  // The explicit Preston integration must be converged at the default dt:
+  // halving it changes the height profile by far less than the profile's
+  // dynamic range.
+  const Layout layout = make_design(GetParam(), 10, 100.0, 2);
+  const WindowExtraction ext = extract_windows(layout);
+  CmpProcessParams p1;  // default dt
+  CmpProcessParams p2 = p1;
+  p2.dt_s = p1.dt_s / 2.0;
+  const auto h1 = CmpSimulator(p1).simulate_heights(ext, {});
+  const auto h2 = CmpSimulator(p2).simulate_heights(ext, {});
+  double diff = 0.0, range = 0.0;
+  double lo = h1[0][0], hi = h1[0][0];
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < h1.size(); ++l)
+    for (std::size_t k = 0; k < h1[l].size(); ++k) {
+      diff += std::fabs(h1[l][k] - h2[l][k]);
+      lo = std::min(lo, h1[l][k]);
+      hi = std::max(hi, h1[l][k]);
+      ++n;
+    }
+  range = std::max(hi - lo, 1e-9);
+  EXPECT_LT(diff / static_cast<double>(n) / range, 0.05)
+      << "design " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, DtConvergenceP,
+                         ::testing::Values('a', 'b', 'c'));
+
+class SlackConsistencyP : public ::testing::TestWithParam<char> {};
+
+TEST_P(SlackConsistencyP, SlackNeverExceedsFreeAreaOrRule) {
+  const Layout layout = make_design(GetParam(), 12, 100.0, 8);
+  ExtractOptions opt;
+  const WindowExtraction ext = extract_windows(layout, opt);
+  for (const auto& l : ext.layers)
+    for (std::size_t k = 0; k < l.slack.size(); ++k) {
+      const double rho = l.wire_density[k] + l.dummy_density[k];
+      EXPECT_GE(l.slack[k], 0.0);
+      // Over-dense windows (rho beyond the rule) must have zero slack.
+      EXPECT_LE(l.slack[k], std::max(0.0, opt.max_density - rho) + 1e-9);
+      EXPECT_LE(l.slack[k],
+                std::max(0.0, 1.0 - rho) * opt.fill_utilization + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, SlackConsistencyP,
+                         ::testing::Values('a', 'b', 'c'));
+
+}  // namespace
+}  // namespace neurfill

@@ -1,0 +1,113 @@
+// Tests for DRC-aware fill insertion: geometric cleanliness against wires
+// and dummies, area realization, blocking behaviour, and rule validation.
+
+#include <gtest/gtest.h>
+
+#include "geom/designs.hpp"
+#include "layout/fill_insertion.hpp"
+
+namespace neurfill {
+namespace {
+
+class DrcInsertP : public ::testing::TestWithParam<char> {};
+
+TEST_P(DrcInsertP, PlacementIsDrcCleanOnDesigns) {
+  Layout layout = make_design(GetParam(), 8, 100.0, 3);
+  const WindowExtraction ext = extract_windows(layout);
+  std::vector<GridD> x;
+  for (const auto& l : ext.layers) {
+    GridD g = l.slack;
+    for (auto& v : g) v *= 0.5;
+    x.push_back(std::move(g));
+  }
+  DrcRules rules;
+  const DrcInsertStats stats = insert_dummies_drc(layout, ext, x, rules);
+  EXPECT_GT(stats.placed, 0u);
+  EXPECT_TRUE(fill_is_drc_clean(layout, rules.spacing_um * 0.999))
+      << "design " << GetParam();
+  // Realized area never exceeds requested and is positive.
+  EXPECT_GT(stats.realized_um2, 0.0);
+  EXPECT_LE(stats.realized_um2, stats.requested_um2 * 1.30 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, DrcInsertP, ::testing::Values('a', 'b', 'c'));
+
+TEST(DrcInsert, EmptyWindowRealizesRequestedArea) {
+  // A window with no wires at all: nothing blocks, area tracks the request.
+  Layout layout;
+  layout.name = "empty";
+  layout.width_um = layout.height_um = 300.0;
+  layout.layers.resize(1);
+  layout.layers[0].wires.emplace_back(0, 0, 10, 10);  // one corner wire
+  const WindowExtraction ext = extract_windows(layout);
+  std::vector<GridD> x{GridD(ext.rows, ext.cols, 0.0)};
+  x[0](1, 1) = 0.3;  // center window, far from the wire
+  const DrcInsertStats stats = insert_dummies_drc(layout, ext, x);
+  EXPECT_NEAR(stats.realized_um2, 0.3 * ext.window_area_um2(),
+              0.2 * 0.3 * ext.window_area_um2());
+  EXPECT_EQ(stats.blocked_sites, 0u);
+}
+
+TEST(DrcInsert, FullyCoveredWindowBlocksEverything) {
+  Layout layout;
+  layout.name = "blocked";
+  layout.width_um = layout.height_um = 100.0;
+  layout.layers.resize(1);
+  layout.layers[0].wires.emplace_back(0, 0, 100, 100);  // full coverage
+  const WindowExtraction ext = extract_windows(layout);
+  std::vector<GridD> x{GridD(1, 1, 0.3)};  // ask anyway
+  const DrcInsertStats stats = insert_dummies_drc(layout, ext, x);
+  EXPECT_EQ(stats.placed, 0u);
+  EXPECT_GT(stats.blocked_sites, 0u);
+  EXPECT_EQ(stats.realized_um2, 0.0);
+}
+
+TEST(DrcInsert, SpacingRespectedAroundSingleWire) {
+  Layout layout;
+  layout.name = "one_wire";
+  layout.width_um = layout.height_um = 100.0;
+  layout.layers.resize(1);
+  // A wire crossing the middle of the single window.
+  layout.layers[0].wires.emplace_back(0, 45, 100, 55);
+  const WindowExtraction ext = extract_windows(layout);
+  std::vector<GridD> x{GridD(1, 1, 0.4)};
+  DrcRules rules;
+  rules.spacing_um = 3.0;
+  insert_dummies_drc(layout, ext, x, rules);
+  for (const Rect& d : layout.layers[0].dummies) {
+    // Every dummy keeps >= spacing to the wire band.
+    const bool below = d.y1 <= 45.0 - rules.spacing_um + 1e-9;
+    const bool above = d.y0 >= 55.0 + rules.spacing_um - 1e-9;
+    EXPECT_TRUE(below || above) << "dummy at y [" << d.y0 << "," << d.y1 << "]";
+  }
+  EXPECT_TRUE(fill_is_drc_clean(layout, rules.spacing_um * 0.999));
+}
+
+TEST(DrcInsert, ValidatesArguments) {
+  Layout layout = make_design('a', 8, 100.0, 3);
+  const WindowExtraction ext = extract_windows(layout);
+  std::vector<GridD> wrong;
+  EXPECT_THROW(insert_dummies_drc(layout, ext, wrong), std::invalid_argument);
+  std::vector<GridD> x(3, GridD(ext.rows, ext.cols, 0.0));
+  DrcRules bad;
+  bad.sites_per_axis = 0;
+  EXPECT_THROW(insert_dummies_drc(layout, ext, x, bad), std::invalid_argument);
+  bad = DrcRules();
+  bad.max_edge_um = bad.min_edge_um - 1.0;
+  EXPECT_THROW(insert_dummies_drc(layout, ext, x, bad), std::invalid_argument);
+}
+
+TEST(DrcClean, DetectsViolations) {
+  Layout layout;
+  layout.width_um = layout.height_um = 100.0;
+  layout.layers.resize(1);
+  layout.layers[0].wires.emplace_back(10, 10, 20, 20);
+  layout.layers[0].dummies.emplace_back(30, 30, 40, 40);
+  EXPECT_TRUE(fill_is_drc_clean(layout, 2.0));
+  // A dummy hugging the wire violates spacing.
+  layout.layers[0].dummies.emplace_back(20.5, 10, 30, 20);
+  EXPECT_FALSE(fill_is_drc_clean(layout, 2.0));
+}
+
+}  // namespace
+}  // namespace neurfill

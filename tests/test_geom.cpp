@@ -1,0 +1,169 @@
+// Unit tests for geometry, GLF I/O and the synthetic design generators.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "geom/designs.hpp"
+#include "geom/glf_io.hpp"
+#include "geom/layout.hpp"
+#include "geom/rect.hpp"
+
+namespace neurfill {
+namespace {
+
+TEST(Rect, AreaPerimeterWidth) {
+  const Rect r(1.0, 2.0, 4.0, 6.0);
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.perimeter(), 14.0);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(Rect{}.empty());
+}
+
+TEST(Rect, IntersectionCases) {
+  const Rect a(0, 0, 10, 10);
+  const Rect b(5, 5, 15, 15);
+  const Rect c(20, 20, 30, 30);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  const Rect i = a.intersect(b);
+  EXPECT_EQ(i, Rect(5, 5, 10, 10));
+  EXPECT_TRUE(a.intersect(c).empty());
+  // Touching edges (closed-open) do not intersect.
+  EXPECT_FALSE(a.intersects(Rect(10, 0, 20, 10)));
+}
+
+TEST(Rect, ContainsClosedOpen) {
+  const Rect r(0, 0, 1, 1);
+  EXPECT_TRUE(r.contains(0.0, 0.0));
+  EXPECT_FALSE(r.contains(1.0, 0.5));
+  EXPECT_FALSE(r.contains(0.5, 1.0));
+}
+
+TEST(PerimeterInside, FullyInsideIsFullPerimeter) {
+  const Rect r(2, 2, 4, 5);
+  const Rect clip(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(perimeter_inside(r, clip), r.perimeter());
+}
+
+TEST(PerimeterInside, StraddlingSplitsEdges) {
+  // Rect straddles the boundary x=5 between two 5x10 windows.
+  const Rect r(3, 2, 7, 4);
+  const Rect left(0, 0, 5, 10), right(5, 0, 10, 10);
+  const double pl = perimeter_inside(r, left);
+  const double pr = perimeter_inside(r, right);
+  // Left window: full left edge (2) + two horizontal pieces (2+2).
+  EXPECT_DOUBLE_EQ(pl, 2.0 + 2.0 + 2.0);
+  // Right window: right edge (2) + two horizontal pieces (2+2).
+  EXPECT_DOUBLE_EQ(pr, 2.0 + 2.0 + 2.0);
+  EXPECT_DOUBLE_EQ(pl + pr, r.perimeter());
+}
+
+TEST(Layout, Accounting) {
+  Layout l;
+  l.name = "t";
+  l.width_um = 100;
+  l.height_um = 100;
+  l.layers.resize(2);
+  l.layers[0].wires.emplace_back(0, 0, 10, 10);
+  l.layers[1].wires.emplace_back(0, 0, 5, 5);
+  l.layers[1].dummies.emplace_back(20, 20, 25, 25);
+  EXPECT_EQ(l.total_wire_count(), 2u);
+  EXPECT_EQ(l.total_dummy_count(), 1u);
+  EXPECT_DOUBLE_EQ(l.total_wire_area(), 125.0);
+}
+
+TEST(GlfIo, RoundTrip) {
+  Layout l;
+  l.name = "roundtrip";
+  l.width_um = 200;
+  l.height_um = 300;
+  l.layers.resize(2);
+  l.layers[0].name = "m1";
+  l.layers[0].wires.emplace_back(0.5, 1.5, 10.25, 20.75);
+  l.layers[0].dummies.emplace_back(50, 50, 60, 60);
+  l.layers[1].name = "m2";
+  l.layers[1].wires.emplace_back(1, 2, 3, 4);
+
+  std::stringstream ss;
+  write_glf(ss, l);
+  const Layout r = read_glf(ss);
+  EXPECT_EQ(r.name, "roundtrip");
+  EXPECT_DOUBLE_EQ(r.width_um, 200);
+  EXPECT_DOUBLE_EQ(r.height_um, 300);
+  ASSERT_EQ(r.layers.size(), 2u);
+  ASSERT_EQ(r.layers[0].wires.size(), 1u);
+  EXPECT_EQ(r.layers[0].wires[0], l.layers[0].wires[0]);
+  ASSERT_EQ(r.layers[0].dummies.size(), 1u);
+  EXPECT_EQ(r.layers[1].wires[0], l.layers[1].wires[0]);
+}
+
+TEST(GlfIo, RejectsBadMagic) {
+  std::stringstream ss("XYZ 1\n");
+  EXPECT_THROW(read_glf(ss), std::runtime_error);
+}
+
+TEST(GlfIo, RejectsTruncated) {
+  std::stringstream ss("GLF 1\nname t\nsize 10 10\nlayers 1\nlayer m wires 2 dummies 0\nw 0 0 1 1\n");
+  EXPECT_THROW(read_glf(ss), std::runtime_error);
+}
+
+TEST(GlfIo, EncodedSizeMatchesStream) {
+  const Layout l = make_design('a', 8, 100.0, 3);
+  std::stringstream ss;
+  write_glf(ss, l);
+  EXPECT_EQ(glf_encoded_size(l), ss.str().size());
+}
+
+TEST(Designs, DeterministicForSeed) {
+  const Layout a1 = make_design('a', 8, 100.0, 5);
+  const Layout a2 = make_design('a', 8, 100.0, 5);
+  ASSERT_EQ(a1.total_wire_count(), a2.total_wire_count());
+  EXPECT_EQ(a1.layers[0].wires[0], a2.layers[0].wires[0]);
+  const Layout a3 = make_design('a', 8, 100.0, 6);
+  EXPECT_NE(a1.total_wire_count(), a3.total_wire_count());
+}
+
+TEST(Designs, AllWithinBounds) {
+  for (const char which : {'a', 'b', 'c'}) {
+    const Layout l = make_design(which, 16, 100.0, 1);
+    EXPECT_EQ(l.layers.size(), 3u);
+    EXPECT_GT(l.total_wire_count(), 100u);
+    for (const auto& layer : l.layers)
+      for (const auto& r : layer.wires) {
+        EXPECT_GE(r.x0, 0.0);
+        EXPECT_GE(r.y0, 0.0);
+        EXPECT_LE(r.x1, l.width_um + 1e-9);
+        EXPECT_LE(r.y1, l.height_um + 1e-9);
+        EXPECT_FALSE(r.empty());
+      }
+  }
+}
+
+TEST(Designs, DistinctDensityCharacter) {
+  // Design B (FPGA) must have lower overall density than A's dense corner
+  // and C must have strong heterogeneity; sanity-check total areas differ.
+  const Layout a = make_design('a', 16, 100.0, 2);
+  const Layout b = make_design('b', 16, 100.0, 2);
+  const Layout c = make_design('c', 16, 100.0, 2);
+  const double area = a.width_um * a.height_um * 3;
+  const double da = a.total_wire_area() / area;
+  const double db = b.total_wire_area() / area;
+  const double dc = c.total_wire_area() / area;
+  // All designs have plausible global densities.
+  for (const double d : {da, db, dc}) {
+    EXPECT_GT(d, 0.05);
+    EXPECT_LT(d, 0.7);
+  }
+  EXPECT_NE(da, db);
+  EXPECT_NE(db, dc);
+}
+
+TEST(Designs, UnknownIdThrows) {
+  EXPECT_THROW(make_design('z', 8, 100.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neurfill

@@ -1,0 +1,214 @@
+// End-to-end integration tests: the full NeurFill framework (Fig. 7) on a
+// small synthetic design with a briefly pre-trained surrogate.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "fill/neurfill.hpp"
+#include "fill/report.hpp"
+#include "geom/designs.hpp"
+#include "surrogate/trainer.hpp"
+
+namespace neurfill {
+namespace {
+
+CmpProcessParams fast_params() {
+  CmpProcessParams p;
+  p.polish_time_s = 12.0;
+  p.dt_s = 1.0;
+  return p;
+}
+
+/// Shared fixture: one design, one briefly-trained surrogate.  Training a
+/// tiny UNet on 16x16 assembled layouts takes well under a second per epoch
+/// on one core.
+class NeurFillPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    layout_ = new Layout(make_design('a', 16, 100.0, 3));
+    WindowExtraction ext = extract_windows(*layout_);
+    CmpSimulator sim(fast_params());
+    ScoreCoefficients coeffs = make_coefficients(*layout_, ext, sim);
+    problem_ = new FillProblem(ext, sim, coeffs);
+
+    SurrogateConfig cfg;
+    cfg.unet.base_channels = 4;
+    cfg.unet.depth = 2;
+    auto surrogate = std::make_shared<CmpSurrogate>(cfg, 21);
+    TrainingDataGenerator gen({ext}, sim, 31, 4);
+    TrainOptions topt;
+    topt.epochs = 8;
+    topt.dataset_size = 60;
+    topt.grid_rows = topt.grid_cols = 16;
+    topt.learning_rate = 3e-3f;
+    train_surrogate(*surrogate, gen, topt);
+    surrogate_ = new std::shared_ptr<CmpSurrogate>(surrogate);
+    network_ = new CmpNetwork(surrogate, ext, coeffs);
+    calibrate_network(*network_, *problem_);
+  }
+  static void TearDownTestSuite() {
+    delete network_;
+    delete surrogate_;
+    delete problem_;
+    delete layout_;
+  }
+
+  static Layout* layout_;
+  static FillProblem* problem_;
+  static std::shared_ptr<CmpSurrogate>* surrogate_;
+  static CmpNetwork* network_;
+};
+
+Layout* NeurFillPipeline::layout_ = nullptr;
+FillProblem* NeurFillPipeline::problem_ = nullptr;
+std::shared_ptr<CmpSurrogate>* NeurFillPipeline::surrogate_ = nullptr;
+CmpNetwork* NeurFillPipeline::network_ = nullptr;
+
+TEST_F(NeurFillPipeline, TrainedSurrogateTracksSimulator) {
+  // The surrogate regresses centered topography; after the short training
+  // its mean absolute error on the design must stay well below the
+  // simulator topography's peak-to-peak range.
+  const std::vector<GridD> x = problem_->zero_fill();
+  auto sim_h = problem_->simulator().simulate_heights(problem_->extraction(), x);
+  double lo = 1e300, hi = -1e300;
+  for (auto& h : sim_h) {
+    double mean_h = 0.0;
+    for (const double v : h) mean_h += v;
+    mean_h /= static_cast<double>(h.size());
+    for (auto& v : h) {
+      v -= mean_h;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const auto net_h = network_->predict_heights(x);
+  double err = 0.0;
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < sim_h.size(); ++l)
+    for (std::size_t k = 0; k < sim_h[l].size(); ++k) {
+      err += std::fabs(net_h[l][k] - sim_h[l][k]);
+      ++n;
+    }
+  const double mean_err = err / static_cast<double>(n);
+  EXPECT_LT(mean_err / (hi - lo), 0.2);
+}
+
+TEST_F(NeurFillPipeline, NetworkObjectiveConsistent) {
+  long evals = 0;
+  const ObjectiveFn obj = make_network_objective(*problem_, *network_, &evals);
+  const VecD v = problem_->flatten(problem_->zero_fill());
+  const double f = obj(v, nullptr);
+  const CmpNetwork::Eval net = network_->evaluate(problem_->zero_fill(), false);
+  const PdScore pd = pd_score_and_gradient(problem_->extraction(),
+                                           problem_->zero_fill(),
+                                           problem_->coefficients());
+  EXPECT_NEAR(f, -(net.s_plan + pd.s_pd), 1e-12);
+  EXPECT_EQ(evals, 1);
+  VecD g;
+  obj(v, &g);
+  EXPECT_EQ(g.size(), v.size());
+  EXPECT_EQ(evals, 2);
+}
+
+TEST_F(NeurFillPipeline, PkbImprovesTrueQuality) {
+  NeurFillOptions opt;
+  opt.sqp.max_iterations = 15;
+  opt.pkb_steps = 6;
+  const FillRunResult res = neurfill_pkb(*problem_, *network_, opt);
+  EXPECT_EQ(res.method, "NeurFill (PKB)");
+  EXPECT_GT(res.objective_evaluations, 6);
+  // Feasibility.
+  const Box b = problem_->bounds();
+  const VecD v = problem_->flatten(res.x);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_GE(v[i], -1e-9);
+    EXPECT_LE(v[i], b.hi[i] + 1e-9);
+  }
+  // Ground-truth quality improves over no fill.
+  const double q0 = problem_->evaluate(problem_->zero_fill()).s_qual;
+  const double q1 = problem_->evaluate(res.x).s_qual;
+  EXPECT_GT(q1, q0);
+}
+
+TEST_F(NeurFillPipeline, MmAtLeastMatchesSurrogateObjectiveOfPkb) {
+  NeurFillOptions opt;
+  opt.sqp.max_iterations = 10;
+  opt.pkb_steps = 5;
+  opt.nmmso.max_evaluations = 60;
+  opt.mm_starts = 2;
+  const FillRunResult pkb = neurfill_pkb(*problem_, *network_, opt);
+  const FillRunResult mm = neurfill_mm(*problem_, *network_, opt);
+  EXPECT_EQ(mm.method, "NeurFill (MM)");
+  // MM's start pool includes the PKB start, so on the surrogate objective it
+  // can only do at least as well as PKB (up to line-search wiggle).
+  const ObjectiveFn obj = make_network_objective(*problem_, *network_);
+  const double f_pkb = obj(problem_->flatten(pkb.x), nullptr);
+  const double f_mm = obj(problem_->flatten(mm.x), nullptr);
+  EXPECT_LE(f_mm, f_pkb + 1e-6);
+}
+
+TEST_F(NeurFillPipeline, ReportScoresAreAssembled) {
+  NeurFillOptions opt;
+  opt.sqp.max_iterations = 5;
+  opt.pkb_steps = 4;
+  const FillRunResult res = neurfill_pkb(*problem_, *network_, opt);
+  const MethodReport rep = score_fill_result(*problem_, *layout_, res);
+  EXPECT_EQ(rep.method, "NeurFill (PKB)");
+  EXPECT_GT(rep.score.overall, 0.0);
+  EXPECT_LE(rep.score.quality.s_qual, 1.0 + 1e-9);
+  EXPECT_GT(rep.file_size_bytes, 0.0);
+  EXPECT_GT(rep.memory_bytes, 0.0);
+  EXPECT_GE(rep.truth.delta_h, 0.0);
+}
+
+TEST_F(NeurFillPipeline, CalibrationAnchorsAndMonotonicity) {
+  // The log-space power fit is exact at the zero-fill anchor whenever a
+  // calibration was fitted; it is exact at the full-fill anchor too when
+  // the exponent did not clamp (a weak surrogate can be nearly fill-blind,
+  // needing an exponent beyond the guard).  In every case b > 0 preserves
+  // the fill-improves-sigma direction the optimizer relies on.
+  const WindowExtraction& ext = problem_->extraction();
+  const std::vector<GridD> zero = problem_->zero_fill();
+  std::vector<GridD> full;
+  for (const auto& l : ext.layers) full.push_back(l.slack);
+
+  const auto& cal = network_->sigma_calibration();
+  EXPECT_GT(cal.b, 0.0);
+
+  const PlanarityMetrics t0 = compute_planarity(
+      problem_->simulator().simulate_heights(ext, zero));
+  const CmpNetwork::Eval c0 = network_->evaluate(zero, false);
+  const bool fitted = cal.b != 1.0 || cal.a != 0.0;
+  if (fitted) {
+    EXPECT_NEAR(c0.sigma, t0.sigma, 2e-2 * std::max(t0.sigma, 1.0));
+  }
+
+  const PlanarityMetrics t1 = compute_planarity(
+      problem_->simulator().simulate_heights(ext, full));
+  const CmpNetwork::Eval c1 = network_->evaluate(full, false);
+  if (fitted && cal.b > 0.11 && cal.b < 9.9) {
+    // Unclamped: both anchors exact.
+    EXPECT_NEAR(c1.sigma, t1.sigma, 2e-2 * std::max(t1.sigma, 1.0));
+  }
+  // Monotonicity: the simulator says full fill flattens this design, and
+  // the calibrated network must agree on the *direction*.
+  ASSERT_LT(t1.sigma, t0.sigma);
+  EXPECT_LT(c1.sigma, c0.sigma);
+}
+
+TEST_F(NeurFillPipeline, SurrogateGradientlessVsGradientAgreement) {
+  // The surrogate objective used by SQP must be the same function NMMSO
+  // explores (value path vs gradient path consistency).
+  const ObjectiveFn obj = make_network_objective(*problem_, *network_);
+  VecD v = problem_->flatten(problem_->zero_fill());
+  for (std::size_t i = 0; i < v.size(); i += 7) v[i] = 0.01;
+  VecD g;
+  const double f1 = obj(v, nullptr);
+  const double f2 = obj(v, &g);
+  EXPECT_EQ(f1, f2);
+}
+
+}  // namespace
+}  // namespace neurfill

@@ -1,0 +1,223 @@
+// Tests for the optimization substrate: box-QP, L-BFGS Hessian, SQP, MSP.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "opt/box_qp.hpp"
+#include "opt/sqp.hpp"
+
+namespace neurfill {
+namespace {
+
+Box make_box(std::size_t n, double lo, double hi) {
+  Box b;
+  b.lo.assign(n, lo);
+  b.hi.assign(n, hi);
+  return b;
+}
+
+TEST(BoxQp, UnconstrainedQuadratic) {
+  // q(d) = 0.5*(d-c)'D(d-c) with diagonal D -> min at d = c when inside box.
+  const VecD c{1.0, -2.0, 0.5};
+  const VecD D{2.0, 1.0, 4.0};
+  VecD g(3);
+  for (int i = 0; i < 3; ++i) g[static_cast<std::size_t>(i)] =
+      -D[static_cast<std::size_t>(i)] * c[static_cast<std::size_t>(i)];
+  const HessVec B = [&D](const VecD& v, VecD& out) {
+    out.resize(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = D[i] * v[i];
+  };
+  const BoxQpResult r = solve_box_qp(B, g, make_box(3, -10.0, 10.0));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(r.d[i], c[i], 1e-6);
+}
+
+TEST(BoxQp, ActiveBoundIsRespected) {
+  // Minimum at c = (3, -3) but box is [-1, 1]^2: solution clamps to (1, -1)
+  // for a diagonal Hessian.
+  const VecD g{-3.0, 3.0};
+  const HessVec B = [](const VecD& v, VecD& out) { out = v; };
+  const BoxQpResult r = solve_box_qp(B, g, make_box(2, -1.0, 1.0));
+  EXPECT_NEAR(r.d[0], 1.0, 1e-8);
+  EXPECT_NEAR(r.d[1], -1.0, 1e-8);
+}
+
+TEST(BoxQp, CoupledHessian) {
+  // B = [[2,1],[1,2]], g = [-3,-3]: unconstrained solution d = (1,1).
+  const HessVec B = [](const VecD& v, VecD& out) {
+    out.resize(2);
+    out[0] = 2.0 * v[0] + v[1];
+    out[1] = v[0] + 2.0 * v[1];
+  };
+  const BoxQpResult r = solve_box_qp(B, VecD{-3.0, -3.0},
+                                     make_box(2, -5.0, 5.0));
+  EXPECT_NEAR(r.d[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.d[1], 1.0, 1e-6);
+  // Partially active: box [0, 0.5] x [0, 5] forces d0 = 0.5; then
+  // d1 = (3 - 0.5) / 2 = 1.25.
+  Box tight;
+  tight.lo = {0.0, 0.0};
+  tight.hi = {0.5, 5.0};
+  const BoxQpResult r2 = solve_box_qp(B, VecD{-3.0, -3.0}, tight);
+  EXPECT_NEAR(r2.d[0], 0.5, 1e-6);
+  EXPECT_NEAR(r2.d[1], 1.25, 1e-6);
+}
+
+TEST(BoxQp, LargerRandomProblemKktHolds) {
+  Rng rng(3);
+  const std::size_t n = 40;
+  // SPD tridiagonal-ish Hessian.
+  const HessVec B = [n](const VecD& v, VecD& out) {
+    out.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] += 3.0 * v[i];
+      if (i > 0) out[i] += -1.0 * v[i - 1];
+      if (i + 1 < n) out[i] += -1.0 * v[i + 1];
+    }
+  };
+  VecD g(n);
+  for (auto& v : g) v = rng.uniform(-2.0, 2.0);
+  const Box box = make_box(n, -0.3, 0.3);
+  const BoxQpResult r = solve_box_qp(B, g, box);
+  // KKT: projected gradient ~ 0.
+  VecD Bd(n);
+  B(r.d, Bd);
+  for (std::size_t i = 0; i < n; ++i) {
+    double pg = Bd[i] + g[i];
+    if (r.d[i] <= box.lo[i] + 1e-10 && pg > 0.0) pg = 0.0;
+    if (r.d[i] >= box.hi[i] - 1e-10 && pg < 0.0) pg = 0.0;
+    EXPECT_NEAR(pg, 0.0, 1e-5) << "KKT violated at " << i;
+  }
+}
+
+TEST(LbfgsHessian, SecantConditionHolds) {
+  // After update(s, y), BFGS guarantees B s = y.
+  LbfgsHessian h(5);
+  const VecD s{1.0, 2.0, -1.0};
+  const VecD y{2.0, 1.0, 0.5};
+  h.update(s, y);
+  VecD Bs;
+  h.apply(s, Bs);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(Bs[i], y[i], 1e-10);
+}
+
+TEST(LbfgsHessian, StaysPositiveDefinite) {
+  Rng rng(5);
+  LbfgsHessian h(6);
+  for (int k = 0; k < 20; ++k) {
+    VecD s(4), y(4);
+    for (auto& v : s) v = rng.uniform(-1, 1);
+    for (auto& v : y) v = rng.uniform(-1, 1);  // may violate curvature
+    h.update(s, y);
+    VecD v(4), Bv;
+    for (auto& x : v) x = rng.uniform(-1, 1);
+    h.apply(v, Bv);
+    double vBv = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) vBv += v[i] * Bv[i];
+    EXPECT_GT(vBv, 0.0) << "after update " << k;
+  }
+}
+
+TEST(Sqp, ConvexQuadraticConverges) {
+  const ObjectiveFn f = [](const VecD& x, VecD* grad) {
+    double v = 0.0;
+    if (grad) grad->assign(x.size(), 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double c = static_cast<double>(i) - 1.0;
+      v += (x[i] - c) * (x[i] - c);
+      if (grad) (*grad)[i] = 2.0 * (x[i] - c);
+    }
+    return v;
+  };
+  const SqpResult r =
+      sqp_minimize(f, VecD{5.0, 5.0, 5.0}, make_box(3, -10.0, 10.0));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], -1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-4);
+  EXPECT_NEAR(r.x[2], 1.0, 1e-4);
+}
+
+TEST(Sqp, RosenbrockWithinBox) {
+  const ObjectiveFn f = [](const VecD& x, VecD* grad) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    if (grad) {
+      (*grad).assign(2, 0.0);
+      (*grad)[0] = -2.0 * a - 400.0 * x[0] * b;
+      (*grad)[1] = 200.0 * b;
+    }
+    return a * a + 100.0 * b * b;
+  };
+  SqpOptions opt;
+  opt.max_iterations = 300;
+  const SqpResult r = sqp_minimize(f, VecD{-1.2, 1.0},
+                                   make_box(2, -2.0, 2.0), opt);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(Sqp, BindingBoundSolution) {
+  // min (x+2)^2 with x in [0, 1]: solution is at the lower bound 0.
+  const ObjectiveFn f = [](const VecD& x, VecD* grad) {
+    if (grad) (*grad) = {2.0 * (x[0] + 2.0)};
+    return (x[0] + 2.0) * (x[0] + 2.0);
+  };
+  const SqpResult r = sqp_minimize(f, VecD{0.7}, make_box(1, 0.0, 1.0));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-8);
+}
+
+TEST(Sqp, StartOutsideBoxIsClamped) {
+  const ObjectiveFn f = [](const VecD& x, VecD* grad) {
+    if (grad) (*grad) = {2.0 * x[0]};
+    return x[0] * x[0];
+  };
+  const SqpResult r = sqp_minimize(f, VecD{99.0}, make_box(1, -1.0, 1.0));
+  EXPECT_NEAR(r.x[0], 0.0, 1e-6);
+}
+
+TEST(Sqp, HonorsIterationBudget) {
+  const ObjectiveFn f = [](const VecD& x, VecD* grad) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    if (grad) {
+      (*grad) = {-2.0 * a - 400.0 * x[0] * b, 200.0 * b};
+    }
+    return a * a + 100.0 * b * b;
+  };
+  SqpOptions opt;
+  opt.max_iterations = 3;
+  const SqpResult r =
+      sqp_minimize(f, VecD{-1.2, 1.0}, make_box(2, -2.0, 2.0), opt);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(MspSqp, PicksBestBasinOfMultimodal) {
+  // f(x) = (x^2 - 1)^2 + 0.1*x has minima near -1 (lower) and +1.
+  const ObjectiveFn f = [](const VecD& x, VecD* grad) {
+    const double v = x[0] * x[0] - 1.0;
+    if (grad) (*grad) = {4.0 * x[0] * v + 0.1};
+    return v * v + 0.1 * x[0];
+  };
+  const std::vector<VecD> starts{{0.9}, {-0.9}, {1.5}};
+  const auto results = msp_sqp_minimize(f, starts, make_box(1, -2.0, 2.0));
+  ASSERT_EQ(results.size(), 3u);
+  // Sorted best first; best basin is x ~ -1.
+  EXPECT_LT(results[0].x[0], 0.0);
+  EXPECT_LE(results[0].f, results[1].f);
+  EXPECT_LE(results[1].f, results[2].f);
+}
+
+TEST(NumericalGradient, MatchesAnalytic) {
+  const ObjectiveFn f = [](const VecD& x, VecD*) {
+    return std::sin(x[0]) + x[1] * x[1];
+  };
+  const VecD x{0.3, -0.7};
+  const VecD g = numerical_gradient(f, x, 1e-6);
+  EXPECT_NEAR(g[0], std::cos(0.3), 1e-6);
+  EXPECT_NEAR(g[1], -1.4, 1e-6);
+}
+
+}  // namespace
+}  // namespace neurfill

@@ -1,0 +1,283 @@
+// Tests for the surrogate package: feature extraction layer, CMP network
+// forward/backward, training-data generation, trainer and checkpointing.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "fill/problem.hpp"
+#include "geom/designs.hpp"
+#include "surrogate/cmp_network.hpp"
+#include "surrogate/datagen.hpp"
+#include "surrogate/eval.hpp"
+#include "common/rng.hpp"
+#include "surrogate/trainer.hpp"
+
+namespace neurfill {
+namespace {
+
+CmpProcessParams fast_params() {
+  CmpProcessParams p;
+  p.polish_time_s = 10.0;
+  p.dt_s = 1.0;
+  return p;
+}
+
+SurrogateConfig tiny_config() {
+  SurrogateConfig c;
+  c.unet.base_channels = 4;
+  c.unet.depth = 2;
+  return c;
+}
+
+TEST(Features, PadReplicateEdges) {
+  GridD g(2, 3, 0.0);
+  g(0, 0) = 1.0;
+  g(1, 2) = 5.0;
+  const auto padded = pad_replicate(g, 4, 4);
+  ASSERT_EQ(padded.size(), 16u);
+  EXPECT_FLOAT_EQ(padded[0], 1.0f);
+  // Column 3 replicates column 2; rows 2,3 replicate row 1.
+  EXPECT_FLOAT_EQ(padded[1 * 4 + 3], 5.0f);
+  EXPECT_FLOAT_EQ(padded[3 * 4 + 3], 5.0f);
+  EXPECT_FLOAT_EQ(padded[3 * 4 + 0], g(1, 0));
+  EXPECT_THROW(pad_replicate(g, 1, 4), std::invalid_argument);
+}
+
+TEST(Features, CropRoundTrip) {
+  GridD g(3, 3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) g(i, j) = static_cast<double>(i * 3 + j);
+  const auto padded = pad_replicate(g, 4, 4);
+  const nn::Tensor t = nn::Tensor::from_data({1, 1, 4, 4}, padded);
+  const GridD back = crop_to_grid(t, 3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(back(i, j), g(i, j), 1e-6);
+}
+
+TEST(Features, StaticPlanesPaddedToDivisor) {
+  const Layout layout = make_design_a(1000.0, 2, 2);
+  const WindowExtraction ext = extract_windows(layout);
+  FeatureConstants fc;
+  const auto feats = build_static_features(ext, fc, 4);
+  ASSERT_EQ(feats.size(), 2u);
+  EXPECT_EQ(feats[0].rows, 10);
+  EXPECT_EQ(feats[0].padded_rows, 12);  // next multiple of 4
+  EXPECT_EQ(feats[0].wire_density.size(), 12u * 12u);
+}
+
+TEST(Features, AssembleLayerInputChannels) {
+  const Layout layout = make_design('b', 8, 100.0, 2);
+  const WindowExtraction ext = extract_windows(layout);
+  FeatureConstants fc;
+  const auto feats = build_static_features(ext, fc, 4);
+  const int pr = feats[0].padded_rows, pc = feats[0].padded_cols;
+  const nn::Tensor fill = nn::Tensor::zeros({1, 1, pr, pc});
+  const nn::Tensor incoming = nn::Tensor::zeros({1, 1, pr, pc});
+  const nn::Tensor in = assemble_layer_input(feats[0], fc, fill, incoming);
+  EXPECT_EQ(in.shape(),
+            (std::vector<int>{1, FeatureConstants::kInChannels, pr, pc}));
+  // Channel 0 equals the static density when fill is zero.
+  for (int k = 0; k < pr * pc; ++k)
+    EXPECT_FLOAT_EQ(in.data()[k], feats[0].wire_density[static_cast<std::size_t>(k)]);
+  // Last channel is the constant pressure plane.
+  const std::int64_t off =
+      static_cast<std::int64_t>(FeatureConstants::kInChannels - 1) * pr * pc;
+  EXPECT_FLOAT_EQ(in.data()[off], 1.0f);
+}
+
+TEST(Features, FillRaisesDensityChannel) {
+  const Layout layout = make_design('b', 8, 100.0, 2);
+  const WindowExtraction ext = extract_windows(layout);
+  FeatureConstants fc;
+  const auto feats = build_static_features(ext, fc, 4);
+  const int pr = feats[0].padded_rows, pc = feats[0].padded_cols;
+  nn::Tensor fill = nn::Tensor::zeros({1, 1, pr, pc});
+  fill.data()[5] = 0.2f;
+  const nn::Tensor in = assemble_layer_input(
+      feats[0], fc, fill, nn::Tensor::zeros({1, 1, pr, pc}));
+  EXPECT_NEAR(in.data()[5], feats[0].wire_density[5] + 0.2f, 1e-6);
+}
+
+TEST(CmpNetworkTest, EvaluateShapesAndDeterminism) {
+  const Layout layout = make_design('a', 8, 100.0, 3);
+  const WindowExtraction ext = extract_windows(layout);
+  auto surrogate = std::make_shared<CmpSurrogate>(tiny_config(), 1);
+  ScoreCoefficients coeffs;
+  coeffs.beta_sigma = 1000.0;
+  coeffs.beta_sigma_star = 1e5;
+  coeffs.beta_ol = 100.0;
+  CmpNetwork net(surrogate, ext, coeffs);
+  std::vector<GridD> x(3, GridD(8, 8, 0.0));
+  const auto e1 = net.evaluate(x, false);
+  const auto e2 = net.evaluate(x, false);
+  EXPECT_EQ(e1.s_plan, e2.s_plan);
+  ASSERT_EQ(e1.heights.size(), 3u);
+  EXPECT_EQ(e1.heights[0].rows(), 8u);
+  EXPECT_TRUE(e1.grad.empty());
+  const auto e3 = net.evaluate(x, true);
+  ASSERT_EQ(e3.grad.size(), 3u);
+  EXPECT_EQ(e3.grad[0].rows(), 8u);
+}
+
+TEST(CmpNetworkTest, GradientMatchesFiniteDifference) {
+  // The headline property: backward propagation through extraction layer +
+  // UNet + objective layers equals the numerical gradient of S_plan.
+  const Layout layout = make_design_a(800.0, 2, 3);
+  const WindowExtraction ext = extract_windows(layout);
+  auto surrogate = std::make_shared<CmpSurrogate>(tiny_config(), 3);
+  ScoreCoefficients coeffs;
+  coeffs.beta_sigma = 5e4;
+  coeffs.beta_sigma_star = 5e5;
+  coeffs.beta_ol = 5e3;
+  CmpNetwork net(surrogate, ext, coeffs);
+
+  std::vector<GridD> x(2, GridD(8, 8, 0.0));
+  for (std::size_t l = 0; l < 2; ++l)
+    for (std::size_t k = 0; k < 64; ++k)
+      x[l][k] = 0.3 * ext.layers[l].slack[k];
+  const auto base = net.evaluate(x, true);
+
+  // A randomly initialized ReLU UNet is piecewise linear, so per-coordinate
+  // finite differences land on kinks; the robust property is the
+  // *directional* derivative along random directions, which averages the
+  // kink noise out.
+  // eps trades kink error (shrinks with eps) against float32 cancellation
+  // (grows as eps -> 0); 5e-4 sits in the convergence window (verified by an
+  // eps sweep: numeric crosses the analytic value there).
+  Rng rng(99);
+  const double eps = 5e-4;
+  double rel_err_sum = 0.0;
+  const int trials = 6;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<GridD> dir(2, GridD(8, 8, 0.0));
+    double analytic_dd = 0.0;
+    for (std::size_t l = 0; l < 2; ++l)
+      for (std::size_t k = 0; k < 64; ++k) {
+        dir[l][k] = rng.uniform(-1.0, 1.0);
+        analytic_dd += base.grad[l][k] * dir[l][k];
+      }
+    std::vector<GridD> xp = x, xm = x;
+    for (std::size_t l = 0; l < 2; ++l)
+      for (std::size_t k = 0; k < 64; ++k) {
+        xp[l][k] += eps * dir[l][k];
+        xm[l][k] -= eps * dir[l][k];
+      }
+    const double numeric_dd =
+        (net.evaluate(xp, false).s_plan - net.evaluate(xm, false).s_plan) /
+        (2.0 * eps);
+    // Individual directions can straddle kinks; the aggregate relative error
+    // over several random directions is the trustworthy statistic.
+    rel_err_sum += std::fabs(analytic_dd - numeric_dd) /
+                   std::max({std::fabs(numeric_dd), std::fabs(analytic_dd),
+                             1e-2});
+    // Sign must always agree (a wrong-sign gradient would break SQP).
+    EXPECT_GT(analytic_dd * numeric_dd, 0.0) << "direction trial " << trial;
+  }
+  EXPECT_LT(rel_err_sum / trials, 0.3);
+}
+
+TEST(Datagen, SampleShapesAndFeasibility) {
+  const Layout a = make_design('a', 16, 100.0, 3);
+  const Layout b = make_design('b', 16, 100.0, 3);
+  std::vector<WindowExtraction> sources{extract_windows(a), extract_windows(b)};
+  TrainingDataGenerator gen(std::move(sources), CmpSimulator(fast_params()), 5,
+                            4);
+  const TrainingSample s = gen.generate(8, 12);
+  EXPECT_EQ(s.ext.rows, 8u);
+  EXPECT_EQ(s.ext.cols, 12u);
+  ASSERT_EQ(s.fill.size(), 3u);
+  ASSERT_EQ(s.heights.size(), 3u);
+  for (std::size_t l = 0; l < 3; ++l)
+    for (std::size_t k = 0; k < s.fill[l].size(); ++k) {
+      EXPECT_GE(s.fill[l][k], 0.0);
+      EXPECT_LE(s.fill[l][k], s.ext.layers[l].slack[k] + 1e-12);
+    }
+}
+
+TEST(Datagen, DeterministicForSeed) {
+  const Layout a = make_design('a', 16, 100.0, 3);
+  std::vector<WindowExtraction> s1{extract_windows(a)};
+  std::vector<WindowExtraction> s2{extract_windows(a)};
+  TrainingDataGenerator g1(std::move(s1), CmpSimulator(fast_params()), 9, 4);
+  TrainingDataGenerator g2(std::move(s2), CmpSimulator(fast_params()), 9, 4);
+  const TrainingSample x1 = g1.generate(8, 8);
+  const TrainingSample x2 = g2.generate(8, 8);
+  EXPECT_EQ(x1.ext.layers[0].wire_density, x2.ext.layers[0].wire_density);
+  EXPECT_EQ(x1.fill[1], x2.fill[1]);
+  EXPECT_EQ(x1.heights[2], x2.heights[2]);
+}
+
+TEST(Datagen, RejectsBadConfig) {
+  EXPECT_THROW(TrainingDataGenerator({}, CmpSimulator(fast_params()), 1),
+               std::invalid_argument);
+  const Layout a = make_design_a(800.0, 2, 1);
+  const Layout b3 = make_design_b(800.0, 3, 1);
+  std::vector<WindowExtraction> mixed{extract_windows(a),
+                                      extract_windows(b3)};
+  EXPECT_THROW(
+      TrainingDataGenerator(std::move(mixed), CmpSimulator(fast_params()), 1),
+      std::invalid_argument);
+}
+
+TEST(Trainer, LossDecreases) {
+  const Layout a = make_design('a', 16, 100.0, 3);
+  TrainingDataGenerator gen({extract_windows(a)}, CmpSimulator(fast_params()),
+                            11, 4);
+  CmpSurrogate surrogate(tiny_config(), 7);
+  TrainOptions opt;
+  opt.epochs = 3;
+  opt.samples_per_epoch = 12;
+  opt.grid_rows = opt.grid_cols = 16;
+  opt.learning_rate = 3e-3f;
+  opt.seed = 2;
+  const TrainStats stats = train_surrogate(surrogate, gen, opt);
+  ASSERT_EQ(stats.epoch_loss.size(), 3u);
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+  EXPECT_EQ(stats.samples_seen, 36);
+}
+
+TEST(SurrogateIo, SaveLoadRoundTrip) {
+  CmpSurrogate s(tiny_config(), 13);
+  s.mutable_config().features.height_offset = 123.5;
+  s.mutable_config().features.height_scale = 456.25;
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "nf_surrogate_test").string();
+  save_surrogate(s, prefix);
+  const auto loaded = load_surrogate(prefix);
+  EXPECT_EQ(loaded->config().features.height_offset, 123.5);
+  EXPECT_EQ(loaded->config().features.height_scale, 456.25);
+  EXPECT_EQ(loaded->config().unet.base_channels, 4);
+  // Identical forward behaviour.
+  const Layout layout = make_design_a(800.0, 2, 1);
+  const WindowExtraction ext = extract_windows(layout);
+  ScoreCoefficients c;
+  c.beta_sigma = c.beta_sigma_star = c.beta_ol = 1e6;
+  CmpNetwork n1(std::make_shared<CmpSurrogate>(std::move(s)), ext, c);
+  CmpNetwork n2(loaded, ext, c);
+  const std::vector<GridD> x(2, GridD(8, 8, 0.05));
+  EXPECT_EQ(n1.evaluate(x, false).s_plan, n2.evaluate(x, false).s_plan);
+  std::remove((prefix + ".meta").c_str());
+  std::remove((prefix + ".weights").c_str());
+}
+
+TEST(SurrogateEval, ReportFieldsConsistent) {
+  const Layout a = make_design_a(1600.0, 2, 17);
+  TrainingDataGenerator gen({extract_windows(a)}, CmpSimulator(fast_params()),
+                            17, 4);
+  SurrogateConfig cfg = tiny_config();
+  CmpSurrogate surrogate(cfg, 23);
+  const AccuracyReport rep =
+      evaluate_surrogate_accuracy(surrogate, gen, 3, 8, 8);
+  EXPECT_EQ(rep.samples, 3);
+  EXPECT_GE(rep.mean_rel_error, 0.0);
+  EXPECT_GE(rep.max_window_rel_error, rep.mean_rel_error * 0.5);
+  EXPECT_GE(rep.frac_windows_below, 0.0);
+  EXPECT_LE(rep.frac_windows_below, 1.0);
+  EXPECT_EQ(rep.histogram.total(), 64u);
+}
+
+}  // namespace
+}  // namespace neurfill

@@ -1,0 +1,159 @@
+// Unit tests for window extraction and fill insertion.
+
+#include <gtest/gtest.h>
+
+#include "geom/designs.hpp"
+#include "layout/window_grid.hpp"
+
+namespace neurfill {
+namespace {
+
+Layout single_rect_layout(const Rect& r, int layers = 1, double chip = 200.0) {
+  Layout l;
+  l.name = "t";
+  l.width_um = chip;
+  l.height_um = chip;
+  l.layers.resize(static_cast<std::size_t>(layers));
+  l.layers[0].wires.push_back(r);
+  return l;
+}
+
+TEST(WindowExtraction, GridDimensions) {
+  const Layout l = single_rect_layout(Rect(0, 0, 10, 10), 2, 250.0);
+  ExtractOptions opt;
+  opt.window_um = 100.0;
+  const WindowExtraction ext = extract_windows(l, opt);
+  EXPECT_EQ(ext.rows, 3u);  // ceil(250/100)
+  EXPECT_EQ(ext.cols, 3u);
+  EXPECT_EQ(ext.num_layers(), 2u);
+  EXPECT_EQ(ext.num_windows(), 18u);
+}
+
+TEST(WindowExtraction, DensityExactForAlignedRect) {
+  // 50x100 rect inside one 100x100 window -> density 0.5 there.
+  const Layout l = single_rect_layout(Rect(0, 0, 50, 100));
+  const WindowExtraction ext = extract_windows(l);
+  EXPECT_NEAR(ext.layers[0].wire_density(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(ext.layers[0].wire_density(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(ext.layers[0].wire_density(1, 0), 0.0, 1e-12);
+}
+
+TEST(WindowExtraction, DensitySplitsAcrossWindows) {
+  // Rect straddling the x=100 boundary.
+  const Layout l = single_rect_layout(Rect(50, 0, 150, 50));
+  const WindowExtraction ext = extract_windows(l);
+  EXPECT_NEAR(ext.layers[0].wire_density(0, 0), 0.25, 1e-12);
+  EXPECT_NEAR(ext.layers[0].wire_density(0, 1), 0.25, 1e-12);
+  // Total area is conserved.
+  double total = 0.0;
+  for (const double d : ext.layers[0].wire_density) total += d * 100.0 * 100.0;
+  EXPECT_NEAR(total, 100.0 * 50.0, 1e-9);
+}
+
+TEST(WindowExtraction, PerimeterConservedAcrossWindows) {
+  const Layout l = single_rect_layout(Rect(50, 30, 150, 70));
+  const WindowExtraction ext = extract_windows(l);
+  double total = 0.0;
+  for (const double p : ext.layers[0].perimeter_um) total += p;
+  EXPECT_NEAR(total, Rect(50, 30, 150, 70).perimeter(), 1e-9);
+}
+
+TEST(WindowExtraction, AvgWidthRecoversLineWidth) {
+  // A long 10um-wide line: avg width ~ 2*A/P -> ~9.5um for 10x190.
+  const Layout l = single_rect_layout(Rect(0, 0, 190, 10));
+  const WindowExtraction ext = extract_windows(l);
+  const double w = ext.layers[0].avg_width_um(0, 0);
+  EXPECT_GT(w, 8.0);
+  EXPECT_LT(w, 11.0);
+}
+
+TEST(WindowExtraction, SlackRespectsMaxDensity) {
+  // Window already at 0.8 density with max 0.85 -> slack <= 0.05.
+  const Layout l = single_rect_layout(Rect(0, 0, 80, 100));
+  ExtractOptions opt;
+  opt.max_density = 0.85;
+  const WindowExtraction ext = extract_windows(l, opt);
+  EXPECT_LE(ext.layers[0].slack(0, 0), 0.05 + 1e-12);
+  EXPECT_GE(ext.layers[0].slack(0, 0), 0.0);
+}
+
+TEST(WindowExtraction, EmptyWindowHasLargeSlack) {
+  const Layout l = single_rect_layout(Rect(0, 0, 10, 10));
+  const WindowExtraction ext = extract_windows(l);
+  EXPECT_GT(ext.layers[0].slack(1, 1), 0.8);
+}
+
+TEST(WindowExtraction, FourTypeSplitSumsToSlack) {
+  const Layout l = make_design('a', 8, 100.0, 3);
+  const WindowExtraction ext = extract_windows(l);
+  for (std::size_t li = 0; li < ext.num_layers(); ++li) {
+    const auto& d = ext.layers[li];
+    for (std::size_t k = 0; k < d.slack.size(); ++k) {
+      const double sum = d.slack_type[0][k] + d.slack_type[1][k] +
+                         d.slack_type[2][k] + d.slack_type[3][k];
+      EXPECT_NEAR(sum, d.slack[k], 1e-9);
+      for (const auto& st : d.slack_type) EXPECT_GE(st[k], -1e-12);
+    }
+  }
+}
+
+TEST(WindowExtraction, BottomLayerHasNoLowerWireTypes) {
+  // Layer 0 has no layer below, so type 3 and 4 (over lower wire) are zero.
+  const Layout l = make_design('b', 8, 100.0, 3);
+  const WindowExtraction ext = extract_windows(l);
+  for (std::size_t k = 0; k < ext.layers[0].slack.size(); ++k) {
+    EXPECT_NEAR(ext.layers[0].slack_type[2][k], 0.0, 1e-12);
+    EXPECT_NEAR(ext.layers[0].slack_type[3][k], 0.0, 1e-12);
+  }
+}
+
+TEST(WindowExtraction, TopLayerNonOverlapSlackIsOne) {
+  const Layout l = make_design('c', 8, 100.0, 3);
+  const WindowExtraction ext = extract_windows(l);
+  const auto& top = ext.layers.back();
+  for (std::size_t k = 0; k < top.nonoverlap_slack.size(); ++k)
+    EXPECT_NEAR(top.nonoverlap_slack[k], 1.0, 1e-12);
+}
+
+TEST(WindowExtraction, DensityMethodAddsDummies) {
+  Layout l = single_rect_layout(Rect(0, 0, 50, 100));
+  l.layers[0].dummies.emplace_back(50, 0, 75, 100);
+  const WindowExtraction ext = extract_windows(l);
+  EXPECT_NEAR(ext.layers[0].dummy_density(0, 0), 0.25, 1e-12);
+  EXPECT_NEAR(ext.layers[0].density()(0, 0), 0.75, 1e-12);
+}
+
+TEST(InsertDummies, RealizesRequestedArea) {
+  Layout l = single_rect_layout(Rect(0, 0, 10, 10), 1, 300.0);
+  const WindowExtraction ext = extract_windows(l);
+  std::vector<GridD> x{GridD(ext.rows, ext.cols, 0.0)};
+  x[0](1, 1) = 0.2;
+  const std::size_t n = insert_dummies(l, ext, x);
+  EXPECT_GT(n, 0u);
+  // Re-extract: the dummy density in window (1,1) should be ~0.2.
+  const WindowExtraction ext2 = extract_windows(l);
+  EXPECT_NEAR(ext2.layers[0].dummy_density(1, 1), 0.2, 0.03);
+  // No dummies elsewhere.
+  EXPECT_NEAR(ext2.layers[0].dummy_density(0, 0), 0.0, 1e-12);
+}
+
+TEST(InsertDummies, ValidatesArguments) {
+  Layout l = single_rect_layout(Rect(0, 0, 10, 10));
+  const WindowExtraction ext = extract_windows(l);
+  std::vector<GridD> wrong_layers;
+  EXPECT_THROW(insert_dummies(l, ext, wrong_layers), std::invalid_argument);
+  std::vector<GridD> wrong_shape{GridD(1, 1, 0.0)};
+  EXPECT_THROW(insert_dummies(l, ext, wrong_shape), std::invalid_argument);
+}
+
+TEST(WindowExtraction, RejectsBadOptions) {
+  const Layout l = single_rect_layout(Rect(0, 0, 10, 10));
+  ExtractOptions opt;
+  opt.window_um = 0.0;
+  EXPECT_THROW(extract_windows(l, opt), std::invalid_argument);
+  Layout empty;
+  EXPECT_THROW(extract_windows(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neurfill

@@ -1,0 +1,140 @@
+// nf_fill: model-based dummy filling of a GLF layout from the command line.
+//
+// Usage:
+//   nf_fill <layout.glf> <out.glf> [--method lin|tao|cai|pkb|mm]
+//           [--surrogate PREFIX] [--window UM] [--report]
+//
+// pkb/mm need a pre-trained surrogate (see examples/train_surrogate); with
+// none available a reduced surrogate is trained on the fly.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "fill/neurfill.hpp"
+#include "layout/fill_insertion.hpp"
+#include "fill/report.hpp"
+#include "geom/glf_io.hpp"
+#include "surrogate/trainer.hpp"
+
+using namespace neurfill;
+
+namespace {
+
+std::shared_ptr<CmpSurrogate> obtain_surrogate(const std::string& prefix,
+                                               const WindowExtraction& ext,
+                                               const CmpSimulator& sim) {
+  try {
+    return load_surrogate(prefix);
+  } catch (const std::exception&) {
+    std::fprintf(stderr,
+                 "nf_fill: no surrogate at '%s'; training a reduced one\n",
+                 prefix.c_str());
+    SurrogateConfig cfg;
+    cfg.unet.base_channels = 8;
+    cfg.unet.depth = 2;
+    auto s = std::make_shared<CmpSurrogate>(cfg, 5);
+    TrainingDataGenerator gen({ext}, sim, 17, 4);
+    TrainOptions opt;
+    opt.epochs = 6;
+    opt.dataset_size = 60;
+    opt.grid_rows = ext.rows;
+    opt.grid_cols = ext.cols;
+    train_surrogate(*s, gen, opt);
+    return s;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: nf_fill <layout.glf> <out.glf> [--method "
+                 "lin|tao|cai|pkb|mm] [--surrogate PREFIX] [--window UM] "
+                 "[--report] [--drc]\n");
+    return 2;
+  }
+  const std::string in_path = argv[1];
+  const std::string out_path = argv[2];
+  std::string method = "pkb";
+  std::string surrogate_prefix = "data/unet_cmp";
+  bool report = false;
+  bool drc = false;
+  ExtractOptions eopt;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--method" && i + 1 < argc) {
+      method = argv[++i];
+    } else if (arg == "--surrogate" && i + 1 < argc) {
+      surrogate_prefix = argv[++i];
+    } else if (arg == "--window" && i + 1 < argc) {
+      eopt.window_um = std::atof(argv[++i]);
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--drc") {
+      drc = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    Layout layout = read_glf_file(in_path);
+    const WindowExtraction ext = extract_windows(layout, eopt);
+    CmpProcessParams params;
+    params.window_um = eopt.window_um;
+    CmpSimulator sim(params);
+    const ScoreCoefficients coeffs = make_coefficients(layout, ext, sim);
+    FillProblem problem(ext, sim, coeffs);
+
+    FillRunResult result;
+    if (method == "lin") {
+      result = lin_rule_fill(problem);
+    } else if (method == "tao") {
+      result = tao_rule_sqp(problem);
+    } else if (method == "cai") {
+      result = cai_model_fill(problem);
+    } else if (method == "pkb" || method == "mm") {
+      auto surrogate = obtain_surrogate(surrogate_prefix, ext, sim);
+      CmpNetwork network(surrogate, ext, coeffs);
+      calibrate_network(network, problem);
+      result = method == "pkb" ? neurfill_pkb(problem, network)
+                               : neurfill_mm(problem, network);
+    } else {
+      std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+      return 2;
+    }
+
+    const Layout original = layout;  // scoring must see the pre-fill design
+    std::size_t dummies = 0;
+    if (drc) {
+      const DrcInsertStats stats = insert_dummies_drc(layout, ext, result.x);
+      dummies = stats.placed;
+      std::fprintf(stderr,
+                   "DRC insertion: realized %.0f of %.0f um^2 (%zu sites "
+                   "blocked)\n",
+                   stats.realized_um2, stats.requested_um2,
+                   stats.blocked_sites);
+    } else {
+      dummies = insert_dummies(layout, ext, result.x);
+    }
+    write_glf_file(out_path, layout);
+    std::fprintf(stderr,
+                 "%s: inserted %zu dummies in %.1fs (%ld evaluations)\n",
+                 result.method.c_str(), dummies, result.runtime_s,
+                 result.objective_evaluations);
+    if (report) {
+      const MethodReport rep = score_fill_result(problem, original, result);
+      print_table3_header(std::cout);
+      print_table3_row(std::cout, layout.name, rep);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// nf_gen: generate one of the synthetic benchmark designs (Section V's
+// Design A/B/C analogues) as a GLF file.
+//
+// Usage: nf_gen <a|b|c> <out.glf> [--windows N] [--seed S]
+
+#include <cstdio>
+#include <string>
+
+#include "geom/designs.hpp"
+#include "geom/glf_io.hpp"
+
+using namespace neurfill;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: nf_gen <a|b|c> <out.glf> [--windows N] [--seed S]\n");
+    return 2;
+  }
+  const char which = argv[1][0];
+  const std::string out = argv[2];
+  int windows = 32;
+  std::uint64_t seed = 1;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--windows" && i + 1 < argc) {
+      windows = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  try {
+    const Layout layout = make_design(which, windows, 100.0, seed);
+    write_glf_file(out, layout);
+    std::fprintf(stderr, "wrote %s: %zu wires over %zu layers (%zu bytes)\n",
+                 out.c_str(), layout.total_wire_count(), layout.num_layers(),
+                 glf_encoded_size(layout));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
