@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eta.dir/bench_ablation_eta.cpp.o"
+  "CMakeFiles/bench_ablation_eta.dir/bench_ablation_eta.cpp.o.d"
+  "bench_ablation_eta"
+  "bench_ablation_eta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_start.dir/bench_ablation_start.cpp.o"
+  "CMakeFiles/bench_ablation_start.dir/bench_ablation_start.cpp.o.d"
+  "bench_ablation_start"
+  "bench_ablation_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

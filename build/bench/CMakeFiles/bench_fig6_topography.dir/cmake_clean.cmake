@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_topography.dir/bench_fig6_topography.cpp.o"
+  "CMakeFiles/bench_fig6_topography.dir/bench_fig6_topography.cpp.o.d"
+  "bench_fig6_topography"
+  "bench_fig6_topography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_topography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_runtime.dir/bench_table1_runtime.cpp.o"
+  "CMakeFiles/bench_table1_runtime.dir/bench_table1_runtime.cpp.o.d"
+  "bench_table1_runtime"
+  "bench_table1_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

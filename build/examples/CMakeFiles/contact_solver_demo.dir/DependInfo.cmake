@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/contact_solver_demo.cpp" "examples/CMakeFiles/contact_solver_demo.dir/contact_solver_demo.cpp.o" "gcc" "examples/CMakeFiles/contact_solver_demo.dir/contact_solver_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fill/CMakeFiles/neurfill_fill.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/neurfill_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/neurfill_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/neurfill_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/neurfill_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/neurfill_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/neurfill_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neurfill_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

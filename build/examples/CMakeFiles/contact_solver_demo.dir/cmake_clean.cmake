@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contact_solver_demo.dir/contact_solver_demo.cpp.o"
+  "CMakeFiles/contact_solver_demo.dir/contact_solver_demo.cpp.o.d"
+  "contact_solver_demo"
+  "contact_solver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_solver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_fill.dir/fpga_fill.cpp.o"
+  "CMakeFiles/fpga_fill.dir/fpga_fill.cpp.o.d"
+  "fpga_fill"
+  "fpga_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

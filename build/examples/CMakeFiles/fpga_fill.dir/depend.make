@@ -1,0 +1,2 @@
+# Empty dependencies file for fpga_fill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimodal_search.dir/multimodal_search.cpp.o"
+  "CMakeFiles/multimodal_search.dir/multimodal_search.cpp.o.d"
+  "multimodal_search"
+  "multimodal_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimodal_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_surrogate.dir/train_surrogate.cpp.o"
+  "CMakeFiles/train_surrogate.dir/train_surrogate.cpp.o.d"
+  "train_surrogate"
+  "train_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cmp/contact_solver.cpp" "src/cmp/CMakeFiles/neurfill_cmp.dir/contact_solver.cpp.o" "gcc" "src/cmp/CMakeFiles/neurfill_cmp.dir/contact_solver.cpp.o.d"
+  "/root/repo/src/cmp/dsh_model.cpp" "src/cmp/CMakeFiles/neurfill_cmp.dir/dsh_model.cpp.o" "gcc" "src/cmp/CMakeFiles/neurfill_cmp.dir/dsh_model.cpp.o.d"
+  "/root/repo/src/cmp/pad_model.cpp" "src/cmp/CMakeFiles/neurfill_cmp.dir/pad_model.cpp.o" "gcc" "src/cmp/CMakeFiles/neurfill_cmp.dir/pad_model.cpp.o.d"
+  "/root/repo/src/cmp/simulator.cpp" "src/cmp/CMakeFiles/neurfill_cmp.dir/simulator.cpp.o" "gcc" "src/cmp/CMakeFiles/neurfill_cmp.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/neurfill_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neurfill_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/neurfill_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

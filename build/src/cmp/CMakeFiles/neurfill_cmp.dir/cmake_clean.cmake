@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurfill_cmp.dir/contact_solver.cpp.o"
+  "CMakeFiles/neurfill_cmp.dir/contact_solver.cpp.o.d"
+  "CMakeFiles/neurfill_cmp.dir/dsh_model.cpp.o"
+  "CMakeFiles/neurfill_cmp.dir/dsh_model.cpp.o.d"
+  "CMakeFiles/neurfill_cmp.dir/pad_model.cpp.o"
+  "CMakeFiles/neurfill_cmp.dir/pad_model.cpp.o.d"
+  "CMakeFiles/neurfill_cmp.dir/simulator.cpp.o"
+  "CMakeFiles/neurfill_cmp.dir/simulator.cpp.o.d"
+  "libneurfill_cmp.a"
+  "libneurfill_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurfill_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurfill_common.dir/fft.cpp.o"
+  "CMakeFiles/neurfill_common.dir/fft.cpp.o.d"
+  "CMakeFiles/neurfill_common.dir/log.cpp.o"
+  "CMakeFiles/neurfill_common.dir/log.cpp.o.d"
+  "CMakeFiles/neurfill_common.dir/resource.cpp.o"
+  "CMakeFiles/neurfill_common.dir/resource.cpp.o.d"
+  "CMakeFiles/neurfill_common.dir/rng.cpp.o"
+  "CMakeFiles/neurfill_common.dir/rng.cpp.o.d"
+  "CMakeFiles/neurfill_common.dir/stats.cpp.o"
+  "CMakeFiles/neurfill_common.dir/stats.cpp.o.d"
+  "libneurfill_common.a"
+  "libneurfill_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurfill_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

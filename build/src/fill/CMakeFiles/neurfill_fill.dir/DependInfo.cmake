@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fill/baselines.cpp" "src/fill/CMakeFiles/neurfill_fill.dir/baselines.cpp.o" "gcc" "src/fill/CMakeFiles/neurfill_fill.dir/baselines.cpp.o.d"
+  "/root/repo/src/fill/metrics.cpp" "src/fill/CMakeFiles/neurfill_fill.dir/metrics.cpp.o" "gcc" "src/fill/CMakeFiles/neurfill_fill.dir/metrics.cpp.o.d"
+  "/root/repo/src/fill/neurfill.cpp" "src/fill/CMakeFiles/neurfill_fill.dir/neurfill.cpp.o" "gcc" "src/fill/CMakeFiles/neurfill_fill.dir/neurfill.cpp.o.d"
+  "/root/repo/src/fill/pd_model.cpp" "src/fill/CMakeFiles/neurfill_fill.dir/pd_model.cpp.o" "gcc" "src/fill/CMakeFiles/neurfill_fill.dir/pd_model.cpp.o.d"
+  "/root/repo/src/fill/problem.cpp" "src/fill/CMakeFiles/neurfill_fill.dir/problem.cpp.o" "gcc" "src/fill/CMakeFiles/neurfill_fill.dir/problem.cpp.o.d"
+  "/root/repo/src/fill/report.cpp" "src/fill/CMakeFiles/neurfill_fill.dir/report.cpp.o" "gcc" "src/fill/CMakeFiles/neurfill_fill.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cmp/CMakeFiles/neurfill_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/neurfill_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/neurfill_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/neurfill_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/neurfill_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neurfill_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/neurfill_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

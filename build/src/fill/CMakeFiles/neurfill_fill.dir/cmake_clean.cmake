@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurfill_fill.dir/baselines.cpp.o"
+  "CMakeFiles/neurfill_fill.dir/baselines.cpp.o.d"
+  "CMakeFiles/neurfill_fill.dir/metrics.cpp.o"
+  "CMakeFiles/neurfill_fill.dir/metrics.cpp.o.d"
+  "CMakeFiles/neurfill_fill.dir/neurfill.cpp.o"
+  "CMakeFiles/neurfill_fill.dir/neurfill.cpp.o.d"
+  "CMakeFiles/neurfill_fill.dir/pd_model.cpp.o"
+  "CMakeFiles/neurfill_fill.dir/pd_model.cpp.o.d"
+  "CMakeFiles/neurfill_fill.dir/problem.cpp.o"
+  "CMakeFiles/neurfill_fill.dir/problem.cpp.o.d"
+  "CMakeFiles/neurfill_fill.dir/report.cpp.o"
+  "CMakeFiles/neurfill_fill.dir/report.cpp.o.d"
+  "libneurfill_fill.a"
+  "libneurfill_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurfill_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/designs.cpp" "src/geom/CMakeFiles/neurfill_geom.dir/designs.cpp.o" "gcc" "src/geom/CMakeFiles/neurfill_geom.dir/designs.cpp.o.d"
+  "/root/repo/src/geom/glf_io.cpp" "src/geom/CMakeFiles/neurfill_geom.dir/glf_io.cpp.o" "gcc" "src/geom/CMakeFiles/neurfill_geom.dir/glf_io.cpp.o.d"
+  "/root/repo/src/geom/layout.cpp" "src/geom/CMakeFiles/neurfill_geom.dir/layout.cpp.o" "gcc" "src/geom/CMakeFiles/neurfill_geom.dir/layout.cpp.o.d"
+  "/root/repo/src/geom/rect.cpp" "src/geom/CMakeFiles/neurfill_geom.dir/rect.cpp.o" "gcc" "src/geom/CMakeFiles/neurfill_geom.dir/rect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neurfill_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

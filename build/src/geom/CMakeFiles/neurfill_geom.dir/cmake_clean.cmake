@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurfill_geom.dir/designs.cpp.o"
+  "CMakeFiles/neurfill_geom.dir/designs.cpp.o.d"
+  "CMakeFiles/neurfill_geom.dir/glf_io.cpp.o"
+  "CMakeFiles/neurfill_geom.dir/glf_io.cpp.o.d"
+  "CMakeFiles/neurfill_geom.dir/layout.cpp.o"
+  "CMakeFiles/neurfill_geom.dir/layout.cpp.o.d"
+  "CMakeFiles/neurfill_geom.dir/rect.cpp.o"
+  "CMakeFiles/neurfill_geom.dir/rect.cpp.o.d"
+  "libneurfill_geom.a"
+  "libneurfill_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurfill_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/fill_insertion.cpp" "src/layout/CMakeFiles/neurfill_layout.dir/fill_insertion.cpp.o" "gcc" "src/layout/CMakeFiles/neurfill_layout.dir/fill_insertion.cpp.o.d"
+  "/root/repo/src/layout/window_grid.cpp" "src/layout/CMakeFiles/neurfill_layout.dir/window_grid.cpp.o" "gcc" "src/layout/CMakeFiles/neurfill_layout.dir/window_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/neurfill_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neurfill_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

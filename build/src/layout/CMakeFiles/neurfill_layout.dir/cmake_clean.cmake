@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurfill_layout.dir/fill_insertion.cpp.o"
+  "CMakeFiles/neurfill_layout.dir/fill_insertion.cpp.o.d"
+  "CMakeFiles/neurfill_layout.dir/window_grid.cpp.o"
+  "CMakeFiles/neurfill_layout.dir/window_grid.cpp.o.d"
+  "libneurfill_layout.a"
+  "libneurfill_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurfill_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

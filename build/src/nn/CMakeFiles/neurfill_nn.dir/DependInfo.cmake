@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/neurfill_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/neurfill_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/neurfill_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/neurfill_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/ops_conv.cpp" "src/nn/CMakeFiles/neurfill_nn.dir/ops_conv.cpp.o" "gcc" "src/nn/CMakeFiles/neurfill_nn.dir/ops_conv.cpp.o.d"
+  "/root/repo/src/nn/ops_elementwise.cpp" "src/nn/CMakeFiles/neurfill_nn.dir/ops_elementwise.cpp.o" "gcc" "src/nn/CMakeFiles/neurfill_nn.dir/ops_elementwise.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/neurfill_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/neurfill_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/neurfill_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/neurfill_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/neurfill_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/neurfill_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/unet.cpp" "src/nn/CMakeFiles/neurfill_nn.dir/unet.cpp.o" "gcc" "src/nn/CMakeFiles/neurfill_nn.dir/unet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neurfill_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

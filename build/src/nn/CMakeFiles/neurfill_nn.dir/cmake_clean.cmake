@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurfill_nn.dir/gemm.cpp.o"
+  "CMakeFiles/neurfill_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/neurfill_nn.dir/module.cpp.o"
+  "CMakeFiles/neurfill_nn.dir/module.cpp.o.d"
+  "CMakeFiles/neurfill_nn.dir/ops_conv.cpp.o"
+  "CMakeFiles/neurfill_nn.dir/ops_conv.cpp.o.d"
+  "CMakeFiles/neurfill_nn.dir/ops_elementwise.cpp.o"
+  "CMakeFiles/neurfill_nn.dir/ops_elementwise.cpp.o.d"
+  "CMakeFiles/neurfill_nn.dir/optim.cpp.o"
+  "CMakeFiles/neurfill_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/neurfill_nn.dir/serialize.cpp.o"
+  "CMakeFiles/neurfill_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/neurfill_nn.dir/tensor.cpp.o"
+  "CMakeFiles/neurfill_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/neurfill_nn.dir/unet.cpp.o"
+  "CMakeFiles/neurfill_nn.dir/unet.cpp.o.d"
+  "libneurfill_nn.a"
+  "libneurfill_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurfill_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

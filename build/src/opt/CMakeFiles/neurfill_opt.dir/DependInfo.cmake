@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/box_qp.cpp" "src/opt/CMakeFiles/neurfill_opt.dir/box_qp.cpp.o" "gcc" "src/opt/CMakeFiles/neurfill_opt.dir/box_qp.cpp.o.d"
+  "/root/repo/src/opt/nmmso.cpp" "src/opt/CMakeFiles/neurfill_opt.dir/nmmso.cpp.o" "gcc" "src/opt/CMakeFiles/neurfill_opt.dir/nmmso.cpp.o.d"
+  "/root/repo/src/opt/objective.cpp" "src/opt/CMakeFiles/neurfill_opt.dir/objective.cpp.o" "gcc" "src/opt/CMakeFiles/neurfill_opt.dir/objective.cpp.o.d"
+  "/root/repo/src/opt/sqp.cpp" "src/opt/CMakeFiles/neurfill_opt.dir/sqp.cpp.o" "gcc" "src/opt/CMakeFiles/neurfill_opt.dir/sqp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neurfill_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

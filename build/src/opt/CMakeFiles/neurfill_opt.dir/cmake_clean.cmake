@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurfill_opt.dir/box_qp.cpp.o"
+  "CMakeFiles/neurfill_opt.dir/box_qp.cpp.o.d"
+  "CMakeFiles/neurfill_opt.dir/nmmso.cpp.o"
+  "CMakeFiles/neurfill_opt.dir/nmmso.cpp.o.d"
+  "CMakeFiles/neurfill_opt.dir/objective.cpp.o"
+  "CMakeFiles/neurfill_opt.dir/objective.cpp.o.d"
+  "CMakeFiles/neurfill_opt.dir/sqp.cpp.o"
+  "CMakeFiles/neurfill_opt.dir/sqp.cpp.o.d"
+  "libneurfill_opt.a"
+  "libneurfill_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurfill_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneurfill_opt.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surrogate/cmp_network.cpp" "src/surrogate/CMakeFiles/neurfill_surrogate.dir/cmp_network.cpp.o" "gcc" "src/surrogate/CMakeFiles/neurfill_surrogate.dir/cmp_network.cpp.o.d"
+  "/root/repo/src/surrogate/datagen.cpp" "src/surrogate/CMakeFiles/neurfill_surrogate.dir/datagen.cpp.o" "gcc" "src/surrogate/CMakeFiles/neurfill_surrogate.dir/datagen.cpp.o.d"
+  "/root/repo/src/surrogate/eval.cpp" "src/surrogate/CMakeFiles/neurfill_surrogate.dir/eval.cpp.o" "gcc" "src/surrogate/CMakeFiles/neurfill_surrogate.dir/eval.cpp.o.d"
+  "/root/repo/src/surrogate/features.cpp" "src/surrogate/CMakeFiles/neurfill_surrogate.dir/features.cpp.o" "gcc" "src/surrogate/CMakeFiles/neurfill_surrogate.dir/features.cpp.o.d"
+  "/root/repo/src/surrogate/trainer.cpp" "src/surrogate/CMakeFiles/neurfill_surrogate.dir/trainer.cpp.o" "gcc" "src/surrogate/CMakeFiles/neurfill_surrogate.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/neurfill_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/neurfill_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/neurfill_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neurfill_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/neurfill_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

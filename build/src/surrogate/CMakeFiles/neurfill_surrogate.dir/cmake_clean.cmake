@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurfill_surrogate.dir/cmp_network.cpp.o"
+  "CMakeFiles/neurfill_surrogate.dir/cmp_network.cpp.o.d"
+  "CMakeFiles/neurfill_surrogate.dir/datagen.cpp.o"
+  "CMakeFiles/neurfill_surrogate.dir/datagen.cpp.o.d"
+  "CMakeFiles/neurfill_surrogate.dir/eval.cpp.o"
+  "CMakeFiles/neurfill_surrogate.dir/eval.cpp.o.d"
+  "CMakeFiles/neurfill_surrogate.dir/features.cpp.o"
+  "CMakeFiles/neurfill_surrogate.dir/features.cpp.o.d"
+  "CMakeFiles/neurfill_surrogate.dir/trainer.cpp.o"
+  "CMakeFiles/neurfill_surrogate.dir/trainer.cpp.o.d"
+  "libneurfill_surrogate.a"
+  "libneurfill_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurfill_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

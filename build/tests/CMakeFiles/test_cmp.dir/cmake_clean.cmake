@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmp.dir/test_cmp.cpp.o"
+  "CMakeFiles/test_cmp.dir/test_cmp.cpp.o.d"
+  "test_cmp"
+  "test_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

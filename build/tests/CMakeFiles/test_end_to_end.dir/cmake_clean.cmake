@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_end_to_end.dir/test_end_to_end.cpp.o"
+  "CMakeFiles/test_end_to_end.dir/test_end_to_end.cpp.o.d"
+  "test_end_to_end"
+  "test_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_end_to_end.
+# This may be replaced when dependencies are built.

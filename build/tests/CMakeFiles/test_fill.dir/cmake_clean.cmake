@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fill.dir/test_fill.cpp.o"
+  "CMakeFiles/test_fill.dir/test_fill.cpp.o.d"
+  "test_fill"
+  "test_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

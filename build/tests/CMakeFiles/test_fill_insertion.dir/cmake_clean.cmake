@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fill_insertion.dir/test_fill_insertion.cpp.o"
+  "CMakeFiles/test_fill_insertion.dir/test_fill_insertion.cpp.o.d"
+  "test_fill_insertion"
+  "test_fill_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fill_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_report.dir/test_kernels_report.cpp.o"
+  "CMakeFiles/test_kernels_report.dir/test_kernels_report.cpp.o.d"
+  "test_kernels_report"
+  "test_kernels_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

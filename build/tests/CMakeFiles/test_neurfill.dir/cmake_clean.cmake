@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neurfill.dir/test_neurfill.cpp.o"
+  "CMakeFiles/test_neurfill.dir/test_neurfill.cpp.o.d"
+  "test_neurfill"
+  "test_neurfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neurfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nmmso.dir/test_nmmso.cpp.o"
+  "CMakeFiles/test_nmmso.dir/test_nmmso.cpp.o.d"
+  "test_nmmso"
+  "test_nmmso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nmmso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

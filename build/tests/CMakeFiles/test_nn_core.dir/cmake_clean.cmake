@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_core.dir/test_nn_core.cpp.o"
+  "CMakeFiles/test_nn_core.dir/test_nn_core.cpp.o.d"
+  "test_nn_core"
+  "test_nn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_gradcheck.dir/test_ops_gradcheck.cpp.o"
+  "CMakeFiles/test_ops_gradcheck.dir/test_ops_gradcheck.cpp.o.d"
+  "test_ops_gradcheck"
+  "test_ops_gradcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_gradcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

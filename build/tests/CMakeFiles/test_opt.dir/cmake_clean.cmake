@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/test_opt.cpp.o"
+  "CMakeFiles/test_opt.dir/test_opt.cpp.o.d"
+  "test_opt"
+  "test_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surrogate.dir/test_surrogate.cpp.o"
+  "CMakeFiles/test_surrogate.dir/test_surrogate.cpp.o.d"
+  "test_surrogate"
+  "test_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_grid.dir/test_window_grid.cpp.o"
+  "CMakeFiles/test_window_grid.dir/test_window_grid.cpp.o.d"
+  "test_window_grid"
+  "test_window_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

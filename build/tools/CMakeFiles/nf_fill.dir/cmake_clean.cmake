@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_fill.dir/nf_fill.cpp.o"
+  "CMakeFiles/nf_fill.dir/nf_fill.cpp.o.d"
+  "nf_fill"
+  "nf_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nf_fill.
+# This may be replaced when dependencies are built.

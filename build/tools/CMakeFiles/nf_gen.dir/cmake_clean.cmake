@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_gen.dir/nf_gen.cpp.o"
+  "CMakeFiles/nf_gen.dir/nf_gen.cpp.o.d"
+  "nf_gen"
+  "nf_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

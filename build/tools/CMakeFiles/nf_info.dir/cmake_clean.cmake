@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_info.dir/nf_info.cpp.o"
+  "CMakeFiles/nf_info.dir/nf_info.cpp.o.d"
+  "nf_info"
+  "nf_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_simulate.dir/nf_simulate.cpp.o"
+  "CMakeFiles/nf_simulate.dir/nf_simulate.cpp.o.d"
+  "nf_simulate"
+  "nf_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

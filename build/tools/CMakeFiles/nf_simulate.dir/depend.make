@@ -1,0 +1,2 @@
+# Empty dependencies file for nf_simulate.
+# This may be replaced when dependencies are built.
