@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   if (tile_n && channel_n)
     std::printf("\nNeurFill placed %.3f fill density in sparse channels vs "
                 "%.3f in dense tiles (expected: channels >> tiles)\n",
-                channel_fill / channel_n, tile_fill / tile_n);
+                channel_fill / static_cast<double>(channel_n),
+                tile_fill / static_cast<double>(tile_n));
   return 0;
 }

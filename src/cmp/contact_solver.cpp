@@ -1,9 +1,10 @@
 #include "cmp/contact_solver.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace neurfill {
 
@@ -45,7 +46,9 @@ ElasticContactSolver::ElasticContactSolver(std::size_t rows, std::size_t cols,
 }
 
 GridD ElasticContactSolver::deflection(const GridD& pressure) const {
-  assert(pressure.rows() == rows_ && pressure.cols() == cols_);
+  NF_CHECK(pressure.rows() == rows_ && pressure.cols() == cols_,
+           "deflection: pressure grid %zu x %zu, solver %zu x %zu",
+           pressure.rows(), pressure.cols(), rows_, cols_);
   return green_.apply(pressure);
 }
 
@@ -79,6 +82,11 @@ GridD ElasticContactSolver::solve(const GridD& height,
   for (int it = 0; it < opt_.max_iterations; ++it) {
     ++last_iterations_;
     const GridD u = green_.apply(p);
+    // Convergence invariant: the FFT-applied Green's operator must return
+    // finite deflections; a NaN here would silently poison the whole
+    // pressure field on the next projection.
+    NF_CHECK_ALL_FINITE("contact solver: deflection field", u.data(),
+                        u.size());
     // Gap up to the unknown rigid approach delta: g_i = u_i - h_i.  On the
     // contact set g should be constant (= -delta); use its contact-set mean
     // as the working delta estimate.
@@ -92,6 +100,7 @@ GridD ElasticContactSolver::solve(const GridD& height,
     }
     if (nc == 0) break;
     gbar /= static_cast<double>(nc);
+    NF_CHECK_FINITE(gbar);
 
     double g_new = 0.0;
     for (std::size_t k = 0; k < n; ++k) {
@@ -114,6 +123,8 @@ GridD ElasticContactSolver::solve(const GridD& height,
       if (p[k] > 0.0) denom += d[k] * Gd[k];
     if (std::abs(denom) < 1e-300) break;
     const double alpha = g_new / denom;
+    NF_CHECK_FINITE(alpha);
+    NF_CHECK(g_new >= 0.0, "contact solver: negative residual norm %g", g_new);
 
     // Take the step and project to p >= 0.  Points whose pressure hits zero
     // leave the contact set; CG restarts when the set changes.
@@ -150,6 +161,11 @@ GridD ElasticContactSolver::solve(const GridD& height,
     const double scale = total_load / sum;
     for (auto& v : p) v *= scale;
   }
+  // Postconditions: the solution is a physical pressure field.
+  for (std::size_t k = 0; k < n; ++k)
+    NF_CHECK(p[k] >= 0.0, "contact solver: negative pressure %g at %zu", p[k],
+             k);
+  NF_CHECK_ALL_FINITE("contact solver: pressure field", p.data(), p.size());
   return p;
 }
 

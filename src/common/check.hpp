@@ -1,0 +1,143 @@
+#pragma once
+
+// Always-on runtime contract checks for the numerical core.
+//
+// Unlike assert(), these macros stay active in Release builds: the surrogate
+// is only a trustworthy replacement for the reference CMP simulator if
+// out-of-bounds grid access, shape mismatches, and NaN/Inf poisoning abort
+// loudly instead of corrupting a fill solution silently.  A failed check
+// prints the violated condition with file:line context to stderr and calls
+// std::abort(), so failures are visible to ctest, debuggers, and the
+// sanitizers' crash reporting alike.
+//
+// Policy (see docs/correctness.md):
+//  * NF_CHECK / NF_CHECK_BOUNDS / NF_CHECK_FINITE / NF_CHECK_ALL_FINITE are
+//    compiled out only when NEURFILL_DISABLE_CHECKS is defined, which the
+//    build sets when configured with -DNEURFILL_ENABLE_CHECKS=OFF.  When
+//    disabled, condition expressions are still type-checked (unevaluated),
+//    so a checks-off build cannot rot.
+//  * NF_UNREACHABLE is active unconditionally: reaching it is a logic error
+//    that no build configuration should survive.
+//  * Checks guard *internal invariants*.  Errors a caller can plausibly
+//    trigger with bad input (file parsing, public API argument validation)
+//    keep throwing std::runtime_error / std::invalid_argument.
+
+#include <cmath>
+#include <cstdarg>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+
+namespace neurfill::contract {
+
+#if defined(__GNUC__) || defined(__clang__)
+// Attribute arguments cannot be parenthesized, hence the NOLINT.
+#define NF_PRINTF_LIKE(fmt_index, first_arg) \
+  __attribute__((format(printf, fmt_index, first_arg)))  // NOLINT(bugprone-macro-parentheses)
+#else
+#define NF_PRINTF_LIKE(fmt_index, first_arg)
+#endif
+
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] NF_PRINTF_LIKE(5, 6) inline void fail(const char* kind,
+                                                   const char* expr,
+                                                   const char* file, int line,
+                                                   const char* fmt, ...) {
+  std::fprintf(stderr, "%s failed: %s (%s:%d): ", kind, expr, file, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// NaN/Inf poison detector over a contiguous buffer; aborts on the first
+/// non-finite element, reporting its index and value.  `what` names the
+/// buffer in the failure message (e.g. "sqp: objective gradient").
+template <typename T>
+inline void check_all_finite(const char* what, const T* p, std::size_t n,
+                             const char* file, int line) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(static_cast<double>(p[i]))) {
+      fail("NF_CHECK_ALL_FINITE", what, file, line,
+           "element %zu of %zu is %g", i, n, static_cast<double>(p[i]));
+    }
+  }
+}
+
+/// Declared, never defined: used inside sizeof() by the checks-disabled
+/// macro stubs so every check argument stays type-checked and "used".
+template <typename... Args>
+int unevaluated(Args&&...);
+
+}  // namespace neurfill::contract
+
+/// Unconditional: reaching this is a logic error in every build type.
+#define NF_UNREACHABLE(msg) \
+  ::neurfill::contract::fail("NF_UNREACHABLE", msg, __FILE__, __LINE__)
+
+#if !defined(NEURFILL_DISABLE_CHECKS)
+
+/// General contract: NF_CHECK(cond) or NF_CHECK(cond, "fmt", args...).
+#define NF_CHECK(cond, ...)                                             \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::neurfill::contract::fail("NF_CHECK", #cond, __FILE__,           \
+                                 __LINE__ __VA_OPT__(, ) __VA_ARGS__);  \
+    }                                                                   \
+  } while (0)
+
+/// Bounds contract: index must satisfy 0 <= index < size.  A negative signed
+/// index wraps to a huge unsigned value and fails the comparison.
+#define NF_CHECK_BOUNDS(index, size)                                        \
+  do {                                                                      \
+    const auto nf_chk_idx_ = (index);                                       \
+    const auto nf_chk_sz_ = (size);                                         \
+    if (static_cast<unsigned long long>(nf_chk_idx_) >=                     \
+        static_cast<unsigned long long>(nf_chk_sz_)) [[unlikely]] {         \
+      ::neurfill::contract::fail(                                           \
+          "NF_CHECK_BOUNDS", #index " < " #size, __FILE__, __LINE__,        \
+          "index %llu, size %llu",                                          \
+          static_cast<unsigned long long>(nf_chk_idx_),                     \
+          static_cast<unsigned long long>(nf_chk_sz_));                     \
+    }                                                                       \
+  } while (0)
+
+/// Finiteness contract on one scalar (rejects NaN and +/-Inf).
+#define NF_CHECK_FINITE(value)                                              \
+  do {                                                                      \
+    const double nf_chk_val_ = static_cast<double>(value);                  \
+    if (!std::isfinite(nf_chk_val_)) [[unlikely]] {                         \
+      ::neurfill::contract::fail("NF_CHECK_FINITE", #value, __FILE__,       \
+                                 __LINE__, "value is %g", nf_chk_val_);     \
+    }                                                                       \
+  } while (0)
+
+/// Finiteness contract over a buffer of float/double.
+#define NF_CHECK_ALL_FINITE(what, ptr, count)                          \
+  ::neurfill::contract::check_all_finite((what), (ptr),                \
+                                         static_cast<std::size_t>(count), \
+                                         __FILE__, __LINE__)
+
+#else  // NEURFILL_DISABLE_CHECKS
+
+// Unevaluated but type-checked stubs: expressions keep compiling (and their
+// variables stay "used") without any runtime cost.
+#define NF_CHECK(cond, ...)  \
+  ((void)sizeof(!(cond)),    \
+   (void)sizeof(::neurfill::contract::unevaluated(__VA_ARGS__)))
+#define NF_CHECK_BOUNDS(index, size) \
+  ((void)sizeof(index), (void)sizeof(size))
+#define NF_CHECK_FINITE(value) ((void)sizeof(value))
+#define NF_CHECK_ALL_FINITE(what, ptr, count) \
+  ((void)sizeof(what), (void)sizeof(ptr), (void)sizeof(count))
+
+#endif  // NEURFILL_DISABLE_CHECKS

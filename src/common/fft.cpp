@@ -1,13 +1,14 @@
 #include "common/fft.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.hpp"
 
 namespace neurfill {
 
 void fft(std::vector<std::complex<double>>& a, bool inverse) {
   const std::size_t n = a.size();
-  assert((n & (n - 1)) == 0 && "fft size must be a power of two");
+  NF_CHECK((n & (n - 1)) == 0, "fft size must be a power of two, got %zu", n);
   if (n <= 1) return;
 
   // Bit-reversal permutation.
@@ -41,7 +42,9 @@ void fft(std::vector<std::complex<double>>& a, bool inverse) {
 
 void fft2d(std::vector<std::complex<double>>& a, std::size_t rows,
            std::size_t cols, bool inverse) {
-  assert(a.size() == rows * cols);
+  NF_CHECK(a.size() == rows * cols,
+           "fft2d: buffer size %zu does not match %zu x %zu grid", a.size(),
+           rows, cols);
   std::vector<std::complex<double>> tmp;
   // Rows.
   for (std::size_t i = 0; i < rows; ++i) {
@@ -86,7 +89,10 @@ CircularConvolver::CircularConvolver(const GridD& kernel)
 GridD CircularConvolver::apply(const GridD& input) const {
   // The convolver is constructed for exact power-of-two grids in the contact
   // solver; callers with other sizes pad before constructing.
-  assert(input.rows() <= rows_ && input.cols() <= cols_);
+  NF_CHECK(input.rows() <= rows_ && input.cols() <= cols_,
+           "CircularConvolver::apply: input %zu x %zu exceeds transform "
+           "%zu x %zu",
+           input.rows(), input.cols(), rows_, cols_);
   std::vector<std::complex<double>> x(rows_ * cols_, {0.0, 0.0});
   for (std::size_t i = 0; i < input.rows(); ++i)
     for (std::size_t j = 0; j < input.cols(); ++j)
@@ -103,8 +109,10 @@ GridD CircularConvolver::apply(const GridD& input) const {
 
 GridD convolve_small(const GridD& input, const GridD& kernel,
                      bool normalize_boundary) {
-  assert(kernel.rows() % 2 == 1 && kernel.cols() % 2 == 1 &&
-         "kernel must be odd-sized and centered");
+  NF_CHECK(kernel.rows() % 2 == 1 && kernel.cols() % 2 == 1,
+           "convolve_small: kernel must be odd-sized and centered, got "
+           "%zu x %zu",
+           kernel.rows(), kernel.cols());
   const std::ptrdiff_t R = static_cast<std::ptrdiff_t>(input.rows());
   const std::ptrdiff_t C = static_cast<std::ptrdiff_t>(input.cols());
   const std::ptrdiff_t kr = static_cast<std::ptrdiff_t>(kernel.rows()) / 2;

@@ -1,8 +1,9 @@
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace neurfill {
 
@@ -22,22 +23,24 @@ class Grid2D {
   bool empty() const { return data_.empty(); }
 
   T& operator()(std::size_t i, std::size_t j) {
-    assert(i < rows_ && j < cols_);
+    NF_CHECK_BOUNDS(i, rows_);
+    NF_CHECK_BOUNDS(j, cols_);
     return data_[i * cols_ + j];
   }
   const T& operator()(std::size_t i, std::size_t j) const {
-    assert(i < rows_ && j < cols_);
+    NF_CHECK_BOUNDS(i, rows_);
+    NF_CHECK_BOUNDS(j, cols_);
     return data_[i * cols_ + j];
   }
 
   /// Flat access in row-major order; used when a grid is treated as a vector
   /// of optimization variables.
   T& operator[](std::size_t k) {
-    assert(k < data_.size());
+    NF_CHECK_BOUNDS(k, data_.size());
     return data_[k];
   }
   const T& operator[](std::size_t k) const {
-    assert(k < data_.size());
+    NF_CHECK_BOUNDS(k, data_.size());
     return data_[k];
   }
 

@@ -48,8 +48,8 @@ PdEstimate estimate_pd(const WindowExtraction& ext,
       out.overlay_um2 += (s.x2 + s.x3 + 2.0 * s.x4) * wa;
       // Which type would the *next* unit of fill land in?  That determines
       // the subgradient (Eq. 16's structure).
-      double remaining = x[l][k] - (s.x1 + s.x2 + s.x3 + s.x4);
-      double t;
+      const double remaining = x[l][k] - (s.x1 + s.x2 + s.x3 + s.x4);
+      double t = 0.0;
       if (remaining > 1e-15) {
         t = 4.0;  // saturated: treated as type 4 for gradient purposes
       } else if (s.x1 < d.slack_type[0][k] - 1e-15) {

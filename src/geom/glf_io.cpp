@@ -1,5 +1,6 @@
 #include "geom/glf_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -86,6 +87,10 @@ Layout read_glf(std::istream& is) {
   std::size_t nlayers = 0;
   if (!(is >> kw >> nlayers) || kw != "layers")
     throw std::runtime_error("GLF: missing layer count");
+  // Sanity bound: real stacks have tens of layers.  Rejecting absurd counts
+  // here keeps a corrupt header from turning into a giant allocation.
+  if (nlayers > 1024)
+    throw std::runtime_error("GLF: implausible layer count");
   layout.layers.resize(nlayers);
   for (auto& layer : layout.layers) {
     std::size_t nw = 0, nd = 0;
@@ -95,8 +100,12 @@ Layout read_glf(std::istream& is) {
       throw std::runtime_error("GLF: malformed layer header");
     if (!(is >> kw2 >> nd) || kw2 != "dummies")
       throw std::runtime_error("GLF: malformed layer header (dummies)");
-    layer.wires.reserve(nw);
-    layer.dummies.reserve(nd);
+    // Cap the preallocation: a corrupt count still fails (truncated record)
+    // but without first reserving gigabytes.  push_back grows past the cap
+    // naturally if the file really does hold that many rects.
+    constexpr std::size_t kMaxReserve = std::size_t{1} << 20;
+    layer.wires.reserve(std::min(nw, kMaxReserve));
+    layer.dummies.reserve(std::min(nd, kMaxReserve));
     for (std::size_t i = 0; i < nw; ++i) layer.wires.push_back(read_rect(is, 'w'));
     for (std::size_t i = 0; i < nd; ++i)
       layer.dummies.push_back(read_rect(is, 'd'));

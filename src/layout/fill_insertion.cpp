@@ -84,8 +84,8 @@ DrcInsertStats insert_dummies_drc(Layout& layout, const WindowExtraction& ext,
         for (int s = 0; s < sites && realized < target; ++s) {
           const int si = s / rules.sites_per_axis;
           const int sj = s % rules.sites_per_axis;
-          const double cx = j * ext.window_um + (sj + 0.5) * pitch;
-          const double cy = i * ext.window_um + (si + 0.5) * pitch;
+          const double cx = static_cast<double>(j) * ext.window_um + (sj + 0.5) * pitch;
+          const double cy = static_cast<double>(i) * ext.window_um + (si + 0.5) * pitch;
           const Rect cand(cx - edge / 2, cy - edge / 2, cx + edge / 2,
                           cy + edge / 2);
           if (!clear_of(cand, wires, placed_here, rules.spacing_um)) {

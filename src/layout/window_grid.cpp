@@ -36,8 +36,9 @@ void accumulate_rects(const std::vector<Rect>& rects, double window_um,
         static_cast<std::size_t>(std::max(0.0, std::ceil(r.y1 / window_um) - 1.0)));
     for (std::size_t i = i0; i <= i1; ++i) {
       for (std::size_t j = j0; j <= j1; ++j) {
-        const Rect win(j * window_um, i * window_um, (j + 1) * window_um,
-                       (i + 1) * window_um);
+        const double wx = static_cast<double>(j) * window_um;
+        const double wy = static_cast<double>(i) * window_um;
+        const Rect win(wx, wy, wx + window_um, wy + window_um);
         const Rect clip = r.intersect(win);
         if (clip.empty()) continue;
         density(i, j) += clip.area() * inv_area;
@@ -170,8 +171,10 @@ std::size_t insert_dummies(Layout& layout, const WindowExtraction& ext,
         edge = std::min(edge, max_edge);  // saturated windows under-realize
         for (std::size_t t = 0; t < count; ++t) {
           const std::size_t ti = t / 3, tj = t % 3;
-          const double cx = j * ext.window_um + (tj + 0.5) * pitch;
-          const double cy = i * ext.window_um + (ti + 0.5) * pitch;
+          const double cx = static_cast<double>(j) * ext.window_um +
+                            (static_cast<double>(tj) + 0.5) * pitch;
+          const double cy = static_cast<double>(i) * ext.window_um +
+                            (static_cast<double>(ti) + 0.5) * pitch;
           dummies.emplace_back(cx - edge / 2, cy - edge / 2, cx + edge / 2,
                                cy + edge / 2);
           ++inserted;

@@ -2,10 +2,28 @@
 
 #include <cstring>
 
+#include "common/check.hpp"
+
 namespace neurfill::nn {
+
+namespace {
+/// Shared precondition for every kernel: non-negative dimensions and, when
+/// the product is non-empty, live buffers to stream through.
+void check_gemm_args(const char* name, int M, int N, int K, const float* A,
+                     const float* B, const float* C) {
+  NF_CHECK(M >= 0 && N >= 0 && K >= 0, "%s: negative dimension M=%d N=%d K=%d",
+           name, M, N, K);
+  if (M > 0 && N > 0) {
+    NF_CHECK(C != nullptr, "%s: null C with M=%d N=%d", name, M, N);
+    if (K > 0)
+      NF_CHECK(A != nullptr && B != nullptr, "%s: null input operand", name);
+  }
+}
+}  // namespace
 
 void gemm_nn(int M, int N, int K, const float* A, const float* B, float* C,
              bool accumulate) {
+  check_gemm_args("gemm_nn", M, N, K, A, B, C);
   if (!accumulate) std::memset(C, 0, sizeof(float) * static_cast<std::size_t>(M) * N);
   for (int i = 0; i < M; ++i) {
     const float* a_row = A + static_cast<std::size_t>(i) * K;
@@ -21,6 +39,7 @@ void gemm_nn(int M, int N, int K, const float* A, const float* B, float* C,
 
 void gemm_nt(int M, int N, int K, const float* A, const float* B, float* C,
              bool accumulate) {
+  check_gemm_args("gemm_nt", M, N, K, A, B, C);
   for (int i = 0; i < M; ++i) {
     const float* a_row = A + static_cast<std::size_t>(i) * K;
     float* c_row = C + static_cast<std::size_t>(i) * N;
@@ -35,6 +54,7 @@ void gemm_nt(int M, int N, int K, const float* A, const float* B, float* C,
 
 void gemm_tn(int M, int N, int K, const float* A, const float* B, float* C,
              bool accumulate) {
+  check_gemm_args("gemm_tn", M, N, K, A, B, C);
   if (!accumulate) std::memset(C, 0, sizeof(float) * static_cast<std::size_t>(M) * N);
   for (int k = 0; k < K; ++k) {
     const float* a_row = A + static_cast<std::size_t>(k) * M;

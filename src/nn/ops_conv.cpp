@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/check.hpp"
 #include "nn/gemm.hpp"
 #include "nn/ops.hpp"
 
@@ -10,10 +11,26 @@ namespace neurfill::nn {
 
 namespace {
 
+/// Output extent / unfold-geometry agreement shared by im2col and col2im.
+/// The callers derive (Hout, Wout) from (H, W, kernel, stride, pad); a
+/// mismatch here means the GEMM that follows would read or scatter past the
+/// unfolded buffer.
+void check_unfold_geometry(const char* name, int H, int W, int kh, int kw,
+                           int stride, int pad, int Hout, int Wout) {
+  NF_CHECK(stride >= 1, "%s: stride %d", name, stride);
+  NF_CHECK(pad >= 0, "%s: negative padding %d", name, pad);
+  NF_CHECK((H + 2 * pad - kh) / stride + 1 == Hout &&
+               (W + 2 * pad - kw) / stride + 1 == Wout,
+           "%s: output %dx%d disagrees with input %dx%d kernel %dx%d "
+           "stride %d pad %d",
+           name, Hout, Wout, H, W, kh, kw, stride, pad);
+}
+
 /// im2col: unfold (C,H,W) into a (C*kh*kw, Hout*Wout) matrix for kernel
 /// (kh,kw), stride s, symmetric zero padding p.
 void im2col(const float* x, int C, int H, int W, int kh, int kw, int stride,
             int pad, int Hout, int Wout, float* col) {
+  check_unfold_geometry("im2col", H, W, kh, kw, stride, pad, Hout, Wout);
   const int cols = Hout * Wout;
   for (int c = 0; c < C; ++c) {
     for (int ki = 0; ki < kh; ++ki) {
@@ -39,6 +56,7 @@ void im2col(const float* x, int C, int H, int W, int kh, int kw, int stride,
 /// col2im: adjoint of im2col; accumulates into x.
 void col2im(const float* col, int C, int H, int W, int kh, int kw, int stride,
             int pad, int Hout, int Wout, float* x) {
+  check_unfold_geometry("col2im", H, W, kh, kw, stride, pad, Hout, Wout);
   const int cols = Hout * Wout;
   for (int c = 0; c < C; ++c) {
     for (int ki = 0; ki < kh; ++ki) {
@@ -66,8 +84,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const int M = a.dim(0), K = a.dim(1), N = b.dim(1);
   Tensor out({M, N});
   gemm_nn(M, N, K, a.data(), b.data(), out.data(), false);
-  Tensor::attach_backward(out, {a, b}, [a, b, out, M, N, K]() mutable {
-    const float* go = out.impl()->grad.data();
+  Tensor::attach_backward(out, {a, b}, [a, b, out = out.impl().get(), M, N, K]() mutable {
+    const float* go = out->grad.data();
     if (a.requires_grad())  // dA = dOut (MxN) * B^T (NxK)
       gemm_nt(M, K, N, go, b.data(), a.grad(), true);
     if (b.requires_grad())  // dB = A^T (KxM) * dOut (MxN)
@@ -91,8 +109,8 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   }
   std::vector<Tensor> inputs{x, w};
   if (b.defined()) inputs.push_back(b);
-  Tensor::attach_backward(out, inputs, [x, w, b, out, N, K, O]() mutable {
-    const float* go = out.impl()->grad.data();
+  Tensor::attach_backward(out, inputs, [x, w, b, out = out.impl().get(), N, K, O]() mutable {
+    const float* go = out->grad.data();
     if (x.requires_grad())  // dX = dOut (N,O) * W (O,K)
       gemm_nn(N, K, O, go, w.data(), x.grad(), true);
     if (w.requires_grad())  // dW = dOut^T (O,N) * X (N,K)
@@ -125,6 +143,14 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   Tensor out({N, O, Hout, Wout});
   const int K = C * kh * kw;
   const int cols = Hout * Wout;
+  // GEMM shape agreement: weight flattens to (O, K), each batch output to
+  // (O, cols).  Violations here would stream past the tensor buffers.
+  NF_CHECK(weight.numel() == static_cast<std::int64_t>(O) * K,
+           "conv2d: weight numel %lld != O*K = %d*%d",
+           static_cast<long long>(weight.numel()), O, K);
+  NF_CHECK(out.numel() == static_cast<std::int64_t>(N) * O * cols,
+           "conv2d: output numel %lld != N*O*HoutWout = %d*%d*%d",
+           static_cast<long long>(out.numel()), N, O, cols);
   std::vector<float> col(static_cast<std::size_t>(K) * cols);
   for (int n = 0; n < N; ++n) {
     im2col(x.data() + static_cast<std::int64_t>(n) * C * H * W, C, H, W, kh,
@@ -140,10 +166,10 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   if (bias.defined()) inputs.push_back(bias);
   Tensor::attach_backward(
       out, inputs,
-      [x, weight, bias, out, N, C, H, W, O, kh, kw, stride, padding, Hout,
+      [x, weight, bias, out = out.impl().get(), N, C, H, W, O, kh, kw, stride, padding, Hout,
        Wout, K, cols]() mutable {
-        const float* go = out.impl()->grad.data();
-        std::vector<float> col(static_cast<std::size_t>(K) * cols);
+        const float* go = out->grad.data();
+        std::vector<float> colbuf(static_cast<std::size_t>(K) * cols);
         std::vector<float> dcol;
         if (x.requires_grad()) dcol.resize(static_cast<std::size_t>(K) * cols);
         for (int n = 0; n < N; ++n) {
@@ -152,9 +178,9 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
           // largest intermediate and recomputation is one im2col pass.
           if (weight.requires_grad() || x.requires_grad())
             im2col(x.data() + static_cast<std::int64_t>(n) * C * H * W, C, H,
-                   W, kh, kw, stride, padding, Hout, Wout, col.data());
+                   W, kh, kw, stride, padding, Hout, Wout, colbuf.data());
           if (weight.requires_grad())  // dW += dOut (O,cols) * col^T (cols,K)
-            gemm_nt(O, K, cols, gout, col.data(), weight.grad(), true);
+            gemm_nt(O, K, cols, gout, colbuf.data(), weight.grad(), true);
           if (x.requires_grad()) {  // dcol = W^T (K,O) * dOut (O,cols)
             gemm_tn(K, cols, O, weight.data(), gout, dcol.data(), false);
             col2im(dcol.data(), C, H, W, kh, kw, stride, padding, Hout, Wout,
@@ -203,8 +229,8 @@ Tensor maxpool2x2(const Tensor& x) {
       }
     }
   }
-  Tensor::attach_backward(out, {x}, [x, out, indices]() mutable {
-    const float* go = out.impl()->grad.data();
+  Tensor::attach_backward(out, {x}, [x, out = out.impl().get(), indices]() mutable {
+    const float* go = out->grad.data();
     float* gx = x.grad();
     for (std::size_t i = 0; i < indices->size(); ++i)
       gx[(*indices)[i]] += go[i];
@@ -233,8 +259,8 @@ Tensor upsample_nearest2x(const Tensor& x) {
       }
     }
   }
-  Tensor::attach_backward(out, {x}, [x, out, N, C, H, W]() mutable {
-    const float* go = out.impl()->grad.data();
+  Tensor::attach_backward(out, {x}, [x, out = out.impl().get(), N, C, H, W]() mutable {
+    const float* go = out->grad.data();
     float* gx = x.grad();
     for (int nc = 0; nc < N * C; ++nc) {
       const float* gp = go + static_cast<std::int64_t>(nc) * 4 * H * W;
@@ -271,15 +297,15 @@ Tensor group_norm(const Tensor& x, int groups, const Tensor& gamma,
     for (int g = 0; g < groups; ++g) {
       const float* base = px + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
       double m = 0.0;
-      for (std::int64_t i = 0; i < gsize; ++i) m += base[i];
+      for (std::int64_t i = 0; i < gsize; ++i) m += static_cast<double>(base[i]);
       m /= static_cast<double>(gsize);
       double v = 0.0;
       for (std::int64_t i = 0; i < gsize; ++i) {
-        const double d = base[i] - m;
+        const double d = static_cast<double>(base[i]) - m;
         v += d * d;
       }
       v /= static_cast<double>(gsize);
-      const double istd = 1.0 / std::sqrt(v + eps);
+      const double istd = 1.0 / std::sqrt(v + static_cast<double>(eps));
       (*mean_v)[static_cast<std::size_t>(n * groups + g)] = m;
       (*istd_v)[static_cast<std::size_t>(n * groups + g)] = istd;
       float* ob = po + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
@@ -289,22 +315,24 @@ Tensor group_norm(const Tensor& x, int groups, const Tensor& gamma,
         const float* sb = base + static_cast<std::int64_t>(c) * H * W;
         float* db = ob + static_cast<std::int64_t>(c) * H * W;
         for (int i = 0; i < H * W; ++i)
-          db[i] = static_cast<float>((sb[i] - m) * istd) * gm + bt;
+          db[i] =
+              static_cast<float>((static_cast<double>(sb[i]) - m) * istd) * gm +
+              bt;
       }
     }
   }
   Tensor::attach_backward(
       out, {x, gamma, beta},
-      [x, gamma, beta, out, N, C, H, W, groups, cpg, gsize, mean_v,
+      [x, gamma, beta, out = out.impl().get(), N, C, H, W, groups, cpg, gsize, mean_v,
        istd_v]() mutable {
-        const float* go = out.impl()->grad.data();
-        const float* px = x.data();
+        const float* go = out->grad.data();
+        const float* pxg = x.data();
         for (int n = 0; n < N; ++n) {
           for (int g = 0; g < groups; ++g) {
             const double m = (*mean_v)[static_cast<std::size_t>(n * groups + g)];
             const double istd = (*istd_v)[static_cast<std::size_t>(n * groups + g)];
             const float* xb =
-                px + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
+                pxg + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
             const float* gb =
                 go + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
             // dgamma/dbeta, plus the two group-wide sums needed for dx.
@@ -315,12 +343,12 @@ Tensor group_norm(const Tensor& x, int groups, const Tensor& gamma,
               const float* gc = gb + static_cast<std::int64_t>(c) * H * W;
               double dg = 0.0, db = 0.0;
               for (int i = 0; i < H * W; ++i) {
-                const double xhat = (xc[i] - m) * istd;
-                const double dxhat = gc[i] * gm;
+                const double xhat = (static_cast<double>(xc[i]) - m) * istd;
+                const double dxhat = static_cast<double>(gc[i]) * gm;
                 sum_dxhat += dxhat;
                 sum_dxhat_xhat += dxhat * xhat;
-                dg += gc[i] * xhat;
-                db += gc[i];
+                dg += static_cast<double>(gc[i]) * xhat;
+                db += static_cast<double>(gc[i]);
               }
               if (gamma.requires_grad())
                 gamma.grad()[g * cpg + c] += static_cast<float>(dg);
@@ -337,8 +365,8 @@ Tensor group_norm(const Tensor& x, int groups, const Tensor& gamma,
                 const float* gc = gb + static_cast<std::int64_t>(c) * H * W;
                 float* gxc = gx + static_cast<std::int64_t>(c) * H * W;
                 for (int i = 0; i < H * W; ++i) {
-                  const double xhat = (xc[i] - m) * istd;
-                  const double dxhat = gc[i] * gm;
+                  const double xhat = (static_cast<double>(xc[i]) - m) * istd;
+                  const double dxhat = static_cast<double>(gc[i]) * gm;
                   gxc[i] += static_cast<float>(
                       istd * (dxhat - inv_n * sum_dxhat -
                               xhat * inv_n * sum_dxhat_xhat));

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "nn/ops.hpp"
 
 namespace neurfill::nn {
@@ -76,8 +77,8 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, DFA dfa, DFB dfb) {
     float* po = out.data();
     const std::int64_t n = a.numel();
     for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
-    Tensor::attach_backward(out, {a, b}, [a, b, out, dfa, dfb]() mutable {
-      const float* ga_src = out.impl()->grad.data();
+    Tensor::attach_backward(out, {a, b}, [a, b, out = out.impl().get(), dfa, dfb]() mutable {
+      const float* ga_src = out->grad.data();
       const float* pa2 = a.data();
       const float* pb2 = b.data();
       const std::int64_t n2 = a.numel();
@@ -113,8 +114,8 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, DFA dfa, DFB dfb) {
             po[o++] = f(pa[ia], pb[ib]);
           }
   }
-  Tensor::attach_backward(out, {a, b}, [a, b, out, plan, dfa, dfb]() mutable {
-    const float* go = out.impl()->grad.data();
+  Tensor::attach_backward(out, {a, b}, [a, b, out = out.impl().get(), plan, dfa, dfb]() mutable {
+    const float* go = out->grad.data();
     const float* pa = a.data();
     const float* pb = b.data();
     float* ga = a.requires_grad() ? a.grad() : nullptr;
@@ -145,10 +146,10 @@ Tensor unary_op(const Tensor& a, F f, DF df) {
   float* po = out.data();
   const std::int64_t n = a.numel();
   for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
-  Tensor::attach_backward(out, {a}, [a, out, df]() mutable {
-    const float* go = out.impl()->grad.data();
+  Tensor::attach_backward(out, {a}, [a, out = out.impl().get(), df]() mutable {
+    const float* go = out->grad.data();
     const float* pa2 = a.data();
-    const float* po2 = out.data();
+    const float* po2 = out->data.data();
     float* ga = a.grad();
     const std::int64_t n2 = a.numel();
     for (std::int64_t i = 0; i < n2; ++i) ga[i] += go[i] * df(pa2[i], po2[i]);
@@ -276,10 +277,10 @@ Tensor sum(const Tensor& a) {
   const float* pa = a.data();
   double acc = 0.0;
   const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) acc += pa[i];
+  for (std::int64_t i = 0; i < n; ++i) acc += static_cast<double>(pa[i]);
   out.data()[0] = static_cast<float>(acc);
-  Tensor::attach_backward(out, {a}, [a, out]() mutable {
-    const float g = out.impl()->grad[0];
+  Tensor::attach_backward(out, {a}, [a, out = out.impl().get()]() mutable {
+    const float g = out->grad[0];
     float* ga = a.grad();
     const std::int64_t n2 = a.numel();
     for (std::int64_t i = 0; i < n2; ++i) ga[i] += g;
@@ -309,11 +310,11 @@ Tensor sum_axis(const Tensor& a, int axis) {
     for (std::int64_t in = 0; in < inner; ++in) {
       double acc = 0.0;
       for (int k = 0; k < extent; ++k)
-        acc += pa[(o * extent + k) * inner + in];
+        acc += static_cast<double>(pa[(o * extent + k) * inner + in]);
       po[o * inner + in] = static_cast<float>(acc);
     }
-  Tensor::attach_backward(out, {a}, [a, out, outer, inner, extent]() mutable {
-    const float* go = out.impl()->grad.data();
+  Tensor::attach_backward(out, {a}, [a, out = out.impl().get(), outer, inner, extent]() mutable {
+    const float* go = out->grad.data();
     float* ga = a.grad();
     for (std::int64_t o = 0; o < outer; ++o)
       for (std::int64_t in = 0; in < inner; ++in) {
@@ -342,9 +343,12 @@ Tensor reshape(const Tensor& a, std::vector<int> shape) {
   Tensor out(shape);
   if (out.numel() != a.numel())
     throw std::invalid_argument("reshape: numel mismatch");
+  NF_CHECK(out.numel() == static_cast<std::int64_t>(out.impl()->data.size()),
+           "reshape: output storage %zu does not match numel %lld",
+           out.impl()->data.size(), static_cast<long long>(out.numel()));
   std::copy(a.data(), a.data() + a.numel(), out.data());
-  Tensor::attach_backward(out, {a}, [a, out]() mutable {
-    const float* go = out.impl()->grad.data();
+  Tensor::attach_backward(out, {a}, [a, out = out.impl().get()]() mutable {
+    const float* go = out->grad.data();
     float* ga = a.grad();
     const std::int64_t n = a.numel();
     for (std::int64_t i = 0; i < n; ++i) ga[i] += go[i];
@@ -367,8 +371,8 @@ Tensor concat_channels(const Tensor& a, const Tensor& b) {
     std::copy(b.data() + n * Cb * plane, b.data() + (n + 1) * Cb * plane,
               out.data() + (n * (Ca + Cb) + Ca) * plane);
   }
-  Tensor::attach_backward(out, {a, b}, [a, b, out, N, Ca, Cb, plane]() mutable {
-    const float* go = out.impl()->grad.data();
+  Tensor::attach_backward(out, {a, b}, [a, b, out = out.impl().get(), N, Ca, Cb, plane]() mutable {
+    const float* go = out->grad.data();
     for (int n = 0; n < N; ++n) {
       if (a.requires_grad()) {
         float* ga = a.grad();

@@ -57,9 +57,10 @@ void Adam::step() {
     for (std::int64_t k = 0; k < n; ++k) {
       m[k] = beta1_ * m[k] + (1.0f - beta1_) * g[k];
       v[k] = beta2_ * v[k] + (1.0f - beta2_) * g[k] * g[k];
-      const double mhat = m[k] / bc1;
-      const double vhat = v[k] / bc2;
-      d[k] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+      const double mhat = static_cast<double>(m[k]) / bc1;
+      const double vhat = static_cast<double>(v[k]) / bc2;
+      d[k] -= static_cast<float>(static_cast<double>(lr_) * mhat /
+                                 (std::sqrt(vhat) + static_cast<double>(eps_)));
     }
   }
 }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "common/check.hpp"
+
 namespace neurfill::nn {
 
 Tensor::Tensor(std::vector<int> shape, bool requires_grad) {
@@ -51,7 +53,11 @@ float Tensor::item() const {
 }
 
 float* Tensor::grad() const {
+  NF_CHECK(defined(), "Tensor::grad on undefined tensor");
   impl_->ensure_grad();
+  NF_CHECK(impl_->grad.size() == impl_->data.size(),
+           "Tensor::grad: grad buffer %zu elements, data %zu",
+           impl_->grad.size(), impl_->data.size());
   return impl_->grad.data();
 }
 
@@ -71,8 +77,12 @@ Tensor Tensor::detach() const {
 
 void Tensor::attach_backward(Tensor& out, const std::vector<Tensor>& inputs,
                              std::function<void()> backward) {
+  NF_CHECK(out.defined(), "attach_backward: undefined output");
   bool any = false;
-  for (const Tensor& t : inputs) any = any || t.requires_grad();
+  for (const Tensor& t : inputs) {
+    NF_CHECK(t.defined(), "attach_backward: undefined input");
+    any = any || t.requires_grad();
+  }
   if (!any) return;
   out.impl_->requires_grad = true;
   out.impl_->parents.reserve(inputs.size());
@@ -114,6 +124,9 @@ void Tensor::backward() {
     detail::TensorImpl* node = *it;
     if (!node->backward_fn) continue;
     node->ensure_grad();
+    NF_CHECK(node->grad.size() == node->data.size(),
+             "Tensor::backward: grad/data size mismatch (%zu vs %zu)",
+             node->grad.size(), node->data.size());
     for (auto& p : node->parents)
       if (p->requires_grad) p->ensure_grad();
     node->backward_fn();

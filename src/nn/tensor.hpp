@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace neurfill::nn {
 
 class Tensor;
@@ -55,14 +57,30 @@ class Tensor {
   static Tensor scalar(float value, bool requires_grad = false);
 
   bool defined() const { return impl_ != nullptr; }
-  const std::vector<int>& shape() const { return impl_->shape; }
-  std::int64_t numel() const { return impl_->numel(); }
-  int dim(int i) const { return impl_->shape[static_cast<std::size_t>(i)]; }
-  int ndim() const { return static_cast<int>(impl_->shape.size()); }
+  const std::vector<int>& shape() const {
+    NF_CHECK(defined(), "Tensor::shape on undefined tensor");
+    return impl_->shape;
+  }
+  std::int64_t numel() const {
+    NF_CHECK(defined(), "Tensor::numel on undefined tensor");
+    return impl_->numel();
+  }
+  int dim(int i) const {
+    NF_CHECK(defined(), "Tensor::dim on undefined tensor");
+    NF_CHECK_BOUNDS(i, impl_->shape.size());
+    return impl_->shape[static_cast<std::size_t>(i)];
+  }
+  int ndim() const {
+    NF_CHECK(defined(), "Tensor::ndim on undefined tensor");
+    return static_cast<int>(impl_->shape.size());
+  }
 
   /// Tensor is a shared handle; constness is shallow (like shared_ptr), so
   /// data()/grad() are const members returning mutable storage.
-  float* data() const { return impl_->data.data(); }
+  float* data() const {
+    NF_CHECK(defined(), "Tensor::data on undefined tensor");
+    return impl_->data.data();
+  }
   float item() const;  ///< value of a 1-element tensor
 
   bool requires_grad() const { return impl_->requires_grad; }

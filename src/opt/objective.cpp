@@ -3,13 +3,20 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace neurfill {
 
 void Box::clamp(VecD& x) const {
   if (x.size() != lo.size())
     throw std::invalid_argument("Box::clamp: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i)
+  NF_CHECK(lo.size() == hi.size(), "Box: lo has %zu entries, hi has %zu",
+           lo.size(), hi.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    NF_CHECK(lo[i] <= hi[i], "Box: inverted bounds [%g, %g] at %zu", lo[i],
+             hi[i], i);
     x[i] = std::clamp(x[i], lo[i], hi[i]);
+  }
 }
 
 bool Box::contains(const VecD& x, double tol) const {
@@ -29,6 +36,10 @@ VecD numerical_gradient(const ObjectiveFn& f, const VecD& x, double eps) {
     xp[i] = orig - eps;
     const double fm = f(xp, nullptr);
     xp[i] = orig;
+    // Poison detector: non-finite samples would hide inside the central
+    // difference as a plausible-looking garbage gradient entry.
+    NF_CHECK_FINITE(fp);
+    NF_CHECK_FINITE(fm);
     g[i] = (fp - fm) / (2.0 * eps);
   }
   return g;

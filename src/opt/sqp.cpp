@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace neurfill {
 
 namespace {
@@ -83,6 +85,12 @@ SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
   VecD g(n), g_new(n);
   double fx = f(res.x, &g);
   ++res.function_evaluations;
+  // Poison detector: the objective gradient usually comes out of the
+  // surrogate's backward pass.  A single NaN here would propagate through
+  // the L-BFGS pairs into every later iterate, so fail at the source.
+  NF_CHECK_FINITE(fx);
+  NF_CHECK(g.size() == n, "sqp: gradient size %zu, expected %zu", g.size(), n);
+  NF_CHECK_ALL_FINITE("sqp: objective gradient", g.data(), g.size());
 
   LbfgsHessian hessian(options.lbfgs_memory);
   VecD trial(n), s(n), y(n);
@@ -144,6 +152,11 @@ SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
     const double f_old = fx;
     fx = f(trial, &g_new);
     ++res.function_evaluations;
+    NF_CHECK_FINITE(fx);
+    NF_CHECK(g_new.size() == n, "sqp: gradient size %zu, expected %zu",
+             g_new.size(), n);
+    NF_CHECK_ALL_FINITE("sqp: objective gradient", g_new.data(),
+                        g_new.size());
     for (std::size_t i = 0; i < n; ++i) {
       s[i] = trial[i] - res.x[i];
       y[i] = g_new[i] - g[i];

@@ -135,7 +135,7 @@ TrainStats train_surrogate(CmpSurrogate& surrogate,
               : dataset[order[static_cast<std::size_t>(i)]];
       nn::Tensor loss = sample_loss_tensor(surrogate, sample);
       loss.backward();
-      epoch_loss += loss.item();
+      epoch_loss += static_cast<double>(loss.item());
       ++stats.samples_seen;
       if (++in_batch >= options.grad_accumulation) {
         opt.step();

@@ -25,7 +25,7 @@ void naive_gemm(int M, int N, int K, const float* A, const float* B,
       for (int k = 0; k < K; ++k) {
         const float a = ta ? A[k * M + i] : A[i * K + k];
         const float b = tb ? B[j * K + k] : B[k * N + j];
-        acc += static_cast<double>(a) * b;
+        acc += static_cast<double>(a) * static_cast<double>(b);
       }
       C[i * N + j] = static_cast<float>(acc);
     }

@@ -42,7 +42,7 @@ TEST(Features, PadReplicateEdges) {
   // Column 3 replicates column 2; rows 2,3 replicate row 1.
   EXPECT_FLOAT_EQ(padded[1 * 4 + 3], 5.0f);
   EXPECT_FLOAT_EQ(padded[3 * 4 + 3], 5.0f);
-  EXPECT_FLOAT_EQ(padded[3 * 4 + 0], g(1, 0));
+  EXPECT_FLOAT_EQ(padded[3 * 4 + 0], static_cast<float>(g(1, 0)));
   EXPECT_THROW(pad_replicate(g, 1, 4), std::invalid_argument);
 }
 
