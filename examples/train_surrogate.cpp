@@ -4,6 +4,7 @@
 //
 // Usage:
 //   train_surrogate [out_prefix] [grid] [dataset] [epochs] [seed]
+//                   [--threads N]
 //
 // Defaults reproduce the repository's cached artifact: sources are Designs A
 // and B (Design C is held out for the extension-ability experiment of
@@ -12,12 +13,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "geom/designs.hpp"
 #include "layout/window_grid.hpp"
+#include "runtime/parallel.hpp"
 #include "surrogate/cmp_network.hpp"
 #include "surrogate/eval.hpp"
 #include "surrogate/trainer.hpp"
@@ -26,15 +30,26 @@ int main(int argc, char** argv) {
   using namespace neurfill;
   set_log_level(LogLevel::kInfo);
 
-  const std::string out = argc > 1 ? argv[1] : "data/unet_cmp";
-  const std::size_t grid = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 32;
-  const int dataset = argc > 3 ? std::atoi(argv[3]) : 400;
-  const int epochs = argc > 4 ? std::atoi(argv[4]) : 20;
-  const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 7;
+  // Split --threads off; the remaining arguments are positional.
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      runtime::set_thread_count(std::atoi(argv[++i]));
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  const std::size_t n = pos.size();
+  const std::string out = n > 0 ? pos[0] : "data/unet_cmp";
+  const std::size_t grid = n > 1 ? std::strtoul(pos[1], nullptr, 10) : 32;
+  const int dataset = n > 2 ? std::atoi(pos[2]) : 400;
+  const int epochs = n > 3 ? std::atoi(pos[3]) : 20;
+  const std::uint64_t seed = n > 4 ? std::strtoull(pos[4], nullptr, 10) : 7;
 
   std::printf("== NeurFill surrogate pre-training ==\n");
-  std::printf("sources: designs A+B at %zux%zu windows (C held out)\n", grid,
-              grid);
+  std::printf("sources: designs A+B at %zux%zu windows (C held out); "
+              "threads=%d\n",
+              grid, grid, runtime::thread_count());
 
   const int windows = static_cast<int>(grid);
   const Layout design_a = make_design('a', windows, 100.0, 11);

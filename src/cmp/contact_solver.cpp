@@ -5,8 +5,30 @@
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "runtime/parallel.hpp"
 
 namespace neurfill {
+
+namespace {
+/// Grid cells per parallel block in the Polonsky-Keer loops.  Fixed (never
+/// derived from the thread count) so the blocked reductions below combine
+/// in the same order at every thread count — the solver's pressure field is
+/// bitwise identical serial vs. parallel.
+constexpr std::size_t kCellGrain = 2048;
+
+/// Deterministic blocked sum over f(k) for k in [0, n).
+template <typename F>
+double blocked_sum(std::size_t n, F&& f) {
+  return runtime::parallel_reduce(
+      kCellGrain, n, 0.0,
+      [&](std::size_t k0, std::size_t k1) {
+        double s = 0.0;
+        for (std::size_t k = k0; k < k1; ++k) s += f(k);
+        return s;
+      },
+      [](double a, double b) { return a + b; });
+}
+}  // namespace
 
 GridD ElasticContactSolver::make_green_kernel(std::size_t rows,
                                               std::size_t cols,
@@ -90,37 +112,54 @@ GridD ElasticContactSolver::solve(const GridD& height,
     // Gap up to the unknown rigid approach delta: g_i = u_i - h_i.  On the
     // contact set g should be constant (= -delta); use its contact-set mean
     // as the working delta estimate.
-    double gbar = 0.0;
-    std::size_t nc = 0;
-    for (std::size_t k = 0; k < n; ++k) {
-      if (p[k] > 0.0) {
-        gbar += u[k] - height[k];
-        ++nc;
-      }
-    }
+    // Contact-set mean gap: a blocked two-component reduction (sum, count)
+    // combined in fixed block order.
+    struct GapStat {
+      double sum = 0.0;
+      std::size_t count = 0;
+    };
+    const GapStat gap = runtime::parallel_reduce(
+        kCellGrain, n, GapStat{},
+        [&](std::size_t k0, std::size_t k1) {
+          GapStat s;
+          for (std::size_t k = k0; k < k1; ++k) {
+            if (p[k] > 0.0) {
+              s.sum += u[k] - height[k];
+              ++s.count;
+            }
+          }
+          return s;
+        },
+        [](GapStat a, const GapStat& b) {
+          a.sum += b.sum;
+          a.count += b.count;
+          return a;
+        });
+    const std::size_t nc = gap.count;
     if (nc == 0) break;
-    gbar /= static_cast<double>(nc);
+    const double gbar = gap.sum / static_cast<double>(nc);
     NF_CHECK_FINITE(gbar);
 
-    double g_new = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
+    // Residual update writes r (disjoint per cell) while reducing |r|^2.
+    const double g_new = blocked_sum(n, [&](std::size_t k) {
       r[k] = (p[k] > 0.0) ? (u[k] - height[k] - gbar) : 0.0;
-      g_new += r[k] * r[k];
-    }
+      return r[k] * r[k];
+    });
     if (std::sqrt(g_new / static_cast<double>(nc)) < opt_.tolerance * href)
       break;
 
     const double beta = restart_cg ? 0.0 : g_new / g_old;
     restart_cg = false;
     g_old = g_new;
-    for (std::size_t k = 0; k < n; ++k)
-      d[k] = (p[k] > 0.0) ? (-r[k] + beta * d[k]) : 0.0;
+    runtime::parallel_for(kCellGrain, n, [&](std::size_t k0, std::size_t k1) {
+      for (std::size_t k = k0; k < k1; ++k)
+        d[k] = (p[k] > 0.0) ? (-r[k] + beta * d[k]) : 0.0;
+    });
 
     // Step length along d: alpha = (r.r) / (d.(G d)) over the contact set.
     const GridD Gd = green_.apply(d);
-    double denom = 0.0;
-    for (std::size_t k = 0; k < n; ++k)
-      if (p[k] > 0.0) denom += d[k] * Gd[k];
+    const double denom = blocked_sum(
+        n, [&](std::size_t k) { return p[k] > 0.0 ? d[k] * Gd[k] : 0.0; });
     if (std::abs(denom) < 1e-300) break;
     const double alpha = g_new / denom;
     NF_CHECK_FINITE(alpha);
@@ -128,38 +167,54 @@ GridD ElasticContactSolver::solve(const GridD& height,
 
     // Take the step and project to p >= 0.  Points whose pressure hits zero
     // leave the contact set; CG restarts when the set changes.
-    bool set_changed = false;
-    for (std::size_t k = 0; k < n; ++k) {
-      if (p[k] <= 0.0) continue;
-      const double np = p[k] + alpha * d[k];
-      if (np <= 0.0) {
-        p[k] = 0.0;
-        set_changed = true;
-      } else {
-        p[k] = np;
-      }
-    }
+    // Both projection passes write disjoint cells and reduce an "any cell
+    // left/entered the contact set" flag (order-independent OR).
+    bool set_changed = runtime::parallel_reduce(
+        kCellGrain, n, false,
+        [&](std::size_t k0, std::size_t k1) {
+          bool changed = false;
+          for (std::size_t k = k0; k < k1; ++k) {
+            if (p[k] <= 0.0) continue;
+            const double np = p[k] + alpha * d[k];
+            if (np <= 0.0) {
+              p[k] = 0.0;
+              changed = true;
+            } else {
+              p[k] = np;
+            }
+          }
+          return changed;
+        },
+        [](bool a, bool b) { return a || b; });
 
     // Points outside contact that penetrate (gap < -delta) re-enter.
     const GridD u2 = green_.apply(p);
-    for (std::size_t k = 0; k < n; ++k) {
-      if (p[k] == 0.0 && u2[k] - height[k] < gbar) {
-        p[k] = 1e-6 * nominal_pressure;
-        set_changed = true;
-      }
-    }
+    set_changed = runtime::parallel_reduce(
+        kCellGrain, n, set_changed,
+        [&](std::size_t k0, std::size_t k1) {
+          bool changed = false;
+          for (std::size_t k = k0; k < k1; ++k) {
+            if (p[k] == 0.0 && u2[k] - height[k] < gbar) {
+              p[k] = 1e-6 * nominal_pressure;
+              changed = true;
+            }
+          }
+          return changed;
+        },
+        [](bool a, bool b) { return a || b; });
     if (set_changed) restart_cg = true;
 
     // Load balance.
-    double sum = 0.0;
-    for (const double v : p) sum += v;
+    const double sum = blocked_sum(n, [&](std::size_t k) { return p[k]; });
     if (sum <= 0.0) {
       p.fill(nominal_pressure);
       restart_cg = true;
       continue;
     }
     const double scale = total_load / sum;
-    for (auto& v : p) v *= scale;
+    runtime::parallel_for(kCellGrain, n, [&](std::size_t k0, std::size_t k1) {
+      for (std::size_t k = k0; k < k1; ++k) p[k] *= scale;
+    });
   }
   // Postconditions: the solution is a physical pressure field.
   for (std::size_t k = 0; k < n; ++k)

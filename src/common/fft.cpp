@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "runtime/parallel.hpp"
 
 namespace neurfill {
 
@@ -45,22 +46,30 @@ void fft2d(std::vector<std::complex<double>>& a, std::size_t rows,
   NF_CHECK(a.size() == rows * cols,
            "fft2d: buffer size %zu does not match %zu x %zu grid", a.size(),
            rows, cols);
-  std::vector<std::complex<double>> tmp;
+  std::complex<double>* pa = a.data();
+  // The 1-D transforms of a batch are independent (each touches one row /
+  // one column), so both passes parallelize with a scratch buffer per
+  // block.  A single row FFT at typical grid sizes (64-512 points) is a few
+  // microseconds, hence the grain of 8 transforms per block.
+  constexpr std::size_t kFftGrain = 8;
   // Rows.
-  for (std::size_t i = 0; i < rows; ++i) {
-    tmp.assign(a.begin() + static_cast<std::ptrdiff_t>(i * cols),
-               a.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols));
-    fft(tmp, inverse);
-    std::copy(tmp.begin(), tmp.end(),
-              a.begin() + static_cast<std::ptrdiff_t>(i * cols));
-  }
+  runtime::parallel_for(kFftGrain, rows, [=](std::size_t i0, std::size_t i1) {
+    std::vector<std::complex<double>> tmp;
+    for (std::size_t i = i0; i < i1; ++i) {
+      tmp.assign(pa + i * cols, pa + (i + 1) * cols);
+      fft(tmp, inverse);
+      std::copy(tmp.begin(), tmp.end(), pa + i * cols);
+    }
+  });
   // Columns.
-  tmp.resize(rows);
-  for (std::size_t j = 0; j < cols; ++j) {
-    for (std::size_t i = 0; i < rows; ++i) tmp[i] = a[i * cols + j];
-    fft(tmp, inverse);
-    for (std::size_t i = 0; i < rows; ++i) a[i * cols + j] = tmp[i];
-  }
+  runtime::parallel_for(kFftGrain, cols, [=](std::size_t j0, std::size_t j1) {
+    std::vector<std::complex<double>> tmp(rows);
+    for (std::size_t j = j0; j < j1; ++j) {
+      for (std::size_t i = 0; i < rows; ++i) tmp[i] = pa[i * cols + j];
+      fft(tmp, inverse);
+      for (std::size_t i = 0; i < rows; ++i) pa[i * cols + j] = tmp[i];
+    }
+  });
 }
 
 std::size_t next_pow2(std::size_t n) {
@@ -98,7 +107,13 @@ GridD CircularConvolver::apply(const GridD& input) const {
     for (std::size_t j = 0; j < input.cols(); ++j)
       x[i * cols_ + j] = input(i, j);
   fft2d(x, rows_, cols_, false);
-  for (std::size_t k = 0; k < x.size(); ++k) x[k] *= kernel_hat_[k];
+  {
+    std::complex<double>* px = x.data();
+    const std::complex<double>* pk = kernel_hat_.data();
+    runtime::parallel_for(4096, x.size(), [=](std::size_t k0, std::size_t k1) {
+      for (std::size_t k = k0; k < k1; ++k) px[k] *= pk[k];
+    });
+  }
   fft2d(x, rows_, cols_, true);
   GridD out(input.rows(), input.cols());
   for (std::size_t i = 0; i < input.rows(); ++i)
@@ -118,7 +133,13 @@ GridD convolve_small(const GridD& input, const GridD& kernel,
   const std::ptrdiff_t kr = static_cast<std::ptrdiff_t>(kernel.rows()) / 2;
   const std::ptrdiff_t kc = static_cast<std::ptrdiff_t>(kernel.cols()) / 2;
   GridD out(input.rows(), input.cols(), 0.0);
-  for (std::ptrdiff_t i = 0; i < R; ++i) {
+  // Each output row is independent of the others (pure gather), so the row
+  // loop parallelizes; grain 2 because a row costs R_kernel * C_kernel * C
+  // multiply-adds.
+  runtime::parallel_for(2, static_cast<std::size_t>(R), [&](std::size_t r0,
+                                                            std::size_t r1) {
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(r0);
+       i < static_cast<std::ptrdiff_t>(r1); ++i) {
     for (std::ptrdiff_t j = 0; j < C; ++j) {
       double acc = 0.0;
       double mass = 0.0;
@@ -140,6 +161,7 @@ GridD convolve_small(const GridD& input, const GridD& kernel,
       out(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = acc;
     }
   }
+  });
   return out;
 }
 

@@ -108,13 +108,19 @@ FillRunResult neurfill_mm(const FillProblem& problem, const CmpNetwork& network,
   long evals = 0;
   const ObjectiveFn obj = make_network_objective(problem, network, &evals);
 
-  // Multi-modal exploration maximizes the quality score (value only).
-  const ObjectiveFn explore = [&](const VecD& v, VecD*) -> double {
-    ++evals;
-    return -obj(v, nullptr);  // NMMSO maximizes
+  // Multi-modal exploration maximizes the quality score (value only).  The
+  // explore objective carries no shared mutable state (its evaluations are
+  // tallied from the optimizer afterwards), so NMMSO may run its per-swarm
+  // evaluation batches on the thread pool.
+  const ObjectiveFn net_obj = make_network_objective(problem, network, nullptr);
+  const ObjectiveFn explore = [&net_obj](const VecD& v, VecD*) -> double {
+    return -net_obj(v, nullptr);  // NMMSO maximizes
   };
-  Nmmso nmmso(explore, problem.bounds(), options.nmmso);
+  NmmsoOptions nmmso_opt = options.nmmso;
+  nmmso_opt.parallel_evaluations = true;
+  Nmmso nmmso(explore, problem.bounds(), nmmso_opt);
   const std::vector<Mode> modes = nmmso.run();
+  evals += nmmso.evaluations_used();
 
   // MSP-SQP over a diverse pool: the best NMMSO modes, the PKB start, and a
   // spread of target-density fills (the structured corners of the landscape

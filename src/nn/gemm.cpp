@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "runtime/parallel.hpp"
 
 namespace neurfill::nn {
 
@@ -19,53 +20,84 @@ void check_gemm_args(const char* name, int M, int N, int K, const float* A,
       NF_CHECK(A != nullptr && B != nullptr, "%s: null input operand", name);
   }
 }
+
+/// Rows of C per parallel block, sized so one block is >= ~64k flop.  A
+/// function of the problem shape only (never the thread count), so the
+/// M-blocking — and with it every result bit — is identical at any thread
+/// count; each block writes a disjoint row range of C.
+std::size_t row_grain(int N, int K) {
+  const std::size_t flop_per_row =
+      2u * static_cast<std::size_t>(N > 0 ? N : 1) *
+      static_cast<std::size_t>(K > 0 ? K : 1);
+  const std::size_t g = 65536 / (flop_per_row + 1);
+  return g < 1 ? 1 : g;
+}
 }  // namespace
 
 void gemm_nn(int M, int N, int K, const float* A, const float* B, float* C,
              bool accumulate) {
   check_gemm_args("gemm_nn", M, N, K, A, B, C);
-  if (!accumulate) std::memset(C, 0, sizeof(float) * static_cast<std::size_t>(M) * N);
-  for (int i = 0; i < M; ++i) {
-    const float* a_row = A + static_cast<std::size_t>(i) * K;
-    float* c_row = C + static_cast<std::size_t>(i) * N;
-    for (int k = 0; k < K; ++k) {
-      const float a = a_row[k];
-      if (a == 0.0f) continue;
-      const float* b_row = B + static_cast<std::size_t>(k) * N;
-      for (int j = 0; j < N; ++j) c_row[j] += a * b_row[j];
-    }
-  }
+  runtime::parallel_for(
+      row_grain(N, K), static_cast<std::size_t>(M),
+      [=](std::size_t i0, std::size_t i1) {
+        if (!accumulate)
+          std::memset(C + i0 * static_cast<std::size_t>(N), 0,
+                      sizeof(float) * (i1 - i0) * static_cast<std::size_t>(N));
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* a_row = A + i * static_cast<std::size_t>(K);
+          float* c_row = C + i * static_cast<std::size_t>(N);
+          for (int k = 0; k < K; ++k) {
+            const float a = a_row[k];
+            if (a == 0.0f) continue;
+            const float* b_row = B + static_cast<std::size_t>(k) * N;
+            for (int j = 0; j < N; ++j) c_row[j] += a * b_row[j];
+          }
+        }
+      });
 }
 
 void gemm_nt(int M, int N, int K, const float* A, const float* B, float* C,
              bool accumulate) {
   check_gemm_args("gemm_nt", M, N, K, A, B, C);
-  for (int i = 0; i < M; ++i) {
-    const float* a_row = A + static_cast<std::size_t>(i) * K;
-    float* c_row = C + static_cast<std::size_t>(i) * N;
-    for (int j = 0; j < N; ++j) {
-      const float* b_row = B + static_cast<std::size_t>(j) * K;
-      float acc = accumulate ? c_row[j] : 0.0f;
-      for (int k = 0; k < K; ++k) acc += a_row[k] * b_row[k];
-      c_row[j] = acc;
-    }
-  }
+  runtime::parallel_for(
+      row_grain(N, K), static_cast<std::size_t>(M),
+      [=](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* a_row = A + i * static_cast<std::size_t>(K);
+          float* c_row = C + i * static_cast<std::size_t>(N);
+          for (int j = 0; j < N; ++j) {
+            const float* b_row = B + static_cast<std::size_t>(j) * K;
+            float acc = accumulate ? c_row[j] : 0.0f;
+            for (int k = 0; k < K; ++k) acc += a_row[k] * b_row[k];
+            c_row[j] = acc;
+          }
+        }
+      });
 }
 
 void gemm_tn(int M, int N, int K, const float* A, const float* B, float* C,
              bool accumulate) {
   check_gemm_args("gemm_tn", M, N, K, A, B, C);
-  if (!accumulate) std::memset(C, 0, sizeof(float) * static_cast<std::size_t>(M) * N);
-  for (int k = 0; k < K; ++k) {
-    const float* a_row = A + static_cast<std::size_t>(k) * M;
-    const float* b_row = B + static_cast<std::size_t>(k) * N;
-    for (int i = 0; i < M; ++i) {
-      const float a = a_row[i];
-      if (a == 0.0f) continue;
-      float* c_row = C + static_cast<std::size_t>(i) * N;
-      for (int j = 0; j < N; ++j) c_row[j] += a * b_row[j];
-    }
-  }
+  // Parallel over rows of C (disjoint writes).  Per element the k-loop runs
+  // in the same ascending order as the historical k-outer kernel, so the
+  // floating-point result is unchanged; A is now read with stride M, which
+  // is the price of race-free row ownership.
+  runtime::parallel_for(
+      row_grain(N, K), static_cast<std::size_t>(M),
+      [=](std::size_t i0, std::size_t i1) {
+        if (!accumulate)
+          std::memset(C + i0 * static_cast<std::size_t>(N), 0,
+                      sizeof(float) * (i1 - i0) * static_cast<std::size_t>(N));
+        for (std::size_t i = i0; i < i1; ++i) {
+          float* c_row = C + i * static_cast<std::size_t>(N);
+          for (int k = 0; k < K; ++k) {
+            const float a = A[static_cast<std::size_t>(k) * M + i];
+            if (a == 0.0f) continue;
+            const float* b_row = B + static_cast<std::size_t>(k) * N;
+            for (int j = 0; j < N; ++j) c_row[j] += a * b_row[j];
+          }
+        }
+      });
 }
 
 }  // namespace neurfill::nn

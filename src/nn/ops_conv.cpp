@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "nn/gemm.hpp"
 #include "nn/ops.hpp"
+#include "runtime/parallel.hpp"
 
 namespace neurfill::nn {
 
@@ -32,25 +33,31 @@ void im2col(const float* x, int C, int H, int W, int kh, int kw, int stride,
             int pad, int Hout, int Wout, float* col) {
   check_unfold_geometry("im2col", H, W, kh, kw, stride, pad, Hout, Wout);
   const int cols = Hout * Wout;
-  for (int c = 0; c < C; ++c) {
-    for (int ki = 0; ki < kh; ++ki) {
-      for (int kj = 0; kj < kw; ++kj) {
-        float* dst = col + ((c * kh + ki) * kw + kj) * cols;
-        for (int oi = 0; oi < Hout; ++oi) {
-          const int ii = oi * stride + ki - pad;
-          if (ii < 0 || ii >= H) {
-            std::memset(dst + oi * Wout, 0, sizeof(float) * static_cast<std::size_t>(Wout));
-            continue;
-          }
-          const float* src = x + (c * H + ii) * W;
-          for (int oj = 0; oj < Wout; ++oj) {
-            const int jj = oj * stride + kj - pad;
-            dst[oi * Wout + oj] = (jj >= 0 && jj < W) ? src[jj] : 0.0f;
+  // Each unfolded row (c, ki, kj) writes a disjoint `cols`-wide slice, so
+  // the plane loop parallelizes directly.
+  runtime::parallel_for(
+      4, static_cast<std::size_t>(C * kh * kw),
+      [=](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+          const int c = static_cast<int>(p) / (kh * kw);
+          const int ki = (static_cast<int>(p) / kw) % kh;
+          const int kj = static_cast<int>(p) % kw;
+          float* dst = col + p * static_cast<std::size_t>(cols);
+          for (int oi = 0; oi < Hout; ++oi) {
+            const int ii = oi * stride + ki - pad;
+            if (ii < 0 || ii >= H) {
+              std::memset(dst + oi * Wout, 0,
+                          sizeof(float) * static_cast<std::size_t>(Wout));
+              continue;
+            }
+            const float* src = x + (c * H + ii) * W;
+            for (int oj = 0; oj < Wout; ++oj) {
+              const int jj = oj * stride + kj - pad;
+              dst[oi * Wout + oj] = (jj >= 0 && jj < W) ? src[jj] : 0.0f;
+            }
           }
         }
-      }
-    }
-  }
+      });
 }
 
 /// col2im: adjoint of im2col; accumulates into x.
@@ -58,7 +65,12 @@ void col2im(const float* col, int C, int H, int W, int kh, int kw, int stride,
             int pad, int Hout, int Wout, float* x) {
   check_unfold_geometry("col2im", H, W, kh, kw, stride, pad, Hout, Wout);
   const int cols = Hout * Wout;
-  for (int c = 0; c < C; ++c) {
+  // The (ki, kj) scatters of one channel overlap each other but never cross
+  // channels, so the accumulation parallelizes over c only; within a
+  // channel the scatter order is the fixed serial one.
+  runtime::parallel_for(1, static_cast<std::size_t>(C), [=](std::size_t c0,
+                                                            std::size_t c1) {
+  for (int c = static_cast<int>(c0); c < static_cast<int>(c1); ++c) {
     for (int ki = 0; ki < kh; ++ki) {
       for (int kj = 0; kj < kw; ++kj) {
         const float* src = col + ((c * kh + ki) * kw + kj) * cols;
@@ -74,6 +86,7 @@ void col2im(const float* col, int C, int H, int W, int kh, int kw, int stride,
       }
     }
   }
+  });
 }
 
 }  // namespace
@@ -157,9 +170,16 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
            kw, stride, padding, Hout, Wout, col.data());
     float* po = out.data() + static_cast<std::int64_t>(n) * O * cols;
     gemm_nn(O, cols, K, weight.data(), col.data(), po, false);
-    if (bias.defined())
-      for (int o = 0; o < O; ++o)
-        for (int i = 0; i < cols; ++i) po[o * cols + i] += bias.data()[o];
+    if (bias.defined()) {
+      const float* pb = bias.data();
+      runtime::parallel_for(4, static_cast<std::size_t>(O),
+                            [=](std::size_t o0, std::size_t o1) {
+                              for (std::size_t o = o0; o < o1; ++o)
+                                for (int i = 0; i < cols; ++i)
+                                  po[o * static_cast<std::size_t>(cols) + i] +=
+                                      pb[o];
+                            });
+    }
   }
 
   std::vector<Tensor> inputs{x, weight};
@@ -188,8 +208,16 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
           }
           if (bias.defined() && bias.requires_grad()) {
             float* gb = bias.grad();
-            for (int o = 0; o < O; ++o)
-              for (int i = 0; i < cols; ++i) gb[o] += gout[o * cols + i];
+            runtime::parallel_for(
+                4, static_cast<std::size_t>(O),
+                [=](std::size_t o0, std::size_t o1) {
+                  for (std::size_t o = o0; o < o1; ++o) {
+                    float acc = gb[o];
+                    for (int i = 0; i < cols; ++i)
+                      acc += gout[o * static_cast<std::size_t>(cols) + i];
+                    gb[o] = acc;
+                  }
+                });
           }
         }
       });

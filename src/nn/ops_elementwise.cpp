@@ -5,10 +5,16 @@
 
 #include "common/check.hpp"
 #include "nn/ops.hpp"
+#include "runtime/parallel.hpp"
 
 namespace neurfill::nn {
 
 namespace {
+
+/// Elements per parallel block for flat elementwise loops: large enough
+/// that one block is ~10 us of work, fixed so the blocking never depends on
+/// the thread count (see src/runtime/parallel.hpp).
+constexpr std::size_t kElemGrain = 8192;
 
 /// Shapes padded to 4 dims with leading 1s, plus flat strides where
 /// broadcast dimensions get stride 0.
@@ -76,21 +82,33 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, DFA dfa, DFB dfb) {
     const float* pb = b.data();
     float* po = out.data();
     const std::int64_t n = a.numel();
-    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n),
+                          [=](std::size_t i0, std::size_t i1) {
+                            for (std::size_t i = i0; i < i1; ++i)
+                              po[i] = f(pa[i], pb[i]);
+                          });
     Tensor::attach_backward(out, {a, b}, [a, b, out = out.impl().get(), dfa, dfb]() mutable {
       const float* ga_src = out->grad.data();
       const float* pa2 = a.data();
       const float* pb2 = b.data();
       const std::int64_t n2 = a.numel();
+      // Per-index disjoint writes into each input's gradient, so both
+      // accumulations parallelize over the flat range.
       if (a.requires_grad()) {
         float* ga = a.grad();
-        for (std::int64_t i = 0; i < n2; ++i)
-          ga[i] += ga_src[i] * dfa(pa2[i], pb2[i]);
+        runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n2),
+                              [=](std::size_t i0, std::size_t i1) {
+                                for (std::size_t i = i0; i < i1; ++i)
+                                  ga[i] += ga_src[i] * dfa(pa2[i], pb2[i]);
+                              });
       }
       if (b.requires_grad()) {
         float* gb = b.grad();
-        for (std::int64_t i = 0; i < n2; ++i)
-          gb[i] += ga_src[i] * dfb(pa2[i], pb2[i]);
+        runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n2),
+                              [=](std::size_t i0, std::size_t i1) {
+                                for (std::size_t i = i0; i < i1; ++i)
+                                  gb[i] += ga_src[i] * dfb(pa2[i], pb2[i]);
+                              });
       }
     });
     return out;
@@ -145,14 +163,22 @@ Tensor unary_op(const Tensor& a, F f, DF df) {
   const float* pa = a.data();
   float* po = out.data();
   const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n),
+                        [=](std::size_t i0, std::size_t i1) {
+                          for (std::size_t i = i0; i < i1; ++i)
+                            po[i] = f(pa[i]);
+                        });
   Tensor::attach_backward(out, {a}, [a, out = out.impl().get(), df]() mutable {
     const float* go = out->grad.data();
     const float* pa2 = a.data();
     const float* po2 = out->data.data();
     float* ga = a.grad();
     const std::int64_t n2 = a.numel();
-    for (std::int64_t i = 0; i < n2; ++i) ga[i] += go[i] * df(pa2[i], po2[i]);
+    runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n2),
+                          [=](std::size_t i0, std::size_t i1) {
+                            for (std::size_t i = i0; i < i1; ++i)
+                              ga[i] += go[i] * df(pa2[i], po2[i]);
+                          });
   });
   return out;
 }
@@ -275,15 +301,27 @@ Tensor softplus(const Tensor& a, float eta) {
 Tensor sum(const Tensor& a) {
   Tensor out({1});
   const float* pa = a.data();
-  double acc = 0.0;
   const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) acc += static_cast<double>(pa[i]);
+  // Deterministic blocked reduction: the per-block partials are combined in
+  // block order, so the value is bitwise identical at every thread count.
+  const double acc = runtime::parallel_reduce(
+      kElemGrain, static_cast<std::size_t>(n), 0.0,
+      [=](std::size_t i0, std::size_t i1) {
+        double s = 0.0;
+        for (std::size_t i = i0; i < i1; ++i)
+          s += static_cast<double>(pa[i]);
+        return s;
+      },
+      [](double x, double y) { return x + y; });
   out.data()[0] = static_cast<float>(acc);
   Tensor::attach_backward(out, {a}, [a, out = out.impl().get()]() mutable {
     const float g = out->grad[0];
     float* ga = a.grad();
     const std::int64_t n2 = a.numel();
-    for (std::int64_t i = 0; i < n2; ++i) ga[i] += g;
+    runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n2),
+                          [=](std::size_t i0, std::size_t i1) {
+                            for (std::size_t i = i0; i < i1; ++i) ga[i] += g;
+                          });
   });
   return out;
 }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/parallel.hpp"
+
 namespace neurfill {
 
 Nmmso::Nmmso(ObjectiveFn f, Box box, const NmmsoOptions& options)
@@ -109,48 +111,82 @@ void Nmmso::try_merges() {
   }
 }
 
-void Nmmso::evolve(Swarm& swarm) {
-  if (evaluations_ >= opt_.max_evaluations) return;
+Nmmso::PlannedMove Nmmso::plan_evolution(std::size_t swarm_index) {
+  const Swarm& swarm = swarms_[swarm_index];
   const std::size_t dims = box_.lo.size();
+  PlannedMove move;
+  move.swarm = swarm_index;
   if (static_cast<int>(swarm.particles.size()) < opt_.swarm_size) {
     // Below the cap: sample a new particle around the gbest, within half the
     // normalized distance to the nearest other swarm (Fieldsend's
     // initialization sphere), so the swarm stays inside its niche.
+    move.spawn = true;
     double radius = 0.1;
     for (const Swarm& other : swarms_) {
       if (&other == &swarm) continue;
       radius = std::min(
           radius, 0.5 * normalized_distance(swarm.gbest_x, other.gbest_x));
     }
-    Particle p;
-    p.x.resize(dims);
-    p.v.assign(dims, 0.0);
+    move.x.resize(dims);
     for (std::size_t i = 0; i < dims; ++i) {
       const double range = box_.hi[i] - box_.lo[i];
-      p.x[i] = std::clamp(swarm.gbest_x[i] + rng_.normal(0.0, radius) * range,
-                          box_.lo[i], box_.hi[i]);
+      move.x[i] =
+          std::clamp(swarm.gbest_x[i] + rng_.normal(0.0, radius) * range,
+                     box_.lo[i], box_.hi[i]);
     }
-    p.pbest_x = p.x;
-    p.pbest_val = evaluate(p.x);
-    if (p.pbest_val > swarm.gbest_val) {
-      swarm.gbest_val = p.pbest_val;
-      swarm.gbest_x = p.x;
+    return move;
+  }
+  // At the cap: PSO velocity update of a random particle.
+  move.particle = static_cast<std::size_t>(
+      rng_.uniform_index(swarm.particles.size()));
+  const Particle& p = swarm.particles[move.particle];
+  move.v.resize(dims);
+  move.x.resize(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    move.v[i] = opt_.inertia * p.v[i] +
+                opt_.cognitive * rng_.uniform() * (p.pbest_x[i] - p.x[i]) +
+                opt_.social * rng_.uniform() * (swarm.gbest_x[i] - p.x[i]);
+    move.x[i] = std::clamp(p.x[i] + move.v[i], box_.lo[i], box_.hi[i]);
+  }
+  return move;
+}
+
+void Nmmso::evaluate_moves(std::vector<PlannedMove>& moves) {
+  if (opt_.parallel_evaluations && moves.size() > 1) {
+    PlannedMove* pm = moves.data();
+    const ObjectiveFn& f = f_;
+    runtime::parallel_for(1, moves.size(), [&f, pm](std::size_t m0,
+                                                    std::size_t m1) {
+      for (std::size_t m = m0; m < m1; ++m) pm[m].value = f(pm[m].x, nullptr);
+    });
+    evaluations_ += static_cast<int>(moves.size());
+  } else {
+    for (PlannedMove& m : moves) m.value = evaluate(m.x);
+  }
+}
+
+void Nmmso::apply_move(const PlannedMove& move) {
+  Swarm& swarm = swarms_[move.swarm];
+  const std::size_t dims = box_.lo.size();
+  const double val = move.value;
+  if (move.spawn) {
+    Particle p;
+    p.x = move.x;
+    p.v.assign(dims, 0.0);
+    p.pbest_x = move.x;
+    p.pbest_val = val;
+    if (val > swarm.gbest_val) {
+      swarm.gbest_val = val;
+      swarm.gbest_x = move.x;
       swarm.just_changed = true;
     }
     swarm.particles.push_back(std::move(p));
     return;
   }
-  // At the cap: PSO velocity update of a random particle.
-  Particle& p = swarm.particles[static_cast<std::size_t>(
-      rng_.uniform_index(swarm.particles.size()))];
+  Particle& p = swarm.particles[move.particle];
   const VecD old_x = p.x;
-  for (std::size_t i = 0; i < dims; ++i) {
-    p.v[i] = opt_.inertia * p.v[i] +
-             opt_.cognitive * rng_.uniform() * (p.pbest_x[i] - p.x[i]) +
-             opt_.social * rng_.uniform() * (swarm.gbest_x[i] - p.x[i]);
-    p.x[i] = std::clamp(p.x[i] + p.v[i], box_.lo[i], box_.hi[i]);
-  }
-  const double val = evaluate(p.x);
+  p.v = move.v;
+  p.x = move.x;
   if (val > p.pbest_val) {
     p.pbest_val = val;
     p.pbest_x = p.x;
@@ -202,11 +238,21 @@ std::vector<Mode> Nmmso::run() {
       if (static_cast<int>(chosen.size()) >= opt_.max_evolutions) break;
       if (i != best) chosen.push_back(i);
     }
-    // Indices stay valid: evolve() only appends swarms.
+    // Plan one move per chosen swarm (all RNG draws, serial), evaluate the
+    // whole batch — in parallel when the objective allows it — then apply in
+    // planning order.  Indices stay valid: apply_move() only appends swarms
+    // and particles.  Each planned move reserves one primary evaluation so
+    // the batch never overruns the budget.
+    std::vector<PlannedMove> moves;
+    moves.reserve(chosen.size());
     for (const std::size_t i : chosen) {
-      if (evaluations_ >= opt_.max_evaluations) break;
-      evolve(swarms_[i]);
+      if (evaluations_ + static_cast<int>(moves.size()) >=
+          opt_.max_evaluations)
+        break;
+      moves.push_back(plan_evolution(i));
     }
+    evaluate_moves(moves);
+    for (const PlannedMove& m : moves) apply_move(m);
     if (rng_.bernoulli(opt_.immigrant_prob) &&
         evaluations_ < opt_.max_evaluations) {
       VecD x = random_point();

@@ -24,6 +24,11 @@ struct NmmsoOptions {
   double cognitive = 1.5;       ///< PSO c1
   double social = 1.5;          ///< PSO c2
   std::uint64_t seed = 1;
+  /// Evaluate each iteration's batch of per-swarm objective calls on the
+  /// runtime's thread pool.  The returned modes are identical either way
+  /// (the batch is planned before any evaluation and applied in a fixed
+  /// order); enable only if the objective is safe to call concurrently.
+  bool parallel_evaluations = false;
 };
 
 /// Niching Migratory Multi-Swarm Optimiser [Fieldsend, CEC 2014], the
@@ -64,11 +69,28 @@ class Nmmso {
     bool just_changed = true;  ///< flags merge re-checks
   };
 
+  /// One planned swarm advance: every random draw is made (serially) at
+  /// planning time, the objective call is deferred so a whole iteration's
+  /// moves can be evaluated as a batch, and the state change is applied
+  /// afterwards in planning order.  Swarm/particle indices stay valid
+  /// between phases because each iteration plans at most one move per
+  /// (distinct) swarm and merges only happen between iterations.
+  struct PlannedMove {
+    std::size_t swarm = 0;
+    bool spawn = false;        ///< below-cap spawn vs. PSO update
+    std::size_t particle = 0;  ///< PSO only: index of the moved particle
+    VecD x;                    ///< new position = the evaluation point
+    VecD v;                    ///< PSO only: updated velocity
+    double value = 0.0;        ///< filled by evaluate_moves()
+  };
+
   double evaluate(const VecD& x);
   VecD random_point();
   double normalized_distance(const VecD& a, const VecD& b) const;
   void try_merges();
-  void evolve(Swarm& swarm);
+  PlannedMove plan_evolution(std::size_t swarm_index);
+  void evaluate_moves(std::vector<PlannedMove>& moves);
+  void apply_move(const PlannedMove& move);
   Swarm make_swarm(VecD x, double val);
 
   ObjectiveFn f_;

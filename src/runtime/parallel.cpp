@@ -1,0 +1,50 @@
+#include "runtime/parallel.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace neurfill::runtime {
+
+namespace {
+
+/// Environment/hardware default: NEURFILL_THREADS wins when set to a
+/// positive integer; otherwise the hardware concurrency (1 on a 1-core
+/// host, which makes every primitive degrade to inline serial execution).
+int env_default_threads() {
+  if (const char* env = std::getenv("NEURFILL_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(env_default_threads());
+  return *g_pool;
+}
+
+int thread_count() { return default_pool().threads(); }
+
+void set_thread_count(int threads) {
+  NF_CHECK(!ThreadPool::inside_worker(),
+           "set_thread_count called from inside a parallel region");
+  const int effective = threads == 0 ? env_default_threads() : threads;
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  // Destroying the old pool joins its (idle) workers; for_blocks callers
+  // hold a reference only for the duration of one call, and the API forbids
+  // resizing from inside one, so tear-down here is safe.
+  g_pool = std::make_unique<ThreadPool>(effective < 1 ? 1 : effective);
+}
+
+}  // namespace neurfill::runtime

@@ -1,0 +1,82 @@
+#pragma once
+
+// Data-parallel primitives over the process-wide default ThreadPool.
+//
+// Determinism contract (docs/runtime.md): the block decomposition of every
+// primitive is a pure function of (grain, n) — never of the thread count —
+// and parallel_reduce combines per-block partials in ascending block order
+// on the calling thread.  A loop whose blocks write disjoint outputs, or a
+// reduction built from these primitives, therefore produces *bitwise
+// identical* results at 1, 2, or N threads; the only nondeterminism in the
+// pool is scheduling, which these primitives never observe.
+//
+// Grain guidance: `grain` is the maximum number of iterations per block.
+// Pick it so one block is >= ~10 microseconds of work (mutex-based
+// scheduling costs ~1 us per block); make it depend on the problem shape if
+// useful, but never on thread_count() — that would silently break the
+// determinism contract.
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace neurfill::runtime {
+
+/// The process-wide pool.  Lazily constructed on first use with
+/// `NEURFILL_THREADS` (env) threads, else std::thread::hardware_concurrency.
+ThreadPool& default_pool();
+
+/// Total concurrency of the default pool (>= 1).
+int thread_count();
+
+/// Rebuilds the default pool with `threads` threads (clamped to >= 1);
+/// `threads == 0` restores the environment/hardware default.  Tools expose
+/// this as --threads.  Must not be called from inside a parallel region.
+void set_thread_count(int threads);
+
+/// Runs fn(begin, end) over [0, n) in blocks of at most `grain` iterations.
+/// Blocks may run concurrently and in any order; fn must write only state
+/// disjoint per iteration (or per block).  Exceptions propagate to the
+/// caller (first thrown wins); remaining blocks are skipped on error.
+template <typename Fn>
+void parallel_for(std::size_t grain, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t num_blocks = (n + grain - 1) / grain;
+  if (num_blocks == 1) {  // common small-loop path: no scheduling at all
+    fn(std::size_t{0}, n);
+    return;
+  }
+  default_pool().for_blocks(num_blocks, [&](std::size_t b) {
+    const std::size_t begin = b * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    fn(begin, end);
+  });
+}
+
+/// Blocked deterministic reduction: partial[b] = block_fn(begin, end) for
+/// each fixed block, then acc = combine(acc, partial[b]) in ascending block
+/// order starting from `identity`.  Because the decomposition depends only
+/// on (grain, n) and the combination order is fixed, the result is bitwise
+/// identical for every thread count (including pure serial execution).
+template <typename T, typename BlockFn, typename CombineFn>
+T parallel_reduce(std::size_t grain, std::size_t n, T identity,
+                  BlockFn&& block_fn, CombineFn&& combine) {
+  if (n == 0) return identity;
+  if (grain == 0) grain = 1;
+  const std::size_t num_blocks = (n + grain - 1) / grain;
+  if (num_blocks == 1) return combine(identity, block_fn(std::size_t{0}, n));
+  std::vector<T> partial(num_blocks, identity);
+  default_pool().for_blocks(num_blocks, [&](std::size_t b) {
+    const std::size_t begin = b * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    partial[b] = block_fn(begin, end);
+  });
+  T acc = identity;
+  for (std::size_t b = 0; b < num_blocks; ++b)
+    acc = combine(acc, partial[b]);
+  return acc;
+}
+
+}  // namespace neurfill::runtime

@@ -1,0 +1,144 @@
+#include "runtime/thread_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace neurfill::runtime {
+
+namespace {
+/// Set while a thread executes blocks for some pool, including the caller
+/// participating in its own job.  Nested primitives check this to degrade.
+thread_local bool tls_inside_worker = false;
+}  // namespace
+
+bool ThreadPool::inside_worker() { return tls_inside_worker; }
+
+ThreadPool::ThreadPool(int threads) {
+  const std::size_t total = threads < 1 ? 1 : static_cast<std::size_t>(threads);
+  shards_.resize(total);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 1; i < total; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::claim_block(std::size_t self, std::size_t& block) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (cancelled_) return false;
+  Shard& own = shards_[self];
+  if (own.next < own.end) {  // owner pops from the front of its shard
+    block = own.next++;
+    ++blocks_claimed_;
+    return true;
+  }
+  // Steal one block from the back of the fullest remaining shard.
+  std::size_t victim = self, victim_left = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::size_t left = shards_[i].end - shards_[i].next;
+    if (i != self && left > victim_left) {
+      victim = i;
+      victim_left = left;
+    }
+  }
+  if (victim_left == 0) return false;
+  block = --shards_[victim].end;
+  ++blocks_claimed_;
+  return true;
+}
+
+void ThreadPool::run_participant(std::size_t shard_index) {
+  const bool was_inside = tls_inside_worker;
+  tls_inside_worker = true;
+  std::size_t block = 0;
+  while (claim_block(shard_index, block)) {
+    try {
+      (*body_)(block);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(m_);
+      if (!first_error_) first_error_ = std::current_exception();
+      cancelled_ = true;  // claim_block refuses further blocks
+    }
+    std::lock_guard<std::mutex> lock(m_);
+    ++blocks_done_;
+  }
+  tls_inside_worker = was_inside;
+}
+
+void ThreadPool::worker_loop(std::size_t shard_index) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || job_generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = job_generation_;
+    }
+    run_participant(shard_index);
+    // Each participant notifies after its final done-increment, so the true
+    // last finisher always wakes the caller; earlier notifies are harmless
+    // (the caller re-checks the completion predicate under the lock).
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::for_blocks(std::size_t num_blocks,
+                            const std::function<void(std::size_t)>& body) {
+  if (num_blocks == 0) return;
+  // Nested call from inside any pool's worker: degrade to serial inline
+  // execution (never park a worker on another job — that can deadlock).
+  if (tls_inside_worker || workers_.empty()) {
+    for (std::size_t b = 0; b < num_blocks; ++b) body(b);
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    body_ = &body;
+    blocks_total_ = num_blocks;
+    blocks_claimed_ = 0;
+    blocks_done_ = 0;
+    cancelled_ = false;
+    first_error_ = nullptr;
+    // Deal contiguous shards (remainder spread over the first shards).
+    const std::size_t parts = shards_.size();
+    const std::size_t q = num_blocks / parts, r = num_blocks % parts;
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < parts; ++i) {
+      const std::size_t len = q + (i < r ? 1 : 0);
+      shards_[i].next = begin;
+      shards_[i].end = begin + len;
+      begin += len;
+    }
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+
+  run_participant(0);  // the caller works its own shard and then steals
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock, [&] {
+      // Normal completion: every block executed.  After a cancel no new
+      // claims happen, so waiting for claimed == done means every in-flight
+      // block has quiesced and no participant still holds `body`.
+      return blocks_done_ == blocks_total_ ||
+             (cancelled_ && blocks_done_ == blocks_claimed_);
+    });
+    err = first_error_;
+    body_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace neurfill::runtime

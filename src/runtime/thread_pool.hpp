@@ -1,0 +1,96 @@
+#pragma once
+
+// Fixed-size work-stealing thread pool: the execution substrate under every
+// parallel primitive in src/runtime/parallel.hpp.
+//
+// Design constraints (see docs/runtime.md):
+//  * One data-parallel job at a time.  The pool exists to run blocked loops
+//    (parallel_for / parallel_reduce) from the main thread; concurrent
+//    callers serialize on an internal mutex rather than interleaving jobs.
+//  * The calling thread participates: a pool constructed with `threads = T`
+//    spawns T-1 workers, so `threads = 1` means zero workers and every job
+//    runs inline on the caller (the serial degrade path for 1-core hosts or
+//    NEURFILL_THREADS=1).
+//  * Work stealing over block indices: each participant owns a contiguous
+//    shard of the block range and pops from its front; an idle participant
+//    steals single blocks from the *back* of the fullest remaining shard.
+//    Scheduling order therefore varies between runs — primitives that need
+//    determinism (parallel_reduce) fix the block decomposition and combine
+//    per-block results in block order, never in completion order.
+//  * Exceptions thrown by a block are caught, the job is cancelled (the
+//    remaining blocks are skipped), and the first exception is rethrown on
+//    the calling thread after every participant has quiesced.
+//  * Nested use is rejected by degrading: calling for_blocks from inside a
+//    worker runs the nested job inline and serially on that worker, so
+//    nesting can never deadlock the pool or oversubscribe the machine.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace neurfill::runtime {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency including the calling thread; the
+  /// pool spawns `threads - 1` workers.  Values < 1 are clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the participating caller).
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(b) for every block index b in [0, num_blocks) across the
+  /// pool and the calling thread; returns when all blocks completed.  The
+  /// first exception thrown by any block cancels the remaining blocks and
+  /// is rethrown here.  Safe (but serial) when called from inside a worker.
+  void for_blocks(std::size_t num_blocks,
+                  const std::function<void(std::size_t)>& body);
+
+  /// True when the current thread is a worker of *any* ThreadPool, i.e. a
+  /// nested parallel primitive would degrade to serial execution.
+  static bool inside_worker();
+
+ private:
+  /// Remaining blocks [next, end) owned by one participant.
+  struct Shard {
+    std::size_t next = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t shard_index);
+  /// Claims one block for `self` (own front first, then steal from the
+  /// back of the fullest other shard).  Returns false when the job has no
+  /// blocks left anywhere.
+  bool claim_block(std::size_t self, std::size_t& block);
+  void run_participant(std::size_t shard_index);
+
+  // All job state below is guarded by m_.  Blocks are coarse by design
+  // (grain-sized chunks of work, microseconds to milliseconds each), so a
+  // single mutex around the index bookkeeping is both TSan-clean and cheap
+  // relative to the work it schedules.
+  std::mutex m_;
+  std::condition_variable work_cv_;  ///< wakes workers for a new job
+  std::condition_variable done_cv_;  ///< wakes the caller on completion
+  std::vector<Shard> shards_;        ///< one per participant; [0] = caller
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t job_generation_ = 0;
+  std::size_t blocks_total_ = 0;
+  std::size_t blocks_claimed_ = 0;
+  std::size_t blocks_done_ = 0;
+  bool cancelled_ = false;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+
+  std::mutex job_mutex_;  ///< serializes concurrent for_blocks callers
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace neurfill::runtime

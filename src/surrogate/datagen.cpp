@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/parallel.hpp"
+
 namespace neurfill {
 
 TrainingDataGenerator::TrainingDataGenerator(
@@ -26,6 +28,37 @@ TrainingDataGenerator::TrainingDataGenerator(
 
 TrainingSample TrainingDataGenerator::generate(std::size_t rows,
                                                std::size_t cols) {
+  TrainingSample s = assemble(rng_, rows, cols);
+  s.heights = sim_.simulate_heights(s.ext, s.fill);
+  return s;
+}
+
+std::vector<TrainingSample> TrainingDataGenerator::generate_batch(
+    std::size_t count, std::size_t rows, std::size_t cols) {
+  // Serial phase: draw every sample's layout and fill from the generator's
+  // single stream, in sample order.  Assembly is cheap (block copies plus
+  // one uniform per cell) and consuming the stream serially makes a batch
+  // of n samples byte-identical to n successive generate() calls — and
+  // therefore identical at every thread count.
+  std::vector<TrainingSample> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    samples.push_back(assemble(rng_, rows, cols));
+
+  // Parallel phase: the CMP simulations labelling the samples, which is
+  // where virtually all the time goes.  The simulator is copied per block
+  // because simulate_heights mutates per-solve statistics.
+  runtime::parallel_for(1, count, [&](std::size_t s0, std::size_t s1) {
+    const CmpSimulator sim_local = sim_;
+    for (std::size_t s = s0; s < s1; ++s)
+      samples[s].heights = sim_local.simulate_heights(samples[s].ext,
+                                                      samples[s].fill);
+  });
+  return samples;
+}
+
+TrainingSample TrainingDataGenerator::assemble(Rng& rng, std::size_t rows,
+                                               std::size_t cols) const {
   const std::size_t L = sources_[0].num_layers();
   TrainingSample s;
   s.ext.window_um = sources_[0].window_um;
@@ -48,11 +81,11 @@ TrainingSample TrainingDataGenerator::generate(std::size_t rows,
   for (std::size_t bi = 0; bi < rows; bi += block_) {
     for (std::size_t bj = 0; bj < cols; bj += block_) {
       const auto& src =
-          sources_[static_cast<std::size_t>(rng_.uniform_index(sources_.size()))];
+          sources_[static_cast<std::size_t>(rng.uniform_index(sources_.size()))];
       const std::size_t oi = static_cast<std::size_t>(
-          rng_.uniform_index(src.rows - block_ + 1));
+          rng.uniform_index(src.rows - block_ + 1));
       const std::size_t oj = static_cast<std::size_t>(
-          rng_.uniform_index(src.cols - block_ + 1));
+          rng.uniform_index(src.cols - block_ + 1));
       for (std::size_t l = 0; l < L; ++l) {
         const auto& sl = src.layers[l];
         auto& dl = s.ext.layers[l];
@@ -80,15 +113,14 @@ TrainingSample TrainingDataGenerator::generate(std::size_t rows,
   // saturated fill.
   s.fill.assign(L, GridD(rows, cols, 0.0));
   for (std::size_t l = 0; l < L; ++l) {
-    const double level = rng_.uniform();
+    const double level = rng.uniform();
     for (std::size_t k = 0; k < s.fill[l].size(); ++k) {
       const double u =
-          std::clamp(level + rng_.uniform(-0.3, 0.3), 0.0, 1.0);
+          std::clamp(level + rng.uniform(-0.3, 0.3), 0.0, 1.0);
       s.fill[l][k] = u * s.ext.layers[l].slack[k];
     }
   }
 
-  s.heights = sim_.simulate_heights(s.ext, s.fill);
   return s;
 }
 

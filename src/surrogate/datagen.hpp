@@ -36,10 +36,23 @@ class TrainingDataGenerator {
   /// layer count).
   TrainingSample generate(std::size_t rows, std::size_t cols);
 
+  /// Generates `count` samples, running their CMP simulations in parallel
+  /// across the runtime's default pool.  All randomness is drawn serially
+  /// from the generator's stream before the parallel phase starts, so a
+  /// batch of `count` samples is byte-identical to `count` successive
+  /// generate() calls at every thread count — only wall-clock changes.
+  std::vector<TrainingSample> generate_batch(std::size_t count,
+                                             std::size_t rows,
+                                             std::size_t cols);
+
   std::size_t num_sources() const { return sources_.size(); }
   const CmpSimulator& simulator() const { return sim_; }
 
  private:
+  /// Draws one sample's layout and fill (everything but the simulated
+  /// heights) from a caller-owned RNG stream.
+  TrainingSample assemble(Rng& rng, std::size_t rows, std::size_t cols) const;
+
   std::vector<WindowExtraction> sources_;
   CmpSimulator sim_;
   Rng rng_;

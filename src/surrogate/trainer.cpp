@@ -91,9 +91,10 @@ TrainStats train_surrogate(CmpSurrogate& surrogate,
   // target is O(1).
   {
     std::vector<double> values;
-    for (int i = 0; i < options.calibration_samples; ++i) {
-      const TrainingSample s =
-          datagen.generate(options.grid_rows, options.grid_cols);
+    const std::vector<TrainingSample> calib = datagen.generate_batch(
+        static_cast<std::size_t>(std::max(options.calibration_samples, 0)),
+        options.grid_rows, options.grid_cols);
+    for (const TrainingSample& s : calib) {
       for (const auto& h : s.heights) {
         double mean_h = 0.0;
         for (const double v : h) mean_h += v;
@@ -110,10 +111,10 @@ TrainStats train_surrogate(CmpSurrogate& surrogate,
   }
 
   // Optional fixed dataset (the paper's regime); otherwise pure online.
-  std::vector<TrainingSample> dataset;
-  dataset.reserve(static_cast<std::size_t>(std::max(options.dataset_size, 0)));
-  for (int i = 0; i < options.dataset_size; ++i)
-    dataset.push_back(datagen.generate(options.grid_rows, options.grid_cols));
+  // Batched so the CMP simulations labelling the samples run in parallel.
+  std::vector<TrainingSample> dataset = datagen.generate_batch(
+      static_cast<std::size_t>(std::max(options.dataset_size, 0)),
+      options.grid_rows, options.grid_cols);
   Rng shuffle_rng(options.seed ^ 0x5EEDull);
   std::vector<std::size_t> order(dataset.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   nf_fill <layout.glf> <out.glf> [--method lin|tao|cai|pkb|mm]
-//           [--surrogate PREFIX] [--window UM] [--report]
+//           [--surrogate PREFIX] [--window UM] [--report] [--threads N]
 //
 // pkb/mm need a pre-trained surrogate (see examples/train_surrogate); with
 // none available a reduced surrogate is trained on the fly.
@@ -17,6 +17,7 @@
 #include "layout/fill_insertion.hpp"
 #include "fill/report.hpp"
 #include "geom/glf_io.hpp"
+#include "runtime/parallel.hpp"
 #include "surrogate/trainer.hpp"
 
 using namespace neurfill;
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: nf_fill <layout.glf> <out.glf> [--method "
                  "lin|tao|cai|pkb|mm] [--surrogate PREFIX] [--window UM] "
-                 "[--report] [--drc]\n");
+                 "[--report] [--drc] [--threads N]\n");
     return 2;
   }
   const std::string in_path = argv[1];
@@ -76,11 +77,15 @@ int main(int argc, char** argv) {
       report = true;
     } else if (arg == "--drc") {
       drc = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      runtime::set_thread_count(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
     }
   }
+  std::fprintf(stderr, "nf_fill: method=%s threads=%d\n", method.c_str(),
+               runtime::thread_count());
 
   try {
     Layout layout = read_glf_file(in_path);

@@ -3,7 +3,7 @@
 //
 // Usage:
 //   nf_simulate <layout.glf> [--window UM] [--out profile.csv]
-//               [--pressure-model asperity|elastic]
+//               [--pressure-model asperity|elastic] [--threads N]
 //
 // CSV columns: layer,row,col,height_A,dishing_A,erosion_A,step_A
 
@@ -17,6 +17,7 @@
 #include "fill/metrics.hpp"
 #include "geom/glf_io.hpp"
 #include "layout/window_grid.hpp"
+#include "runtime/parallel.hpp"
 
 using namespace neurfill;
 
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: nf_simulate <layout.glf> [--window UM] [--out F] "
-                 "[--pressure-model asperity|elastic]\n");
+                 "[--pressure-model asperity|elastic] [--threads N]\n");
     return 2;
   }
   std::string path = argv[1];
@@ -42,11 +43,14 @@ int main(int argc, char** argv) {
       const std::string m = argv[++i];
       params.pressure_model =
           m == "elastic" ? PressureModel::kElastic : PressureModel::kAsperity;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      runtime::set_thread_count(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
     }
   }
+  std::fprintf(stderr, "nf_simulate: threads=%d\n", runtime::thread_count());
 
   try {
     const Layout layout = read_glf_file(path);
