@@ -9,6 +9,8 @@
 // re-times the kernels at each thread count with statistical rigor.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -63,7 +65,7 @@ double time_seconds(Problem& p, int reps) {
   return t.elapsed_seconds() / reps;
 }
 
-void print_scaling_summary() {
+void print_scaling_summary(const std::string& json_path) {
   GemmProblem gemm;
   ContactProblem contact;
   double gemm_s[4] = {}, contact_s[4] = {};
@@ -85,16 +87,29 @@ void print_scaling_summary() {
                 GemmProblem::flops() / gemm_s[i] * 1e-9, gemm_s[0] / gemm_s[i],
                 contact_s[i] * 1e3, contact_s[0] / contact_s[i]);
 
-  // One-line JSON for scripted consumption.
-  std::printf("\nJSON: {\"bench\":\"runtime_scaling\","
-              "\"gemm_gflops_1t\":%.3f,\"gemm_speedup_2t\":%.3f,"
-              "\"gemm_speedup_4t\":%.3f,\"gemm_speedup_8t\":%.3f,"
-              "\"contact_ms_1t\":%.3f,\"contact_speedup_2t\":%.3f,"
-              "\"contact_speedup_4t\":%.3f,\"contact_speedup_8t\":%.3f}\n\n",
-              GemmProblem::flops() / gemm_s[0] * 1e-9, gemm_s[0] / gemm_s[1],
-              gemm_s[0] / gemm_s[2], gemm_s[0] / gemm_s[3],
-              contact_s[0] * 1e3, contact_s[0] / contact_s[1],
-              contact_s[0] / contact_s[2], contact_s[0] / contact_s[3]);
+  // One-line JSON for scripted consumption; --json FILE writes the same
+  // object to a file (CI publishes it as BENCH_runtime.json).
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"runtime_scaling\","
+                "\"gemm_gflops_1t\":%.3f,\"gemm_speedup_2t\":%.3f,"
+                "\"gemm_speedup_4t\":%.3f,\"gemm_speedup_8t\":%.3f,"
+                "\"contact_ms_1t\":%.3f,\"contact_speedup_2t\":%.3f,"
+                "\"contact_speedup_4t\":%.3f,\"contact_speedup_8t\":%.3f}",
+                GemmProblem::flops() / gemm_s[0] * 1e-9, gemm_s[0] / gemm_s[1],
+                gemm_s[0] / gemm_s[2], gemm_s[0] / gemm_s[3],
+                contact_s[0] * 1e3, contact_s[0] / contact_s[1],
+                contact_s[0] / contact_s[2], contact_s[0] / contact_s[3]);
+  std::printf("\nJSON: %s\n\n", json);
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
 }
 
 void BM_GemmAtThreads(benchmark::State& state) {
@@ -124,7 +139,18 @@ BENCHMARK(BM_ContactSolveAtThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_scaling_summary();
+  // Pre-scan for --json FILE (google-benchmark would reject the flag).
+  std::string json_path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  print_scaling_summary(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 namespace neurfill {
@@ -80,6 +81,8 @@ GridD ElasticContactSolver::solve(const GridD& height,
     throw std::invalid_argument("ElasticContactSolver: shape mismatch");
   if (nominal_pressure <= 0.0)
     throw std::invalid_argument("ElasticContactSolver: pressure must be positive");
+  NF_TRACE_SPAN("contact.solve");
+  NF_COUNTER_ADD("contact.solves", 1);
   const std::size_t n = rows_ * cols_;
   const double total_load = nominal_pressure * static_cast<double>(n);
 
@@ -103,6 +106,8 @@ GridD ElasticContactSolver::solve(const GridD& height,
   last_iterations_ = 0;
   for (int it = 0; it < opt_.max_iterations; ++it) {
     ++last_iterations_;
+    NF_TRACE_SPAN("contact.iteration");
+    NF_COUNTER_ADD("contact.iterations", 1);
     const GridD u = green_.apply(p);
     // Convergence invariant: the FFT-applied Green's operator must return
     // finite deflections; a NaN here would silently poison the whole
@@ -145,6 +150,8 @@ GridD ElasticContactSolver::solve(const GridD& height,
       r[k] = (p[k] > 0.0) ? (u[k] - height[k] - gbar) : 0.0;
       return r[k] * r[k];
     });
+    NF_GAUGE_SET("contact.residual_rms",
+                 std::sqrt(g_new / static_cast<double>(nc)));
     if (std::sqrt(g_new / static_cast<double>(nc)) < opt_.tolerance * href)
       break;
 

@@ -9,6 +9,7 @@
 #include "cmp/contact_solver.hpp"
 #include "cmp/dsh_model.hpp"
 #include "cmp/pad_model.hpp"
+#include "obs/trace.hpp"
 
 namespace neurfill {
 
@@ -22,6 +23,8 @@ CmpSimulator::CmpSimulator(const CmpProcessParams& params)
 }
 
 LayerSimResult CmpSimulator::simulate_layer(const LayerSimInput& input) const {
+  NF_TRACE_SPAN("cmp.simulate_layer");
+  NF_COUNTER_ADD("cmp.layer_sims", 1);
   const std::size_t rows = input.density.rows(), cols = input.density.cols();
   if (rows == 0 || cols == 0)
     throw std::invalid_argument("simulate_layer: empty grid");
@@ -67,6 +70,7 @@ LayerSimResult CmpSimulator::simulate_layer(const LayerSimInput& input) const {
   const int steps =
       static_cast<int>(std::ceil(params_.polish_time_s / params_.dt_s));
   for (int s = 0; s < steps; ++s) {
+    NF_TRACE_SPAN("cmp.polish_step");
     const double dt =
         std::min(params_.dt_s, params_.polish_time_s - s * params_.dt_s);
     // Pad bending: the pad cannot follow window-scale detail, so the
@@ -109,6 +113,8 @@ LayerSimResult CmpSimulator::simulate_layer(const LayerSimInput& input) const {
 
 std::vector<LayerSimResult> CmpSimulator::simulate(
     const WindowExtraction& ext, const std::vector<GridD>& x) const {
+  NF_TRACE_SPAN("cmp.simulate");
+  NF_COUNTER_ADD("cmp.simulations", 1);
   if (!x.empty() && x.size() != ext.num_layers())
     throw std::invalid_argument("simulate: fill layer count mismatch");
   std::vector<LayerSimResult> results;

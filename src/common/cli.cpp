@@ -1,0 +1,358 @@
+#include "common/cli.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/parallel.hpp"
+
+namespace neurfill {
+
+namespace {
+
+/// strtol-family wrappers skip leading whitespace; we do not.
+bool leading_space(const std::string& text) {
+  return !text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0;
+}
+
+std::string join_choices(const std::vector<std::string>& choices) {
+  std::string s;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i > 0) s += '|';
+    s += choices[i];
+  }
+  return s;
+}
+
+}  // namespace
+
+bool parse_int_strict(const std::string& text, int* out) {
+  if (text.empty() || leading_space(text)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max())
+    return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_uint64_strict(const std::string& text, std::uint64_t* out) {
+  // strtoull accepts "-1" and wraps; reject any sign-negative input first.
+  if (text.empty() || leading_space(text) || text.front() == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double_strict(const std::string& text, double* out) {
+  if (text.empty() || leading_space(text)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  if (!std::isfinite(v)) return false;  // rejects "inf"/"nan" spellings too
+  *out = v;
+  return true;
+}
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_positional(const std::string& name,
+                               const std::string& help, std::string* out) {
+  positionals_.push_back({name, help, out});
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         bool* out) {
+  Option o;
+  o.name = name;
+  o.help = help;
+  o.kind = Option::Kind::kFlag;
+  o.flag_out = out;
+  options_.push_back(std::move(o));
+}
+
+void ArgParser::add_string(const std::string& name, const std::string& metavar,
+                           const std::string& help, std::string* out) {
+  Option o;
+  o.name = name;
+  o.metavar = metavar;
+  o.help = help;
+  o.kind = Option::Kind::kString;
+  o.string_out = out;
+  options_.push_back(std::move(o));
+}
+
+void ArgParser::add_choice(const std::string& name,
+                           std::vector<std::string> choices,
+                           const std::string& help, std::string* out) {
+  Option o;
+  o.name = name;
+  o.metavar = join_choices(choices);
+  o.help = help;
+  o.kind = Option::Kind::kChoice;
+  o.string_out = out;
+  o.choices = std::move(choices);
+  options_.push_back(std::move(o));
+}
+
+void ArgParser::add_int(const std::string& name, const std::string& metavar,
+                        const std::string& help, int* out) {
+  Option o;
+  o.name = name;
+  o.metavar = metavar;
+  o.help = help;
+  o.kind = Option::Kind::kInt;
+  o.int_out = out;
+  options_.push_back(std::move(o));
+}
+
+void ArgParser::add_uint64(const std::string& name, const std::string& metavar,
+                           const std::string& help, std::uint64_t* out) {
+  Option o;
+  o.name = name;
+  o.metavar = metavar;
+  o.help = help;
+  o.kind = Option::Kind::kUint64;
+  o.uint64_out = out;
+  options_.push_back(std::move(o));
+}
+
+void ArgParser::add_double(const std::string& name, const std::string& metavar,
+                           const std::string& help, double* out) {
+  Option o;
+  o.name = name;
+  o.metavar = metavar;
+  o.help = help;
+  o.kind = Option::Kind::kDouble;
+  o.double_out = out;
+  options_.push_back(std::move(o));
+}
+
+const ArgParser::Option* ArgParser::find_option(const std::string& name) const {
+  for (const Option& o : options_)
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+bool ArgParser::assign(const Option& opt, const std::string& value,
+                       std::ostream& err) const {
+  const char* expected = nullptr;
+  switch (opt.kind) {
+    case Option::Kind::kFlag:
+      return true;  // handled by the caller; flags never reach assign
+    case Option::Kind::kString:
+      *opt.string_out = value;
+      return true;
+    case Option::Kind::kChoice:
+      for (const std::string& c : opt.choices)
+        if (c == value) {
+          *opt.string_out = value;
+          return true;
+        }
+      expected = "one of ";
+      break;
+    case Option::Kind::kInt:
+      if (parse_int_strict(value, opt.int_out)) return true;
+      expected = "an integer";
+      break;
+    case Option::Kind::kUint64:
+      if (parse_uint64_strict(value, opt.uint64_out)) return true;
+      expected = "a non-negative integer";
+      break;
+    case Option::Kind::kDouble:
+      if (parse_double_strict(value, opt.double_out)) return true;
+      expected = "a number";
+      break;
+  }
+  err << program_ << ": invalid value '" << value << "' for " << opt.name
+      << " (expected " << expected
+      << (opt.kind == Option::Kind::kChoice ? opt.metavar : "") << ")\n"
+      << usage();
+  return false;
+}
+
+ArgParser::Result ArgParser::parse(int argc, const char* const* argv,
+                                   std::ostream& out,
+                                   std::ostream& err) const {
+  std::size_t next_positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      out << usage();
+      return Result::kHelp;
+    }
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      std::string name = arg;
+      std::string value;
+      bool has_inline_value = false;
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        name = arg.substr(0, eq);
+        value = arg.substr(eq + 1);
+        has_inline_value = true;
+      }
+      const Option* opt = find_option(name);
+      if (opt == nullptr) {
+        err << program_ << ": unknown option '" << name << "'\n" << usage();
+        return Result::kError;
+      }
+      if (opt->kind == Option::Kind::kFlag) {
+        if (has_inline_value) {
+          err << program_ << ": " << name << " does not take a value\n"
+              << usage();
+          return Result::kError;
+        }
+        *opt->flag_out = true;
+        continue;
+      }
+      if (!has_inline_value) {
+        if (i + 1 >= argc) {
+          err << program_ << ": option " << name << " requires a value ("
+              << opt->metavar << ")\n"
+              << usage();
+          return Result::kError;
+        }
+        value = argv[++i];
+      }
+      if (!assign(*opt, value, err)) return Result::kError;
+      continue;
+    }
+    if (next_positional >= positionals_.size()) {
+      err << program_ << ": unexpected argument '" << arg << "'\n" << usage();
+      return Result::kError;
+    }
+    *positionals_[next_positional++].out = arg;
+  }
+  if (next_positional < positionals_.size()) {
+    err << program_ << ": missing required argument <"
+        << positionals_[next_positional].name << ">\n"
+        << usage();
+    return Result::kError;
+  }
+  return Result::kOk;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_;
+  for (const Positional& p : positionals_) os << " <" << p.name << ">";
+  if (!options_.empty()) os << " [options]";
+  os << "\n\n" << description_ << "\n";
+
+  // Two-column layout: pad the left column to the widest entry.
+  std::size_t width = sizeof("-h, --help") - 1;
+  for (const Positional& p : positionals_)
+    width = std::max(width, p.name.size() + 2);  // "<name>"
+  std::vector<std::string> option_heads;
+  option_heads.reserve(options_.size());
+  for (const Option& o : options_) {
+    std::string head = o.name;
+    if (o.kind != Option::Kind::kFlag) head += " " + o.metavar;
+    width = std::max(width, head.size());
+    option_heads.push_back(std::move(head));
+  }
+
+  const auto row = [&](const std::string& head, const std::string& help) {
+    os << "  " << head;
+    for (std::size_t k = head.size(); k < width + 2; ++k) os << ' ';
+    os << help << "\n";
+  };
+  if (!positionals_.empty()) {
+    os << "\narguments:\n";
+    for (const Positional& p : positionals_) row("<" + p.name + ">", p.help);
+  }
+  os << "\noptions:\n";
+  for (std::size_t i = 0; i < options_.size(); ++i)
+    row(option_heads[i], options_[i].help);
+  row("-h, --help", "show this message and exit");
+  return os.str();
+}
+
+void add_common_options(ArgParser& parser, CommonToolOptions* opts) {
+  parser.add_int("--threads", "N",
+                 "worker threads (0 = NEURFILL_THREADS/hardware default)",
+                 &opts->threads);
+  parser.add_string("--trace", "FILE",
+                    "record tracing spans and write chrome://tracing JSON",
+                    &opts->trace_path);
+  parser.add_flag("--metrics", "print a metrics summary to stderr at exit",
+                  &opts->metrics);
+  parser.add_string("--metrics-json", "FILE",
+                    "write the metrics summary as JSON", &opts->metrics_json_path);
+  parser.add_choice("--log-level", {"debug", "info", "warn", "error"},
+                    "log verbosity (default info)", &opts->log_level);
+}
+
+bool apply_common_options(const CommonToolOptions& opts, std::ostream& err) {
+  if (opts.threads < 0) {
+    err << "invalid --threads value " << opts.threads << " (must be >= 0)\n";
+    return false;
+  }
+  if (opts.threads > 0) runtime::set_thread_count(opts.threads);
+
+  LogLevel level = LogLevel::kInfo;
+  if (opts.log_level == "debug") {
+    level = LogLevel::kDebug;
+  } else if (opts.log_level == "info") {
+    level = LogLevel::kInfo;
+  } else if (opts.log_level == "warn") {
+    level = LogLevel::kWarn;
+  } else if (opts.log_level == "error") {
+    level = LogLevel::kError;
+  } else {
+    // Unreachable through add_common_options (choice-validated); guards
+    // callers that fill the struct by hand.
+    err << "invalid --log-level '" << opts.log_level << "'\n";
+    return false;
+  }
+  set_log_level(level);
+
+  if (!opts.trace_path.empty()) obs::set_tracing_enabled(true);
+  if (opts.metrics || !opts.metrics_json_path.empty())
+    obs::set_metrics_enabled(true);
+  return true;
+}
+
+bool finish_common_options(const CommonToolOptions& opts) {
+  bool ok = true;
+  if (!opts.trace_path.empty()) {
+    std::ofstream f(opts.trace_path);
+    if (f) obs::write_chrome_trace(f);
+    if (!f) {
+      std::cerr << "cannot write trace to " << opts.trace_path << "\n";
+      ok = false;
+    }
+  }
+  if (opts.metrics) obs::write_metrics_text(std::cerr);
+  if (!opts.metrics_json_path.empty()) {
+    std::ofstream f(opts.metrics_json_path);
+    if (f) obs::write_metrics_json(f);
+    if (!f) {
+      std::cerr << "cannot write metrics to " << opts.metrics_json_path
+                << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace neurfill

@@ -1,0 +1,131 @@
+#pragma once
+
+// Typed command-line parsing shared by every tool (nf_fill, nf_simulate,
+// nf_gen, nf_info).
+//
+// Two layers:
+//  * ArgParser — declare positionals and typed options up front, get
+//    generated usage text, "--help", and strict value validation.  Numeric
+//    options reject anything std::strtol/strtod does not consume entirely,
+//    so "--threads garbage" is a hard error instead of the silent zero that
+//    std::atoi used to produce.
+//  * CommonToolOptions — the flags every tool shares (--threads, --trace,
+//    --metrics, --metrics-json, --log-level), registered, applied, and
+//    flushed by one set of helpers so a new tool gets the whole
+//    observability surface with three calls.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace neurfill {
+
+/// Strict numeric parsing: the whole token must convert and the value must
+/// fit the destination type.  Empty strings, trailing junk ("12abc"),
+/// leading whitespace, overflow, and (for the unsigned parser) negative
+/// input all fail — unlike std::atoi/std::atof, which silently return 0.
+bool parse_int_strict(const std::string& text, int* out);
+bool parse_uint64_strict(const std::string& text, std::uint64_t* out);
+bool parse_double_strict(const std::string& text, double* out);
+
+/// Declarative argv parser.  Options may appear anywhere ("--name value" or
+/// "--name=value"); every non-option token fills the next positional, and
+/// all declared positionals are required.  "-h"/"--help" prints usage.
+class ArgParser {
+ public:
+  enum class Result {
+    kOk,    ///< everything parsed; outputs are written
+    kHelp,  ///< --help was requested and usage printed; exit 0
+    kError  ///< bad input; diagnostic + usage printed; exit nonzero
+  };
+
+  ArgParser(std::string program, std::string description);
+
+  /// Required positional argument, consumed in declaration order.
+  void add_positional(const std::string& name, const std::string& help,
+                      std::string* out);
+
+  /// Boolean switch: present sets `*out` to true; takes no value.
+  void add_flag(const std::string& name, const std::string& help, bool* out);
+
+  /// Valued options.  `*out` keeps its prior content when the option is
+  /// absent, so initialize it with the default.
+  void add_string(const std::string& name, const std::string& metavar,
+                  const std::string& help, std::string* out);
+  /// String option restricted to `choices`; anything else is an error.
+  void add_choice(const std::string& name, std::vector<std::string> choices,
+                  const std::string& help, std::string* out);
+  void add_int(const std::string& name, const std::string& metavar,
+               const std::string& help, int* out);
+  void add_uint64(const std::string& name, const std::string& metavar,
+                  const std::string& help, std::uint64_t* out);
+  void add_double(const std::string& name, const std::string& metavar,
+                  const std::string& help, double* out);
+
+  /// Parses argv[1..argc).  Help text goes to `out`, diagnostics to `err`;
+  /// tools pass std::cout / std::cerr.
+  Result parse(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err) const;
+
+  /// The generated usage/help text (what --help prints).
+  std::string usage() const;
+
+ private:
+  struct Option {
+    enum class Kind { kFlag, kString, kChoice, kInt, kUint64, kDouble };
+    std::string name;
+    std::string metavar;
+    std::string help;
+    Kind kind = Kind::kFlag;
+    bool* flag_out = nullptr;
+    std::string* string_out = nullptr;
+    int* int_out = nullptr;
+    std::uint64_t* uint64_out = nullptr;
+    double* double_out = nullptr;
+    std::vector<std::string> choices;
+  };
+  struct Positional {
+    std::string name;
+    std::string help;
+    std::string* out = nullptr;
+  };
+
+  const Option* find_option(const std::string& name) const;
+  bool assign(const Option& opt, const std::string& value,
+              std::ostream& err) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Positional> positionals_;
+  std::vector<Option> options_;
+};
+
+/// The flags shared by every tool.  Defaults are the no-op settings: the
+/// runtime keeps its NEURFILL_THREADS/hardware thread count and the obs
+/// subsystem stays disabled.
+struct CommonToolOptions {
+  int threads = 0;                 ///< --threads N (0 = keep default)
+  std::string trace_path;          ///< --trace FILE: chrome://tracing JSON
+  bool metrics = false;            ///< --metrics: text summary on stderr
+  std::string metrics_json_path;   ///< --metrics-json FILE
+  std::string log_level = "info";  ///< --log-level debug|info|warn|error
+};
+
+/// Registers the shared flags on `parser`.  This is the single place the
+/// common tool surface is defined; tools must not re-declare these.
+void add_common_options(ArgParser& parser, CommonToolOptions* opts);
+
+/// Applies parsed common options: thread count, log level, and the obs
+/// runtime gates (tracing on iff --trace was given; metrics on iff
+/// --metrics or --metrics-json was).  Returns false with a diagnostic on
+/// `err` for invalid values such as a negative --threads.
+bool apply_common_options(const CommonToolOptions& opts, std::ostream& err);
+
+/// Emits the requested observability outputs after the tool body ran: the
+/// chrome trace to `trace_path`, the text metrics summary to stderr, and
+/// the metrics JSON to `metrics_json_path`.  Returns false if an output
+/// file could not be written.
+bool finish_common_options(const CommonToolOptions& opts);
+
+}  // namespace neurfill

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 namespace neurfill {
@@ -46,6 +47,9 @@ void fft2d(std::vector<std::complex<double>>& a, std::size_t rows,
   NF_CHECK(a.size() == rows * cols,
            "fft2d: buffer size %zu does not match %zu x %zu grid", a.size(),
            rows, cols);
+  NF_TRACE_SPAN("fft.2d");
+  NF_COUNTER_ADD("fft.passes", 1);
+  NF_COUNTER_ADD("fft.points", a.size());
   std::complex<double>* pa = a.data();
   // The 1-D transforms of a batch are independent (each touches one row /
   // one column), so both passes parallelize with a scratch buffer per
@@ -96,6 +100,7 @@ CircularConvolver::CircularConvolver(const GridD& kernel)
 }
 
 GridD CircularConvolver::apply(const GridD& input) const {
+  NF_TRACE_SPAN("fft.convolve");
   // The convolver is constructed for exact power-of-two grids in the contact
   // solver; callers with other sizes pad before constructing.
   NF_CHECK(input.rows() <= rows_ && input.cols() <= cols_,
@@ -124,6 +129,7 @@ GridD CircularConvolver::apply(const GridD& input) const {
 
 GridD convolve_small(const GridD& input, const GridD& kernel,
                      bool normalize_boundary) {
+  NF_TRACE_SPAN("fft.convolve_small");
   NF_CHECK(kernel.rows() % 2 == 1 && kernel.cols() % 2 == 1,
            "convolve_small: kernel must be odd-sized and centered, got "
            "%zu x %zu",

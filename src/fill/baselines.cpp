@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace neurfill {
 
@@ -32,7 +32,9 @@ double td_variance(const LayerWindowData& d, double td, double* fill_out) {
 }  // namespace
 
 FillRunResult lin_rule_fill(const FillProblem& problem, int steps) {
-  Timer timer;
+  // Method spans double as the stopwatch feeding runtime_s, so the Table
+  // III runtime column and a --trace capture can never disagree.
+  obs::SpanTimer timer("fill.lin");
   const WindowExtraction& ext = problem.extraction();
   FillRunResult res;
   res.method = "Lin";
@@ -65,13 +67,13 @@ FillRunResult lin_rule_fill(const FillProblem& problem, int steps) {
   }
   res.x = target_density_fill(ext, td);
   res.iterations = steps;
-  res.runtime_s = timer.elapsed_seconds();
+  res.runtime_s = timer.stop_seconds();
   return res;
 }
 
 FillRunResult tao_rule_sqp(const FillProblem& problem,
                            const TaoOptions& options) {
-  Timer timer;
+  obs::SpanTimer timer("fill.tao");
   const WindowExtraction& ext = problem.extraction();
   const std::size_t L = ext.num_layers();
   const std::size_t R = ext.rows, C = ext.cols;
@@ -147,13 +149,13 @@ FillRunResult tao_rule_sqp(const FillProblem& problem,
   res.x = problem.unflatten(sqp.x);
   res.iterations = sqp.iterations;
   res.objective_evaluations = evals;
-  res.runtime_s = timer.elapsed_seconds();
+  res.runtime_s = timer.stop_seconds();
   return res;
 }
 
 FillRunResult cai_model_fill(const FillProblem& problem,
                              const CaiOptions& options) {
-  Timer timer;
+  obs::SpanTimer timer("fill.cai");
   const long sims_before = problem.simulator_calls();
   // PKB starting point judged by the true simulator quality.
   const std::vector<GridD> start = pkb_starting_point(
@@ -171,7 +173,7 @@ FillRunResult cai_model_fill(const FillProblem& problem,
   res.x = problem.unflatten(sqp.x);
   res.iterations = sqp.iterations;
   res.objective_evaluations = problem.simulator_calls() - sims_before;
-  res.runtime_s = timer.elapsed_seconds();
+  res.runtime_s = timer.stop_seconds();
   return res;
 }
 

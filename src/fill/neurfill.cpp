@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace neurfill {
 
@@ -81,7 +81,9 @@ double network_quality(const FillProblem& problem, const CmpNetwork& network,
 FillRunResult neurfill_pkb(const FillProblem& problem,
                            const CmpNetwork& network,
                            const NeurFillOptions& options) {
-  Timer timer;
+  // The method span doubles as the stopwatch: the reported runtime_s and
+  // the trace event come from the same clock reads (see obs::SpanTimer).
+  obs::SpanTimer timer("fill.neurfill_pkb");
   long evals = 0;
   const std::vector<GridD> start = pkb_starting_point(
       problem.extraction(),
@@ -98,13 +100,14 @@ FillRunResult neurfill_pkb(const FillProblem& problem,
   res.x = problem.unflatten(sqp.x);
   res.iterations = sqp.iterations;
   res.objective_evaluations = evals;
-  res.runtime_s = timer.elapsed_seconds();
+  NF_COUNTER_ADD("fill.objective_evaluations", evals);
+  res.runtime_s = timer.stop_seconds();
   return res;
 }
 
 FillRunResult neurfill_mm(const FillProblem& problem, const CmpNetwork& network,
                           const NeurFillOptions& options) {
-  Timer timer;
+  obs::SpanTimer timer("fill.neurfill_mm");
   long evals = 0;
   const ObjectiveFn obj = make_network_objective(problem, network, &evals);
 
@@ -168,7 +171,8 @@ FillRunResult neurfill_mm(const FillProblem& problem, const CmpNetwork& network,
   res.iterations = 0;
   for (const auto& r : results) res.iterations += r.iterations;
   res.objective_evaluations = evals;
-  res.runtime_s = timer.elapsed_seconds();
+  NF_COUNTER_ADD("fill.objective_evaluations", evals);
+  res.runtime_s = timer.stop_seconds();
   return res;
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 namespace neurfill::nn {
@@ -32,11 +33,19 @@ std::size_t row_grain(int N, int K) {
   const std::size_t g = 65536 / (flop_per_row + 1);
   return g < 1 ? 1 : g;
 }
+
+/// Multiply-add count of one product, for the nn.gemm_flops counter.
+/// Unused when the tracing macros are compiled out.
+[[maybe_unused]] std::int64_t gemm_flops(int M, int N, int K) {
+  return std::int64_t{2} * M * N * K;
+}
 }  // namespace
 
 void gemm_nn(int M, int N, int K, const float* A, const float* B, float* C,
              bool accumulate) {
   check_gemm_args("gemm_nn", M, N, K, A, B, C);
+  NF_TRACE_SPAN("nn.gemm");
+  NF_COUNTER_ADD("nn.gemm_flops", gemm_flops(M, N, K));
   runtime::parallel_for(
       row_grain(N, K), static_cast<std::size_t>(M),
       [=](std::size_t i0, std::size_t i1) {
@@ -59,6 +68,8 @@ void gemm_nn(int M, int N, int K, const float* A, const float* B, float* C,
 void gemm_nt(int M, int N, int K, const float* A, const float* B, float* C,
              bool accumulate) {
   check_gemm_args("gemm_nt", M, N, K, A, B, C);
+  NF_TRACE_SPAN("nn.gemm");
+  NF_COUNTER_ADD("nn.gemm_flops", gemm_flops(M, N, K));
   runtime::parallel_for(
       row_grain(N, K), static_cast<std::size_t>(M),
       [=](std::size_t i0, std::size_t i1) {
@@ -78,6 +89,8 @@ void gemm_nt(int M, int N, int K, const float* A, const float* B, float* C,
 void gemm_tn(int M, int N, int K, const float* A, const float* B, float* C,
              bool accumulate) {
   check_gemm_args("gemm_tn", M, N, K, A, B, C);
+  NF_TRACE_SPAN("nn.gemm");
+  NF_COUNTER_ADD("nn.gemm_flops", gemm_flops(M, N, K));
   // Parallel over rows of C (disjoint writes).  Per element the k-loop runs
   // in the same ascending order as the historical k-outer kernel, so the
   // floating-point result is unchanged; A is now read with stride M, which

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "nn/gemm.hpp"
 #include "nn/ops.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 namespace neurfill::nn {
@@ -153,6 +154,7 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   if (bias.defined() && (bias.ndim() != 1 || bias.dim(0) != O))
     throw std::invalid_argument("conv2d: bias shape mismatch");
 
+  NF_TRACE_SPAN("nn.conv2d");
   Tensor out({N, O, Hout, Wout});
   const int K = C * kh * kw;
   const int cols = Hout * Wout;
@@ -188,6 +190,7 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
       out, inputs,
       [x, weight, bias, out = out.impl().get(), N, C, H, W, O, kh, kw, stride, padding, Hout,
        Wout, K, cols]() mutable {
+        NF_TRACE_SPAN("nn.conv2d_backward");
         const float* go = out->grad.data();
         std::vector<float> colbuf(static_cast<std::size_t>(K) * cols);
         std::vector<float> dcol;

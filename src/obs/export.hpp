@@ -1,0 +1,28 @@
+#pragma once
+
+// Exporters over the obs trace/metric stores:
+//  * write_chrome_trace — chrome://tracing (or Perfetto / about:tracing)
+//    JSON with one track per recorded thread; load the file via the
+//    viewer's "Load" button.  Tools expose this as --trace FILE.
+//  * write_metrics_text — human-readable counter/gauge/span summary, the
+//    tools' --metrics output.
+//  * write_metrics_json — machine-readable equivalent for benches and CI.
+
+#include <iosfwd>
+
+namespace neurfill::obs {
+
+/// Writes every recorded span as a chrome://tracing "X" (complete) event,
+/// plus thread-name metadata.  Safe to call while tracing is still enabled;
+/// the output reflects a point-in-time snapshot.
+void write_chrome_trace(std::ostream& os);
+
+/// Flat text summary: counters, gauges, and span aggregates with
+/// count/total/mean columns.
+void write_metrics_text(std::ostream& os);
+
+/// Single JSON object: {"counters":{...},"gauges":{...},"spans":{name:
+/// {"count":N,"total_s":S}}}.
+void write_metrics_json(std::ostream& os);
+
+}  // namespace neurfill::obs

@@ -1,0 +1,95 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace neurfill::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// One registry per instrument kind.  std::map keeps references stable
+/// across inserts; the registry itself is a leaky singleton so instrument
+/// references handed out to static locals outlive every user.
+template <typename T>
+struct Registry {
+  std::mutex m;
+  std::map<std::string, std::unique_ptr<T>> items;
+
+  T& get(const std::string& name) {
+    std::lock_guard<std::mutex> lock(m);
+    auto it = items.find(name);
+    if (it == items.end())
+      it = items.emplace(name, std::make_unique<T>()).first;
+    return *it->second;
+  }
+};
+
+Registry<Counter>& counters() {
+  static auto* r = new Registry<Counter>;
+  return *r;
+}
+Registry<Gauge>& gauges() {
+  static auto* r = new Registry<Gauge>;
+  return *r;
+}
+Registry<SpanStat>& span_stats() {
+  static auto* r = new Registry<SpanStat>;
+  return *r;
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter& counter(const std::string& name) { return counters().get(name); }
+Gauge& gauge(const std::string& name) { return gauges().get(name); }
+SpanStat& span_stat(const std::string& name) {
+  return span_stats().get(name);
+}
+
+MetricsSnapshot metrics_snapshot() {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(counters().m);
+    for (const auto& [name, c] : counters().items)
+      snap.counters.push_back({name, c->value()});
+  }
+  {
+    std::lock_guard<std::mutex> lock(gauges().m);
+    for (const auto& [name, g] : gauges().items)
+      snap.gauges.push_back({name, g->value()});
+  }
+  {
+    std::lock_guard<std::mutex> lock(span_stats().m);
+    for (const auto& [name, s] : span_stats().items)
+      snap.spans.push_back({name, s->count(), s->total_seconds()});
+  }
+  return snap;  // std::map iteration is already name-sorted
+}
+
+void reset_metrics() {
+  {
+    std::lock_guard<std::mutex> lock(counters().m);
+    for (auto& [name, c] : counters().items) c->reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(gauges().m);
+    for (auto& [name, g] : gauges().items) g->reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(span_stats().m);
+    for (auto& [name, s] : span_stats().items) s->reset();
+  }
+}
+
+}  // namespace neurfill::obs

@@ -1,0 +1,147 @@
+#pragma once
+
+// Named metric instruments: monotonic counters, last-value gauges, and
+// per-span-site duration aggregates.  Instruments live in a process-wide
+// registry (leaky singleton, so references stay valid for the process
+// lifetime) and update with relaxed atomics, so hot paths pay one atomic
+// RMW per update and nothing else.  Collection is snapshot-based: the
+// exporters in obs/export.hpp read a consistent-enough view without ever
+// blocking writers.
+//
+// Runtime gating: every NF_COUNTER_ADD / NF_GAUGE_SET site checks
+// metrics_enabled() (one relaxed atomic load) first; with metrics off the
+// cost is that load plus a predicted branch.  Compile-time gating: building
+// with NEURFILL_DISABLE_TRACING turns the macros into no-ops that evaluate
+// nothing (the obs library itself still compiles, so non-macro callers such
+// as SpanTimer keep working).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neurfill::obs {
+
+/// Process-wide runtime switch for counters/gauges/span stats.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+/// Monotonic counter (solver iterations, FLOPs, objective evaluations).
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-value gauge (latest residual, latest epoch loss).
+class Gauge {
+ public:
+  void set(double value) { v_.store(value, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Count + total duration of one span name, fed by SpanGuard/SpanTimer so
+/// the --metrics summary shows where wall-clock went even without a trace.
+class SpanStat {
+ public:
+  void add(std::uint64_t duration_ns) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(static_cast<std::int64_t>(duration_ns),
+                        std::memory_order_relaxed);
+  }
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_seconds() const {
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> total_ns_{0};
+};
+
+/// Registry lookup, inserting on first use.  The returned reference is valid
+/// for the rest of the process; hot paths cache it in a static local (the
+/// NF_COUNTER_ADD / NF_TRACE_SPAN macros do this automatically).
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+SpanStat& span_stat(const std::string& name);
+
+/// Name-sorted snapshot of every registered instrument.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct SpanValue {
+    std::string name;
+    std::int64_t count = 0;
+    double total_s = 0.0;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<SpanValue> spans;
+};
+MetricsSnapshot metrics_snapshot();
+
+/// Zeroes every registered instrument (instruments stay registered).  For
+/// tests and benches that measure one phase at a time; must not race with
+/// concurrent updates the caller cares about.
+void reset_metrics();
+
+#define NF_OBS_CONCAT_INNER(a, b) a##b
+#define NF_OBS_CONCAT(a, b) NF_OBS_CONCAT_INNER(a, b)
+
+#if !defined(NEURFILL_DISABLE_TRACING)
+
+/// Adds `delta` to the named counter when metrics are enabled.  `name` must
+/// be a compile-time constant; the registry lookup happens once per site.
+#define NF_COUNTER_ADD(name, delta)                                          \
+  do {                                                                       \
+    if (::neurfill::obs::metrics_enabled()) {                                \
+      static ::neurfill::obs::Counter& NF_OBS_CONCAT(nf_obs_ctr_,            \
+                                                     __LINE__) =             \
+          ::neurfill::obs::counter(name);                                    \
+      NF_OBS_CONCAT(nf_obs_ctr_, __LINE__)                                   \
+          .add(static_cast<std::int64_t>(delta));                            \
+    }                                                                        \
+  } while (0)
+
+/// Stores `value` into the named gauge when metrics are enabled.
+#define NF_GAUGE_SET(name, value)                                            \
+  do {                                                                       \
+    if (::neurfill::obs::metrics_enabled()) {                                \
+      static ::neurfill::obs::Gauge& NF_OBS_CONCAT(nf_obs_gauge_,            \
+                                                   __LINE__) =               \
+          ::neurfill::obs::gauge(name);                                      \
+      NF_OBS_CONCAT(nf_obs_gauge_, __LINE__)                                 \
+          .set(static_cast<double>(value));                                  \
+    }                                                                        \
+  } while (0)
+
+#else  // NEURFILL_DISABLE_TRACING
+
+#define NF_COUNTER_ADD(name, delta) static_cast<void>(0)
+#define NF_GAUGE_SET(name, value) static_cast<void>(0)
+
+#endif  // NEURFILL_DISABLE_TRACING
+
+}  // namespace neurfill::obs

@@ -1,0 +1,181 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace neurfill::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+/// Events one thread can hold before dropping (32 B each -> 8 MiB/thread,
+/// allocated lazily on the thread's first recorded span).  Sized so a full
+/// nf_fill run including on-the-fly surrogate training (~100k main-thread
+/// events) keeps its late-phase opt/fill spans.
+constexpr std::size_t kTraceCapacity = std::size_t{1} << 18;
+
+/// Single-writer event buffer.  The owning thread appends; the exporter
+/// reads the first `size_` slots after an acquire load.  `thread_name` is
+/// guarded by the registry mutex (set rarely, never on the record path).
+class ThreadTraceBuffer {
+ public:
+  explicit ThreadTraceBuffer(int tid) : tid_(tid), events_(kTraceCapacity) {}
+
+  void push(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+    const std::size_t n = size_.load(std::memory_order_relaxed);
+    if (n >= kTraceCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events_[n] = {name, begin_ns, end_ns};
+    size_.store(n + 1, std::memory_order_release);
+  }
+
+  ThreadTrace snapshot(const std::string& name) const {
+    ThreadTrace t;
+    t.thread_name = name;
+    t.tid = tid_;
+    const std::size_t n = size_.load(std::memory_order_acquire);
+    t.events.assign(events_.begin(),
+                    events_.begin() + static_cast<std::ptrdiff_t>(n));
+    t.dropped = dropped_.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  void clear() {
+    size_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  int tid() const { return tid_; }
+
+ private:
+  int tid_;
+  std::vector<TraceEvent> events_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+struct RegisteredBuffer {
+  std::shared_ptr<ThreadTraceBuffer> buffer;
+  std::string name;
+};
+
+/// Leaky singleton: buffers of exited threads stay alive (held here) so a
+/// trace written after worker joins still shows their activity.
+struct TraceRegistry {
+  std::mutex m;
+  std::vector<RegisteredBuffer> buffers;
+  int next_tid = 0;
+};
+
+TraceRegistry& registry() {
+  static auto* r = new TraceRegistry;
+  return *r;
+}
+
+/// Name requested via set_current_thread_name before the thread recorded
+/// its first span (so no buffer exists yet to rename).
+thread_local std::string tls_pending_name;
+/// The calling thread's buffer, created lazily on its first recorded span.
+thread_local std::shared_ptr<ThreadTraceBuffer> tls_buffer;
+
+ThreadTraceBuffer& local_buffer() {
+  if (!tls_buffer) {
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    tls_buffer = std::make_shared<ThreadTraceBuffer>(reg.next_tid++);
+    std::string name =
+        tls_pending_name.empty()
+            ? (tls_buffer->tid() == 0
+                   ? std::string("main")
+                   : "thread-" + std::to_string(tls_buffer->tid()))
+            : tls_pending_name;
+    reg.buffers.push_back({tls_buffer, std::move(name)});
+  }
+  return *tls_buffer;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t trace_epoch_ns() {
+  static const std::uint64_t epoch = steady_ns();
+  return epoch;
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) {
+  if (on) trace_epoch_ns();  // pin the epoch before the first span
+  g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() { return steady_ns() - trace_epoch_ns(); }
+
+void set_current_thread_name(const std::string& name) {
+  tls_pending_name = name;
+  // No buffer yet (the common case — workers name themselves at startup,
+  // before tracing is even enabled): the pending name is applied when the
+  // buffer is created.  Otherwise rename the registered track in place.
+  if (!tls_buffer) return;
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  for (RegisteredBuffer& rb : reg.buffers)
+    if (rb.buffer == tls_buffer) rb.name = name;
+}
+
+void record_span(const char* name, std::uint64_t begin_ns,
+                 std::uint64_t end_ns) {
+  if (!tracing_enabled()) return;
+  local_buffer().push(name, begin_ns, end_ns);
+}
+
+std::vector<ThreadTrace> trace_snapshot() {
+  std::vector<RegisteredBuffer> copies;
+  {
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    copies = reg.buffers;
+  }
+  std::vector<ThreadTrace> out;
+  out.reserve(copies.size());
+  for (const RegisteredBuffer& rb : copies)
+    out.push_back(rb.buffer->snapshot(rb.name));
+  return out;
+}
+
+void reset_trace() {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  for (RegisteredBuffer& rb : reg.buffers) rb.buffer->clear();
+}
+
+SpanTimer::SpanTimer(const char* name)
+    : name_(name), stat_(&span_stat(name)), begin_ns_(trace_now_ns()) {}
+
+SpanTimer::~SpanTimer() {
+  if (!stopped_) stop_seconds();
+}
+
+double SpanTimer::stop_seconds() {
+  if (!stopped_) {
+    stopped_ = true;
+    end_ns_ = trace_now_ns();
+    if (metrics_enabled()) stat_->add(end_ns_ - begin_ns_);
+    if (tracing_enabled()) record_span(name_, begin_ns_, end_ns_);
+  }
+  return static_cast<double>(end_ns_ - begin_ns_) * 1e-9;
+}
+
+}  // namespace neurfill::obs

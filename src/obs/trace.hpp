@@ -1,0 +1,143 @@
+#pragma once
+
+// Hierarchical tracing spans recorded into per-thread lock-free buffers.
+//
+// Recording model: NF_TRACE_SPAN("cmp.solve") opens a RAII span; its
+// destructor appends one completed event (name, begin, end) to the calling
+// thread's buffer.  Each buffer has a single writer (its owning thread) and
+// publishes new events with a release store of the size counter, so the
+// exporter can snapshot all buffers concurrently with an acquire load and
+// no locks on the hot path.  Buffers have fixed capacity (kTraceCapacity
+// events); once full, further events are counted as dropped rather than
+// reallocating under a writer.
+//
+// Nesting needs no bookkeeping: chrome://tracing infers the hierarchy from
+// time containment of complete ("X") events on the same thread track, and
+// the per-thread buffers keep worker activity (runtime::ThreadPool shards)
+// on separate tracks.
+//
+// Gating:
+//  * runtime: set_tracing_enabled(true) — off by default; a disabled span
+//    costs two relaxed atomic loads and a branch.
+//  * compile time: -DNEURFILL_DISABLE_TRACING (CMake option
+//    NEURFILL_ENABLE_TRACING=OFF) empties the macros entirely.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace neurfill::obs {
+
+/// Process-wide runtime switch for span event recording.
+bool tracing_enabled();
+void set_tracing_enabled(bool on);
+
+/// Nanoseconds since the process-wide trace epoch (steady clock; the epoch
+/// is fixed on first use so timestamps are comparable across threads).
+std::uint64_t trace_now_ns();
+
+/// Names the calling thread's trace track ("main", "pool-worker-3", ...).
+/// Safe to call before any span; the name applies when (and if) the thread
+/// records its first event, and renames the track if one already exists.
+void set_current_thread_name(const std::string& name);
+
+/// One completed span on some thread.  `name` must point at static-storage
+/// text (the macros pass string literals).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// Appends a completed span to the calling thread's buffer.  No-op unless
+/// tracing_enabled().  Prefer the NF_TRACE_SPAN macro.
+void record_span(const char* name, std::uint64_t begin_ns,
+                 std::uint64_t end_ns);
+
+/// Snapshot of one thread's buffer, in recording (i.e. span-end) order.
+struct ThreadTrace {
+  std::string thread_name;
+  int tid = 0;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+/// Copies every thread buffer.  Runs concurrently with recording; events
+/// whose release store has not landed yet are simply not included.
+std::vector<ThreadTrace> trace_snapshot();
+
+/// Empties every thread buffer (buffers and thread names stay registered).
+/// Must not race with threads actively recording spans.
+void reset_trace();
+
+/// RAII span: measures on construction/destruction, feeds the trace buffer
+/// (when tracing is on) and the span's duration aggregate (when metrics
+/// are on).  Instantiate through NF_TRACE_SPAN.
+class SpanGuard {
+ public:
+  SpanGuard(const char* name, SpanStat& stat)
+      : name_(name), stat_(&stat), tracing_(tracing_enabled()),
+        metrics_(metrics_enabled()) {
+    if (tracing_ || metrics_) begin_ns_ = trace_now_ns();
+  }
+  ~SpanGuard() {
+    if (!tracing_ && !metrics_) return;
+    const std::uint64_t end_ns = trace_now_ns();
+    if (metrics_) stat_->add(end_ns - begin_ns_);
+    if (tracing_) record_span(name_, begin_ns_, end_ns);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_;
+  SpanStat* stat_;
+  bool tracing_;
+  bool metrics_;
+  std::uint64_t begin_ns_ = 0;
+};
+
+/// Span that is also a stopwatch: stop_seconds() ends the span and returns
+/// its duration, so a reported runtime (e.g. FillRunResult::runtime_s) and
+/// the trace event are computed from the same two clock reads and cannot
+/// disagree.  Unlike SpanGuard it always measures — timing is its return
+/// value — but still only *records* under the runtime gates.
+class SpanTimer {
+ public:
+  explicit SpanTimer(const char* name);
+  ~SpanTimer();
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  /// Ends the span (recording it if tracing/metrics are on) and returns its
+  /// duration in seconds.  Further calls return the same duration.
+  double stop_seconds();
+
+ private:
+  const char* name_;
+  SpanStat* stat_;
+  std::uint64_t begin_ns_;
+  std::uint64_t end_ns_ = 0;
+  bool stopped_ = false;
+};
+
+#if !defined(NEURFILL_DISABLE_TRACING)
+
+/// Opens a span covering the rest of the enclosing scope.  `name` must be a
+/// string literal (or other static-storage string).
+#define NF_TRACE_SPAN(name)                                                  \
+  static ::neurfill::obs::SpanStat& NF_OBS_CONCAT(nf_obs_site_, __LINE__) =  \
+      ::neurfill::obs::span_stat(name);                                      \
+  const ::neurfill::obs::SpanGuard NF_OBS_CONCAT(nf_obs_span_, __LINE__) {   \
+    name, NF_OBS_CONCAT(nf_obs_site_, __LINE__)                              \
+  }
+
+#else  // NEURFILL_DISABLE_TRACING
+
+#define NF_TRACE_SPAN(name) static_cast<void>(0)
+
+#endif  // NEURFILL_DISABLE_TRACING
+
+}  // namespace neurfill::obs

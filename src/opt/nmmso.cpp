@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 namespace neurfill {
@@ -152,6 +153,8 @@ Nmmso::PlannedMove Nmmso::plan_evolution(std::size_t swarm_index) {
 }
 
 void Nmmso::evaluate_moves(std::vector<PlannedMove>& moves) {
+  NF_TRACE_SPAN("opt.nmmso_batch");
+  NF_COUNTER_ADD("opt.nmmso_evaluations", moves.size());
   if (opt_.parallel_evaluations && moves.size() > 1) {
     PlannedMove* pm = moves.data();
     const ObjectiveFn& f = f_;
@@ -217,6 +220,7 @@ void Nmmso::apply_move(const PlannedMove& move) {
 }
 
 std::vector<Mode> Nmmso::run() {
+  NF_TRACE_SPAN("opt.nmmso");
   swarms_.clear();
   evaluations_ = 0;
   {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace neurfill {
 
@@ -75,6 +76,7 @@ void LbfgsHessian::apply(const VecD& v, VecD& out) const {
 
 SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
                        const SqpOptions& options) {
+  NF_TRACE_SPAN("opt.sqp");
   const std::size_t n = x0.size();
   if (box.lo.size() != n)
     throw std::invalid_argument("sqp_minimize: box size mismatch");
@@ -97,6 +99,8 @@ SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
 
   for (int it = 0; it < options.max_iterations; ++it) {
     res.iterations = it + 1;
+    NF_TRACE_SPAN("opt.sqp_step");
+    NF_COUNTER_ADD("opt.sqp_iterations", 1);
     // Convergence: projected gradient (KKT residual for box constraints).
     double pg_inf = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -171,6 +175,7 @@ SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
     }
   }
   res.f = fx;
+  NF_COUNTER_ADD("opt.sqp_evaluations", res.function_evaluations);
   return res;
 }
 

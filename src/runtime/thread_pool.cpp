@@ -1,6 +1,9 @@
 #include "runtime/thread_pool.hpp"
 
+#include <string>
+
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace neurfill::runtime {
 
@@ -72,6 +75,10 @@ void ThreadPool::run_participant(std::size_t shard_index) {
 }
 
 void ThreadPool::worker_loop(std::size_t shard_index) {
+  // Stable trace-track identity: spans recorded from this worker (including
+  // nested NF_TRACE_SPANs inside user blocks) land on a per-worker track
+  // named by the shard it owns.
+  obs::set_current_thread_name("pool-worker-" + std::to_string(shard_index));
   std::size_t seen_generation = 0;
   for (;;) {
     {
@@ -82,7 +89,12 @@ void ThreadPool::worker_loop(std::size_t shard_index) {
       if (stop_) return;
       seen_generation = job_generation_;
     }
-    run_participant(shard_index);
+    {
+      // One span per job participation, so the trace shows exactly when
+      // each worker was busy and how evenly the blocks balanced.
+      NF_TRACE_SPAN("runtime.participate");
+      run_participant(shard_index);
+    }
     // Each participant notifies after its final done-increment, so the true
     // last finisher always wakes the caller; earlier notifies are harmless
     // (the caller re-checks the completion predicate under the lock).
@@ -93,6 +105,9 @@ void ThreadPool::worker_loop(std::size_t shard_index) {
 void ThreadPool::for_blocks(std::size_t num_blocks,
                             const std::function<void(std::size_t)>& body) {
   if (num_blocks == 0) return;
+  NF_TRACE_SPAN("runtime.for_blocks");
+  NF_COUNTER_ADD("runtime.jobs", 1);
+  NF_COUNTER_ADD("runtime.blocks", num_blocks);
   // Nested call from inside any pool's worker: degrade to serial inline
   // execution (never park a worker on another job — that can deadlock).
   if (tls_inside_worker || workers_.empty()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 namespace neurfill {
@@ -35,6 +36,8 @@ TrainingSample TrainingDataGenerator::generate(std::size_t rows,
 
 std::vector<TrainingSample> TrainingDataGenerator::generate_batch(
     std::size_t count, std::size_t rows, std::size_t cols) {
+  NF_TRACE_SPAN("datagen.batch");
+  NF_COUNTER_ADD("datagen.samples", count);
   // Serial phase: draw every sample's layout and fill from the generator's
   // single stream, in sample order.  Assembly is cheap (block copies plus
   // one uniform per cell) and consuming the stream serially makes a batch

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 #include "nn/ops.hpp"
 #include "nn/optim.hpp"
 
@@ -85,6 +86,7 @@ double surrogate_sample_loss(const CmpSurrogate& surrogate,
 TrainStats train_surrogate(CmpSurrogate& surrogate,
                            TrainingDataGenerator& datagen,
                            const TrainOptions& options) {
+  NF_TRACE_SPAN("train.run");
   TrainStats stats;
 
   // Calibrate the height normalization from a few samples so the regression
@@ -121,6 +123,7 @@ TrainStats train_surrogate(CmpSurrogate& surrogate,
 
   nn::Adam opt(surrogate.unet().parameters(), options.learning_rate);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::SpanTimer epoch_timer("train.epoch");
     opt.set_learning_rate(options.learning_rate *
                           std::pow(options.lr_decay, static_cast<float>(epoch)));
     if (!dataset.empty()) shuffle_rng.shuffle(order);
@@ -134,10 +137,15 @@ TrainStats train_surrogate(CmpSurrogate& surrogate,
           dataset.empty()
               ? datagen.generate(options.grid_rows, options.grid_cols)
               : dataset[order[static_cast<std::size_t>(i)]];
-      nn::Tensor loss = sample_loss_tensor(surrogate, sample);
-      loss.backward();
+      nn::Tensor loss = [&] {
+        NF_TRACE_SPAN("train.sample");
+        nn::Tensor l = sample_loss_tensor(surrogate, sample);
+        l.backward();
+        return l;
+      }();
       epoch_loss += static_cast<double>(loss.item());
       ++stats.samples_seen;
+      NF_COUNTER_ADD("train.samples", 1);
       if (++in_batch >= options.grad_accumulation) {
         opt.step();
         opt.zero_grad();
@@ -150,6 +158,9 @@ TrainStats train_surrogate(CmpSurrogate& surrogate,
     }
     epoch_loss /= static_cast<double>(std::max(steps, 1));
     stats.epoch_loss.push_back(epoch_loss);
+    NF_COUNTER_ADD("train.epochs", 1);
+    NF_GAUGE_SET("train.epoch_loss", epoch_loss);
+    NF_GAUGE_SET("train.epoch_time_s", epoch_timer.stop_seconds());
     if (options.verbose)
       LOG_INFO("epoch %d/%d: loss=%.5f", epoch + 1, options.epochs, epoch_loss);
     if (!options.checkpoint_prefix.empty())

@@ -1,0 +1,244 @@
+// Tests for the shared tool CLI: typed parsing, generated usage, the strict
+// numeric parsers, and the common-option helpers.  The malformed-numeric
+// cases are regression tests for the std::atoi era, where "--threads
+// garbage" silently became thread count 0.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace neurfill {
+namespace {
+
+ArgParser::Result run_parse(const ArgParser& parser,
+                            std::vector<const char*> args,
+                            std::string* out_text = nullptr,
+                            std::string* err_text = nullptr) {
+  args.insert(args.begin(), "prog");
+  std::ostringstream out;
+  std::ostringstream err;
+  const ArgParser::Result r =
+      parser.parse(static_cast<int>(args.size()), args.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return r;
+}
+
+TEST(StrictParse, Int) {
+  int v = -1;
+  EXPECT_TRUE(parse_int_strict("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int_strict("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(parse_int_strict("+3", &v));
+  EXPECT_EQ(v, 3);
+  EXPECT_FALSE(parse_int_strict("", &v));
+  EXPECT_FALSE(parse_int_strict("garbage", &v));
+  EXPECT_FALSE(parse_int_strict("12abc", &v));
+  EXPECT_FALSE(parse_int_strict("1.5", &v));
+  EXPECT_FALSE(parse_int_strict(" 3", &v));
+  EXPECT_FALSE(parse_int_strict("3 ", &v));
+  EXPECT_FALSE(parse_int_strict("99999999999999999999", &v));
+}
+
+TEST(StrictParse, Uint64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_uint64_strict("18446744073709551615", &v));
+  EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(parse_uint64_strict("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_FALSE(parse_uint64_strict("-1", &v));  // strtoull would wrap this
+  EXPECT_FALSE(parse_uint64_strict("", &v));
+  EXPECT_FALSE(parse_uint64_strict("1e3", &v));
+  EXPECT_FALSE(parse_uint64_strict("18446744073709551616", &v));
+}
+
+TEST(StrictParse, Double) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double_strict("2.5", &v));
+  EXPECT_EQ(v, 2.5);
+  EXPECT_TRUE(parse_double_strict("-1e-3", &v));
+  EXPECT_EQ(v, -1e-3);
+  EXPECT_FALSE(parse_double_strict("", &v));
+  EXPECT_FALSE(parse_double_strict("12abc", &v));
+  EXPECT_FALSE(parse_double_strict("abc", &v));
+  EXPECT_FALSE(parse_double_strict("1e999", &v));
+  EXPECT_FALSE(parse_double_strict("nan", &v));
+  EXPECT_FALSE(parse_double_strict("inf", &v));
+}
+
+TEST(ArgParserTest, ParsesPositionalsAndTypedOptions) {
+  std::string in, out, method = "pkb";
+  int threads = 0;
+  double window = 100.0;
+  bool report = false;
+  ArgParser p("tool", "desc");
+  p.add_positional("in", "input", &in);
+  p.add_positional("out", "output", &out);
+  p.add_choice("--method", {"lin", "pkb"}, "method", &method);
+  p.add_int("--threads", "N", "threads", &threads);
+  p.add_double("--window", "UM", "window", &window);
+  p.add_flag("--report", "report", &report);
+
+  EXPECT_EQ(run_parse(p, {"a.glf", "--threads", "4", "--method", "lin",
+                          "b.glf", "--window", "50.5", "--report"}),
+            ArgParser::Result::kOk);
+  EXPECT_EQ(in, "a.glf");
+  EXPECT_EQ(out, "b.glf");
+  EXPECT_EQ(method, "lin");
+  EXPECT_EQ(threads, 4);
+  EXPECT_EQ(window, 50.5);
+  EXPECT_TRUE(report);
+}
+
+TEST(ArgParserTest, EqualsFormAndDefaults) {
+  std::string name = "default";
+  int n = 7;
+  ArgParser p("tool", "desc");
+  p.add_string("--name", "S", "name", &name);
+  p.add_int("--n", "N", "n", &n);
+  EXPECT_EQ(run_parse(p, {"--name=x=y"}), ArgParser::Result::kOk);
+  EXPECT_EQ(name, "x=y");  // only the first '=' splits
+  EXPECT_EQ(n, 7);         // untouched options keep their defaults
+  EXPECT_EQ(run_parse(p, {"--n=3"}), ArgParser::Result::kOk);
+  EXPECT_EQ(n, 3);
+}
+
+TEST(ArgParserTest, RejectsMalformedNumerics) {
+  int threads = 0;
+  double window = 100.0;
+  std::uint64_t seed = 1;
+  ArgParser p("tool", "desc");
+  p.add_int("--threads", "N", "threads", &threads);
+  p.add_double("--window", "UM", "window", &window);
+  p.add_uint64("--seed", "S", "seed", &seed);
+
+  std::string err;
+  EXPECT_EQ(run_parse(p, {"--threads", "garbage"}, nullptr, &err),
+            ArgParser::Result::kError);
+  EXPECT_NE(err.find("invalid value 'garbage' for --threads"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+  EXPECT_EQ(threads, 0);  // untouched, not silently zeroed
+
+  EXPECT_EQ(run_parse(p, {"--window", "12abc"}, nullptr, &err),
+            ArgParser::Result::kError);
+  EXPECT_EQ(window, 100.0);
+
+  EXPECT_EQ(run_parse(p, {"--seed", "-1"}, nullptr, &err),
+            ArgParser::Result::kError);
+  EXPECT_EQ(seed, 1u);
+}
+
+TEST(ArgParserTest, RejectsUnknownAndMalformedShapes) {
+  std::string in;
+  int n = 0;
+  bool flag = false;
+  ArgParser p("tool", "desc");
+  p.add_positional("in", "input", &in);
+  p.add_int("--n", "N", "n", &n);
+  p.add_flag("--flag", "flag", &flag);
+
+  std::string err;
+  EXPECT_EQ(run_parse(p, {"x", "--bogus"}, nullptr, &err),
+            ArgParser::Result::kError);
+  EXPECT_NE(err.find("unknown option '--bogus'"), std::string::npos);
+
+  EXPECT_EQ(run_parse(p, {"x", "--n"}, nullptr, &err),
+            ArgParser::Result::kError);
+  EXPECT_NE(err.find("requires a value"), std::string::npos);
+
+  EXPECT_EQ(run_parse(p, {}, nullptr, &err), ArgParser::Result::kError);
+  EXPECT_NE(err.find("missing required argument <in>"), std::string::npos);
+
+  EXPECT_EQ(run_parse(p, {"x", "y"}, nullptr, &err),
+            ArgParser::Result::kError);
+  EXPECT_NE(err.find("unexpected argument 'y'"), std::string::npos);
+
+  EXPECT_EQ(run_parse(p, {"x", "--flag=1"}, nullptr, &err),
+            ArgParser::Result::kError);
+  EXPECT_NE(err.find("does not take a value"), std::string::npos);
+}
+
+TEST(ArgParserTest, RejectsBadChoice) {
+  std::string model = "asperity";
+  ArgParser p("tool", "desc");
+  p.add_choice("--pressure-model", {"asperity", "elastic"}, "model", &model);
+  std::string err;
+  EXPECT_EQ(run_parse(p, {"--pressure-model", "rigid"}, nullptr, &err),
+            ArgParser::Result::kError);
+  EXPECT_NE(err.find("expected one of asperity|elastic"), std::string::npos)
+      << err;
+  EXPECT_EQ(model, "asperity");
+}
+
+TEST(ArgParserTest, HelpPrintsUsage) {
+  std::string in;
+  CommonToolOptions common;
+  ArgParser p("tool", "does things");
+  p.add_positional("in", "input", &in);
+  add_common_options(p, &common);
+  std::string out;
+  EXPECT_EQ(run_parse(p, {"--help"}, &out), ArgParser::Result::kHelp);
+  EXPECT_NE(out.find("usage: tool <in> [options]"), std::string::npos) << out;
+  EXPECT_NE(out.find("does things"), std::string::npos);
+  // The shared flags are all registered by add_common_options.
+  for (const char* flag : {"--threads", "--trace", "--metrics",
+                           "--metrics-json", "--log-level"})
+    EXPECT_NE(out.find(flag), std::string::npos) << flag;
+  std::string short_out;
+  EXPECT_EQ(run_parse(p, {"-h"}, &short_out), ArgParser::Result::kHelp);
+  EXPECT_EQ(out, short_out);
+}
+
+TEST(CommonOptionsTest, ParseAndApply) {
+  CommonToolOptions common;
+  ArgParser p("tool", "desc");
+  add_common_options(p, &common);
+  EXPECT_EQ(run_parse(p, {"--metrics", "--log-level", "debug", "--trace",
+                          "/tmp/t.json", "--metrics-json", "m.json"}),
+            ArgParser::Result::kOk);
+  EXPECT_TRUE(common.metrics);
+  EXPECT_EQ(common.log_level, "debug");
+  EXPECT_EQ(common.trace_path, "/tmp/t.json");
+  EXPECT_EQ(common.metrics_json_path, "m.json");
+
+  const LogLevel saved = log_level();
+  std::ostringstream err;
+  EXPECT_TRUE(apply_common_options(common, err));
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  EXPECT_TRUE(obs::tracing_enabled());
+  EXPECT_TRUE(obs::metrics_enabled());
+  obs::set_tracing_enabled(false);
+  obs::set_metrics_enabled(false);
+  set_log_level(saved);
+}
+
+TEST(CommonOptionsTest, RejectsNegativeThreads) {
+  CommonToolOptions common;
+  common.threads = -2;
+  std::ostringstream err;
+  EXPECT_FALSE(apply_common_options(common, err));
+  EXPECT_NE(err.str().find("--threads"), std::string::npos);
+}
+
+TEST(CommonOptionsTest, RejectsBadLogLevel) {
+  CommonToolOptions common;
+  common.log_level = "loud";
+  std::ostringstream err;
+  EXPECT_FALSE(apply_common_options(common, err));
+  EXPECT_NE(err.str().find("--log-level"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace neurfill

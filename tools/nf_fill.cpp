@@ -1,22 +1,19 @@
 // nf_fill: model-based dummy filling of a GLF layout from the command line.
 //
-// Usage:
-//   nf_fill <layout.glf> <out.glf> [--method lin|tao|cai|pkb|mm]
-//           [--surrogate PREFIX] [--window UM] [--report] [--threads N]
-//
-// pkb/mm need a pre-trained surrogate (see examples/train_surrogate); with
-// none available a reduced surrogate is trained on the fly.
+// Run `nf_fill --help` for the full flag list.  pkb/mm need a pre-trained
+// surrogate (see examples/train_surrogate); with none available a reduced
+// surrogate is trained on the fly.
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "common/cli.hpp"
 #include "fill/neurfill.hpp"
-#include "layout/fill_insertion.hpp"
 #include "fill/report.hpp"
 #include "geom/glf_io.hpp"
+#include "layout/fill_insertion.hpp"
 #include "runtime/parallel.hpp"
 #include "surrogate/trainer.hpp"
 
@@ -48,98 +45,104 @@ std::shared_ptr<CmpSurrogate> obtain_surrogate(const std::string& prefix,
   }
 }
 
+int run(const std::string& in_path, const std::string& out_path,
+        const std::string& method, const std::string& surrogate_prefix,
+        const ExtractOptions& eopt, bool report, bool drc) {
+  Layout layout = read_glf_file(in_path);
+  const WindowExtraction ext = extract_windows(layout, eopt);
+  CmpProcessParams params;
+  params.window_um = eopt.window_um;
+  CmpSimulator sim(params);
+  const ScoreCoefficients coeffs = make_coefficients(layout, ext, sim);
+  FillProblem problem(ext, sim, coeffs);
+
+  FillRunResult result;
+  if (method == "lin") {
+    result = lin_rule_fill(problem);
+  } else if (method == "tao") {
+    result = tao_rule_sqp(problem);
+  } else if (method == "cai") {
+    result = cai_model_fill(problem);
+  } else {  // pkb or mm: the parser only admits the five known methods
+    auto surrogate = obtain_surrogate(surrogate_prefix, ext, sim);
+    CmpNetwork network(surrogate, ext, coeffs);
+    calibrate_network(network, problem);
+    result = method == "pkb" ? neurfill_pkb(problem, network)
+                             : neurfill_mm(problem, network);
+  }
+
+  const Layout original = layout;  // scoring must see the pre-fill design
+  std::size_t dummies = 0;
+  if (drc) {
+    const DrcInsertStats stats = insert_dummies_drc(layout, ext, result.x);
+    dummies = stats.placed;
+    std::fprintf(stderr,
+                 "DRC insertion: realized %.0f of %.0f um^2 (%zu sites "
+                 "blocked)\n",
+                 stats.realized_um2, stats.requested_um2, stats.blocked_sites);
+  } else {
+    dummies = insert_dummies(layout, ext, result.x);
+  }
+  write_glf_file(out_path, layout);
+  std::fprintf(stderr, "%s: inserted %zu dummies in %.1fs (%ld evaluations)\n",
+               result.method.c_str(), dummies, result.runtime_s,
+               result.objective_evaluations);
+  if (report) {
+    const MethodReport rep = score_fill_result(problem, original, result);
+    print_table3_header(std::cout);
+    print_table3_row(std::cout, layout.name, rep);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: nf_fill <layout.glf> <out.glf> [--method "
-                 "lin|tao|cai|pkb|mm] [--surrogate PREFIX] [--window UM] "
-                 "[--report] [--drc] [--threads N]\n");
-    return 2;
-  }
-  const std::string in_path = argv[1];
-  const std::string out_path = argv[2];
+  std::string in_path;
+  std::string out_path;
   std::string method = "pkb";
   std::string surrogate_prefix = "data/unet_cmp";
   bool report = false;
   bool drc = false;
   ExtractOptions eopt;
-  for (int i = 3; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--method" && i + 1 < argc) {
-      method = argv[++i];
-    } else if (arg == "--surrogate" && i + 1 < argc) {
-      surrogate_prefix = argv[++i];
-    } else if (arg == "--window" && i + 1 < argc) {
-      eopt.window_um = std::atof(argv[++i]);
-    } else if (arg == "--report") {
-      report = true;
-    } else if (arg == "--drc") {
-      drc = true;
-    } else if (arg == "--threads" && i + 1 < argc) {
-      runtime::set_thread_count(std::atoi(argv[++i]));
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+  double window_um = eopt.window_um;
+  CommonToolOptions common;
+
+  ArgParser parser("nf_fill", "Model-based dummy filling of a GLF layout.");
+  parser.add_positional("layout.glf", "input GLF layout", &in_path);
+  parser.add_positional("out.glf", "output layout with dummies inserted",
+                        &out_path);
+  parser.add_choice("--method", {"lin", "tao", "cai", "pkb", "mm"},
+                    "filling method (default pkb)", &method);
+  parser.add_string("--surrogate", "PREFIX",
+                    "surrogate weight prefix (default data/unet_cmp)",
+                    &surrogate_prefix);
+  parser.add_double("--window", "UM", "window edge in um (default 100)",
+                    &window_um);
+  parser.add_flag("--report", "print the Table-III score row for the result",
+                  &report);
+  parser.add_flag("--drc", "insert dummies with design-rule checking", &drc);
+  add_common_options(parser, &common);
+  switch (parser.parse(argc, argv, std::cout, std::cerr)) {
+    case ArgParser::Result::kHelp:
+      return 0;
+    case ArgParser::Result::kError:
       return 2;
-    }
+    case ArgParser::Result::kOk:
+      break;
   }
+  if (!apply_common_options(common, std::cerr)) return 2;
+  eopt.window_um = window_um;
   std::fprintf(stderr, "nf_fill: method=%s threads=%d\n", method.c_str(),
                runtime::thread_count());
 
+  int rc = 0;
   try {
-    Layout layout = read_glf_file(in_path);
-    const WindowExtraction ext = extract_windows(layout, eopt);
-    CmpProcessParams params;
-    params.window_um = eopt.window_um;
-    CmpSimulator sim(params);
-    const ScoreCoefficients coeffs = make_coefficients(layout, ext, sim);
-    FillProblem problem(ext, sim, coeffs);
-
-    FillRunResult result;
-    if (method == "lin") {
-      result = lin_rule_fill(problem);
-    } else if (method == "tao") {
-      result = tao_rule_sqp(problem);
-    } else if (method == "cai") {
-      result = cai_model_fill(problem);
-    } else if (method == "pkb" || method == "mm") {
-      auto surrogate = obtain_surrogate(surrogate_prefix, ext, sim);
-      CmpNetwork network(surrogate, ext, coeffs);
-      calibrate_network(network, problem);
-      result = method == "pkb" ? neurfill_pkb(problem, network)
-                               : neurfill_mm(problem, network);
-    } else {
-      std::fprintf(stderr, "unknown method: %s\n", method.c_str());
-      return 2;
-    }
-
-    const Layout original = layout;  // scoring must see the pre-fill design
-    std::size_t dummies = 0;
-    if (drc) {
-      const DrcInsertStats stats = insert_dummies_drc(layout, ext, result.x);
-      dummies = stats.placed;
-      std::fprintf(stderr,
-                   "DRC insertion: realized %.0f of %.0f um^2 (%zu sites "
-                   "blocked)\n",
-                   stats.realized_um2, stats.requested_um2,
-                   stats.blocked_sites);
-    } else {
-      dummies = insert_dummies(layout, ext, result.x);
-    }
-    write_glf_file(out_path, layout);
-    std::fprintf(stderr,
-                 "%s: inserted %zu dummies in %.1fs (%ld evaluations)\n",
-                 result.method.c_str(), dummies, result.runtime_s,
-                 result.objective_evaluations);
-    if (report) {
-      const MethodReport rep = score_fill_result(problem, original, result);
-      print_table3_header(std::cout);
-      print_table3_row(std::cout, layout.name, rep);
-    }
+    rc = run(in_path, out_path, method, surrogate_prefix, eopt, report, drc);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (!finish_common_options(common) && rc == 0) rc = 1;
+  return rc;
 }

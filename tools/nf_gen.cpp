@@ -1,46 +1,60 @@
 // nf_gen: generate one of the synthetic benchmark designs (Section V's
 // Design A/B/C analogues) as a GLF file.
 //
-// Usage: nf_gen <a|b|c> <out.glf> [--windows N] [--seed S]
+// Run `nf_gen --help` for the full flag list.
 
 #include <cstdio>
+#include <iostream>
 #include <string>
 
+#include "common/cli.hpp"
 #include "geom/designs.hpp"
 #include "geom/glf_io.hpp"
 
 using namespace neurfill;
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: nf_gen <a|b|c> <out.glf> [--windows N] [--seed S]\n");
-    return 2;
-  }
-  const char which = argv[1][0];
-  const std::string out = argv[2];
+  std::string design;
+  std::string out;
   int windows = 32;
   std::uint64_t seed = 1;
-  for (int i = 3; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--windows" && i + 1 < argc) {
-      windows = std::atoi(argv[++i]);
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+  CommonToolOptions common;
+
+  ArgParser parser("nf_gen",
+                   "Generate a synthetic benchmark design (a, b, or c) as a "
+                   "GLF file.");
+  parser.add_positional("a|b|c", "which design family to generate", &design);
+  parser.add_positional("out.glf", "output GLF path", &out);
+  parser.add_int("--windows", "N", "design size in windows per side "
+                 "(default 32)", &windows);
+  parser.add_uint64("--seed", "S", "random seed (default 1)", &seed);
+  add_common_options(parser, &common);
+  switch (parser.parse(argc, argv, std::cout, std::cerr)) {
+    case ArgParser::Result::kHelp:
+      return 0;
+    case ArgParser::Result::kError:
       return 2;
-    }
+    case ArgParser::Result::kOk:
+      break;
   }
+  if (design != "a" && design != "b" && design != "c") {
+    std::fprintf(stderr, "nf_gen: unknown design '%s' (expected a, b, or c)\n",
+                 design.c_str());
+    return 2;
+  }
+  if (!apply_common_options(common, std::cerr)) return 2;
+
+  int rc = 0;
   try {
-    const Layout layout = make_design(which, windows, 100.0, seed);
+    const Layout layout = make_design(design[0], windows, 100.0, seed);
     write_glf_file(out, layout);
     std::fprintf(stderr, "wrote %s: %zu wires over %zu layers (%zu bytes)\n",
                  out.c_str(), layout.total_wire_count(), layout.num_layers(),
                  glf_encoded_size(layout));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (!finish_common_options(common) && rc == 0) rc = 1;
+  return rc;
 }

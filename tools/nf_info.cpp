@@ -1,73 +1,94 @@
 // nf_info: inspect a GLF layout — extents, layers, rect counts, and the
 // per-layer window density statistics the filling flow will see.
 //
-// Usage: nf_info <layout.glf> [--window UM] [--density-map]
+// Run `nf_info --help` for the full flag list.
 
+#include <algorithm>
 #include <cstdio>
+#include <iostream>
 #include <string>
 
+#include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "geom/glf_io.hpp"
 #include "layout/window_grid.hpp"
 
 using namespace neurfill;
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: nf_info <layout.glf> [--window UM] "
-                         "[--density-map]\n");
-    return 2;
-  }
-  const std::string path = argv[1];
-  ExtractOptions eopt;
-  bool density_map = false;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--window" && i + 1 < argc) {
-      eopt.window_um = std::atof(argv[++i]);
-    } else if (arg == "--density-map") {
-      density_map = true;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      return 2;
-    }
-  }
+namespace {
 
-  try {
-    const Layout layout = read_glf_file(path);
-    std::printf("layout %s: %.1f x %.1f um, %zu layers, %zu wires, %zu "
-                "dummies, %zu bytes as GLF\n",
-                layout.name.c_str(), layout.width_um, layout.height_um,
-                layout.num_layers(), layout.total_wire_count(),
-                layout.total_dummy_count(), glf_encoded_size(layout));
-    const WindowExtraction ext = extract_windows(layout, eopt);
-    std::printf("windows: %zu x %zu at %.0f um\n", ext.rows, ext.cols,
-                ext.window_um);
-    for (std::size_t l = 0; l < ext.num_layers(); ++l) {
-      const auto& d = ext.layers[l];
-      std::vector<double> rho(d.wire_density.begin(), d.wire_density.end());
-      const Summary s = summarize(rho);
-      double total_slack = 0.0;
-      for (const double v : d.slack) total_slack += v;
-      std::printf("  layer %zu (%s): density mean %.3f std %.3f range "
-                  "[%.3f, %.3f], total slack %.1f window-areas\n",
-                  l, layout.layers[l].name.c_str(), s.mean, s.stddev, s.min,
-                  s.max, total_slack);
-      if (density_map) {
-        for (std::size_t i = 0; i < ext.rows; ++i) {
-          std::printf("    ");
-          for (std::size_t j = 0; j < ext.cols; ++j) {
-            const double v = d.wire_density(i, j) + d.dummy_density(i, j);
-            std::printf("%c", " .:-=+*#%@"[static_cast<int>(
-                                  std::min(v, 0.999) * 10.0)]);
-          }
-          std::printf("\n");
+int run(const std::string& path, const ExtractOptions& eopt,
+        bool density_map) {
+  const Layout layout = read_glf_file(path);
+  std::printf("layout %s: %.1f x %.1f um, %zu layers, %zu wires, %zu "
+              "dummies, %zu bytes as GLF\n",
+              layout.name.c_str(), layout.width_um, layout.height_um,
+              layout.num_layers(), layout.total_wire_count(),
+              layout.total_dummy_count(), glf_encoded_size(layout));
+  const WindowExtraction ext = extract_windows(layout, eopt);
+  std::printf("windows: %zu x %zu at %.0f um\n", ext.rows, ext.cols,
+              ext.window_um);
+  for (std::size_t l = 0; l < ext.num_layers(); ++l) {
+    const auto& d = ext.layers[l];
+    std::vector<double> rho(d.wire_density.begin(), d.wire_density.end());
+    const Summary s = summarize(rho);
+    double total_slack = 0.0;
+    for (const double v : d.slack) total_slack += v;
+    std::printf("  layer %zu (%s): density mean %.3f std %.3f range "
+                "[%.3f, %.3f], total slack %.1f window-areas\n",
+                l, layout.layers[l].name.c_str(), s.mean, s.stddev, s.min,
+                s.max, total_slack);
+    if (density_map) {
+      for (std::size_t i = 0; i < ext.rows; ++i) {
+        std::printf("    ");
+        for (std::size_t j = 0; j < ext.cols; ++j) {
+          const double v = d.wire_density(i, j) + d.dummy_density(i, j);
+          std::printf("%c", " .:-=+*#%@"[static_cast<int>(
+                                std::min(v, 0.999) * 10.0)]);
         }
+        std::printf("\n");
       }
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool density_map = false;
+  ExtractOptions eopt;
+  double window_um = eopt.window_um;
+  CommonToolOptions common;
+
+  ArgParser parser("nf_info",
+                   "Inspect a GLF layout: extents, layers, and per-layer "
+                   "window density statistics.");
+  parser.add_positional("layout.glf", "input GLF layout", &path);
+  parser.add_double("--window", "UM", "window edge in um (default 100)",
+                    &window_um);
+  parser.add_flag("--density-map", "print an ASCII density map per layer",
+                  &density_map);
+  add_common_options(parser, &common);
+  switch (parser.parse(argc, argv, std::cout, std::cerr)) {
+    case ArgParser::Result::kHelp:
+      return 0;
+    case ArgParser::Result::kError:
+      return 2;
+    case ArgParser::Result::kOk:
+      break;
+  }
+  if (!apply_common_options(common, std::cerr)) return 2;
+  eopt.window_um = window_um;
+
+  int rc = 0;
+  try {
+    rc = run(path, eopt, density_map);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
+  if (!finish_common_options(common) && rc == 0) rc = 1;
+  return rc;
 }

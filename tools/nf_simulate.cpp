@@ -1,19 +1,16 @@
 // nf_simulate: run the full-chip CMP simulator on a GLF layout and emit the
 // per-layer post-CMP height/dishing/erosion profiles as CSV.
 //
-// Usage:
-//   nf_simulate <layout.glf> [--window UM] [--out profile.csv]
-//               [--pressure-model asperity|elastic] [--threads N]
-//
+// Run `nf_simulate --help` for the full flag list.
 // CSV columns: layer,row,col,height_A,dishing_A,erosion_A,step_A
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "cmp/simulator.hpp"
+#include "common/cli.hpp"
 #include "fill/metrics.hpp"
 #include "geom/glf_io.hpp"
 #include "layout/window_grid.hpp"
@@ -21,74 +18,91 @@
 
 using namespace neurfill;
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: nf_simulate <layout.glf> [--window UM] [--out F] "
-                 "[--pressure-model asperity|elastic] [--threads N]\n");
-    return 2;
-  }
-  std::string path = argv[1];
-  std::string out_path;
-  ExtractOptions eopt;
-  CmpProcessParams params;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--window" && i + 1 < argc) {
-      eopt.window_um = std::atof(argv[++i]);
-      params.window_um = eopt.window_um;
-    } else if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg == "--pressure-model" && i + 1 < argc) {
-      const std::string m = argv[++i];
-      params.pressure_model =
-          m == "elastic" ? PressureModel::kElastic : PressureModel::kAsperity;
-    } else if (arg == "--threads" && i + 1 < argc) {
-      runtime::set_thread_count(std::atoi(argv[++i]));
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      return 2;
+namespace {
+
+int run(const std::string& path, const std::string& out_path,
+        const ExtractOptions& eopt, const CmpProcessParams& params) {
+  const Layout layout = read_glf_file(path);
+  const WindowExtraction ext = extract_windows(layout, eopt);
+  CmpSimulator sim(params);
+  const auto results = sim.simulate(ext, {});
+
+  std::ofstream file;
+  std::ostream* os = &std::cout;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
     }
+    os = &file;
   }
+  *os << "layer,row,col,height_A,dishing_A,erosion_A,step_A\n";
+  for (std::size_t l = 0; l < results.size(); ++l) {
+    const auto& r = results[l];
+    for (std::size_t i = 0; i < r.height.rows(); ++i)
+      for (std::size_t j = 0; j < r.height.cols(); ++j)
+        *os << l << ',' << i << ',' << j << ',' << r.height(i, j) << ','
+            << r.dishing(i, j) << ',' << r.erosion(i, j) << ','
+            << r.final_step(i, j) << '\n';
+  }
+
+  std::vector<GridD> heights;
+  for (const auto& r : results) heights.push_back(r.height);
+  const PlanarityMetrics m = compute_planarity(heights);
+  std::fprintf(stderr,
+               "simulated %zu layers, %zux%zu windows: dH=%.1fA "
+               "sigma=%.1fA^2 sigma*=%.1fA outliers=%.2fA\n",
+               results.size(), ext.rows, ext.cols, m.delta_h, m.sigma,
+               m.sigma_star, m.outliers);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string out_path;
+  std::string pressure_model = "asperity";
+  ExtractOptions eopt;
+  double window_um = eopt.window_um;
+  CommonToolOptions common;
+
+  ArgParser parser("nf_simulate",
+                   "Full-chip CMP simulation of a GLF layout; emits per-layer "
+                   "height/dishing/erosion profiles as CSV.");
+  parser.add_positional("layout.glf", "input GLF layout", &path);
+  parser.add_double("--window", "UM", "window edge in um (default 100)",
+                    &window_um);
+  parser.add_string("--out", "FILE", "write the CSV here instead of stdout",
+                    &out_path);
+  parser.add_choice("--pressure-model", {"asperity", "elastic"},
+                    "pad pressure model (default asperity)", &pressure_model);
+  add_common_options(parser, &common);
+  switch (parser.parse(argc, argv, std::cout, std::cerr)) {
+    case ArgParser::Result::kHelp:
+      return 0;
+    case ArgParser::Result::kError:
+      return 2;
+    case ArgParser::Result::kOk:
+      break;
+  }
+  if (!apply_common_options(common, std::cerr)) return 2;
+  eopt.window_um = window_um;
+  CmpProcessParams params;
+  params.window_um = window_um;
+  params.pressure_model = pressure_model == "elastic"
+                              ? PressureModel::kElastic
+                              : PressureModel::kAsperity;
   std::fprintf(stderr, "nf_simulate: threads=%d\n", runtime::thread_count());
 
+  int rc = 0;
   try {
-    const Layout layout = read_glf_file(path);
-    const WindowExtraction ext = extract_windows(layout, eopt);
-    CmpSimulator sim(params);
-    const auto results = sim.simulate(ext, {});
-
-    std::ofstream file;
-    std::ostream* os = &std::cout;
-    if (!out_path.empty()) {
-      file.open(out_path);
-      if (!file) {
-        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-        return 1;
-      }
-      os = &file;
-    }
-    *os << "layer,row,col,height_A,dishing_A,erosion_A,step_A\n";
-    for (std::size_t l = 0; l < results.size(); ++l) {
-      const auto& r = results[l];
-      for (std::size_t i = 0; i < r.height.rows(); ++i)
-        for (std::size_t j = 0; j < r.height.cols(); ++j)
-          *os << l << ',' << i << ',' << j << ',' << r.height(i, j) << ','
-              << r.dishing(i, j) << ',' << r.erosion(i, j) << ','
-              << r.final_step(i, j) << '\n';
-    }
-
-    std::vector<GridD> heights;
-    for (const auto& r : results) heights.push_back(r.height);
-    const PlanarityMetrics m = compute_planarity(heights);
-    std::fprintf(stderr,
-                 "simulated %zu layers, %zux%zu windows: dH=%.1fA "
-                 "sigma=%.1fA^2 sigma*=%.1fA outliers=%.2fA\n",
-                 results.size(), ext.rows, ext.cols, m.delta_h, m.sigma,
-                 m.sigma_star, m.outliers);
+    rc = run(path, out_path, eopt, params);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (!finish_common_options(common) && rc == 0) rc = 1;
+  return rc;
 }
