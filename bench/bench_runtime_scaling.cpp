@@ -1,6 +1,8 @@
-// Runtime-subsystem scaling benchmark: throughput of the two heaviest
-// parallelized kernels — the GEMM behind conv2d and the elastic contact
-// solver behind the high-fidelity CMP simulator — at 1/2/4/8 threads.
+// Runtime-subsystem scaling benchmark: throughput of the heaviest
+// parallelized kernels — the packed GEMM (all three operand layouts), the
+// conv2d forward/backward path that feeds it through im2col, and the
+// elastic contact solver behind the high-fidelity CMP simulator — at
+// 1/2/4/8 threads.
 //
 // The manual sweep prints a table plus a machine-readable JSON summary line
 // (speedup_8t is what the acceptance check reads; >= 3x is expected on a
@@ -8,6 +10,7 @@
 // pool degrades gracefully to near-serial execution).  google-benchmark then
 // re-times the kernels at each thread count with statistical rigor.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -19,6 +22,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "nn/gemm.hpp"
+#include "nn/ops.hpp"
 #include "runtime/parallel.hpp"
 
 namespace {
@@ -29,6 +33,9 @@ constexpr int kThreadCounts[] = {1, 2, 4, 8};
 
 struct GemmProblem {
   static constexpr int M = 512, N = 512, K = 512;
+  // 0 = nn, 1 = nt, 2 = tn.  All three operand layouts are 512x512, so one
+  // buffer pair drives every variant.
+  int variant = 0;
   std::vector<float> A, B, C;
   GemmProblem()
       : A(static_cast<std::size_t>(M) * K),
@@ -38,8 +45,43 @@ struct GemmProblem {
     for (auto& x : A) x = static_cast<float>(rng.normal());
     for (auto& x : B) x = static_cast<float>(rng.normal());
   }
-  void run() { nn::gemm_nn(M, N, K, A.data(), B.data(), C.data(), false); }
+  void run() {
+    switch (variant) {
+      case 1: nn::gemm_nt(M, N, K, A.data(), B.data(), C.data(), false); break;
+      case 2: nn::gemm_tn(M, N, K, A.data(), B.data(), C.data(), false); break;
+      default: nn::gemm_nn(M, N, K, A.data(), B.data(), C.data(), false);
+    }
+  }
   static double flops() { return 2.0 * M * N * K; }
+};
+
+struct ConvProblem {
+  // A UNet-encoder-sized layer: the shape the surrogate hot path actually
+  // runs through conv2d -> im2col -> packed GEMM.
+  static constexpr int N = 2, C = 16, H = 64, W = 64, O = 16, k = 3;
+  bool backward;
+  std::vector<float> xd, wd, bd;
+  explicit ConvProblem(bool bwd)
+      : backward(bwd),
+        xd(static_cast<std::size_t>(N) * C * H * W),
+        wd(static_cast<std::size_t>(O) * C * k * k),
+        bd(static_cast<std::size_t>(O)) {
+    Rng rng(7);
+    for (auto& v : xd) v = static_cast<float>(rng.normal());
+    for (auto& v : wd) v = static_cast<float>(rng.normal(0.0, 0.1));
+    for (auto& v : bd) v = static_cast<float>(rng.normal());
+  }
+  void run() const {
+    nn::Tensor x = nn::Tensor::from_data({N, C, H, W}, xd, backward);
+    nn::Tensor w = nn::Tensor::from_data({O, C, k, k}, wd, backward);
+    nn::Tensor b = nn::Tensor::from_data({O}, bd, backward);
+    nn::Tensor y = nn::conv2d(x, w, b, /*stride=*/1, /*padding=*/1);
+    if (backward) {
+      nn::sum(y).backward();
+      benchmark::DoNotOptimize(x.grad());
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
 };
 
 struct ContactProblem {
@@ -57,49 +99,87 @@ struct ContactProblem {
   }
 };
 
+/// Median-of-reps timing: robust against the occasional scheduler hiccup
+/// that a mean would fold into the speedup ratios (on busy or 1-core hosts
+/// a single preempted rep used to flip contact_speedup_4t across 1.0).
 template <typename Problem>
 double time_seconds(Problem& p, int reps) {
   p.run();  // warm-up (and first-use pool construction)
-  Timer t;
-  for (int i = 0; i < reps; ++i) p.run();
-  return t.elapsed_seconds() / reps;
+  std::vector<double> samples(static_cast<std::size_t>(reps));
+  for (auto& s : samples) {
+    Timer t;
+    p.run();
+    s = t.elapsed_seconds();
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
 
 void print_scaling_summary(const std::string& json_path) {
   GemmProblem gemm;
   ContactProblem contact;
-  double gemm_s[4] = {}, contact_s[4] = {};
+  ConvProblem conv_fwd(/*bwd=*/false);
+  ConvProblem conv_fb(/*bwd=*/true);
+  double gemm_s[4] = {}, contact_s[4] = {}, conv_f[4] = {}, conv_b[4] = {};
+  double gemm_nt_1t = 0.0, gemm_tn_1t = 0.0;
   for (int i = 0; i < 4; ++i) {
     runtime::set_thread_count(kThreadCounts[i]);
-    gemm_s[i] = time_seconds(gemm, 10);
+    gemm_s[i] = time_seconds(gemm, 11);
     contact_s[i] = time_seconds(contact, 3);
+    conv_f[i] = time_seconds(conv_fwd, 11);
+    conv_b[i] = time_seconds(conv_fb, 11);
+    if (i == 0) {
+      gemm.variant = 1;
+      gemm_nt_1t = time_seconds(gemm, 11);
+      gemm.variant = 2;
+      gemm_tn_1t = time_seconds(gemm, 11);
+      gemm.variant = 0;
+    }
   }
   runtime::set_thread_count(0);
 
-  std::printf("\n=== Runtime scaling: GEMM %dx%dx%d and %zux%zu elastic "
-              "contact solve ===\n",
+  std::printf("\n=== Runtime scaling: GEMM %dx%dx%d, %zux%zu elastic "
+              "contact solve, conv2d %dx%dx%dx%d k%d ===\n",
               GemmProblem::M, GemmProblem::N, GemmProblem::K,
-              ContactProblem::R, ContactProblem::C);
-  std::printf("%-10s %14s %10s %16s %10s\n", "threads", "gemm GFLOP/s",
-              "speedup", "contact ms", "speedup");
+              ContactProblem::R, ContactProblem::C, ConvProblem::N,
+              ConvProblem::C, ConvProblem::H, ConvProblem::W, ConvProblem::k);
+  std::printf("%-8s %13s %8s %12s %8s %12s %8s %13s %8s\n", "threads",
+              "gemm GFLOP/s", "speedup", "contact ms", "speedup",
+              "conv fwd ms", "speedup", "conv f+b ms", "speedup");
   for (int i = 0; i < 4; ++i)
-    std::printf("%-10d %14.2f %10.2f %16.2f %10.2f\n", kThreadCounts[i],
-                GemmProblem::flops() / gemm_s[i] * 1e-9, gemm_s[0] / gemm_s[i],
-                contact_s[i] * 1e3, contact_s[0] / contact_s[i]);
+    std::printf("%-8d %13.2f %8.2f %12.2f %8.2f %12.2f %8.2f %13.2f %8.2f\n",
+                kThreadCounts[i], GemmProblem::flops() / gemm_s[i] * 1e-9,
+                gemm_s[0] / gemm_s[i], contact_s[i] * 1e3,
+                contact_s[0] / contact_s[i], conv_f[i] * 1e3,
+                conv_f[0] / conv_f[i], conv_b[i] * 1e3,
+                conv_b[0] / conv_b[i]);
+  std::printf("gemm variants @1t: nn %.2f  nt %.2f  tn %.2f GFLOP/s\n",
+              GemmProblem::flops() / gemm_s[0] * 1e-9,
+              GemmProblem::flops() / gemm_nt_1t * 1e-9,
+              GemmProblem::flops() / gemm_tn_1t * 1e-9);
 
   // One-line JSON for scripted consumption; --json FILE writes the same
-  // object to a file (CI publishes it as BENCH_runtime.json).
-  char json[512];
+  // object to a file (CI publishes it as BENCH_runtime.json and the
+  // perf-smoke job gates on gemm_gflops_1t / gemm_speedup_4t).
+  char json[1024];
   std::snprintf(json, sizeof(json),
                 "{\"bench\":\"runtime_scaling\","
                 "\"gemm_gflops_1t\":%.3f,\"gemm_speedup_2t\":%.3f,"
                 "\"gemm_speedup_4t\":%.3f,\"gemm_speedup_8t\":%.3f,"
+                "\"gemm_nt_gflops_1t\":%.3f,\"gemm_tn_gflops_1t\":%.3f,"
                 "\"contact_ms_1t\":%.3f,\"contact_speedup_2t\":%.3f,"
-                "\"contact_speedup_4t\":%.3f,\"contact_speedup_8t\":%.3f}",
+                "\"contact_speedup_4t\":%.3f,\"contact_speedup_8t\":%.3f,"
+                "\"conv2d_fwd_ms_1t\":%.3f,\"conv2d_fwd_speedup_4t\":%.3f,"
+                "\"conv2d_fwdbwd_ms_1t\":%.3f,"
+                "\"conv2d_fwdbwd_speedup_4t\":%.3f}",
                 GemmProblem::flops() / gemm_s[0] * 1e-9, gemm_s[0] / gemm_s[1],
                 gemm_s[0] / gemm_s[2], gemm_s[0] / gemm_s[3],
+                GemmProblem::flops() / gemm_nt_1t * 1e-9,
+                GemmProblem::flops() / gemm_tn_1t * 1e-9,
                 contact_s[0] * 1e3, contact_s[0] / contact_s[1],
-                contact_s[0] / contact_s[2], contact_s[0] / contact_s[3]);
+                contact_s[0] / contact_s[2], contact_s[0] / contact_s[3],
+                conv_f[0] * 1e3, conv_f[0] / conv_f[2], conv_b[0] * 1e3,
+                conv_b[0] / conv_b[2]);
   std::printf("\nJSON: %s\n\n", json);
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "common/check.hpp"
@@ -11,17 +12,31 @@
 namespace neurfill {
 
 namespace {
-/// Grid cells per parallel block in the Polonsky-Keer loops.  Fixed (never
-/// derived from the thread count) so the blocked reductions below combine
-/// in the same order at every thread count — the solver's pressure field is
-/// bitwise identical serial vs. parallel.
-constexpr std::size_t kCellGrain = 2048;
+/// Measured cost of one cell update in the Polonsky-Keer loops (predicated
+/// load + multiply-add over doubles), from bench_runtime_scaling traces.
+/// Feeds runtime::grain_for_cost, so the per-block work is ~25 us and whole
+/// loops under ~50 us run as one inline block; the derived grain is a pure
+/// function of the grid shape (never the thread count), so the blocked
+/// reductions below combine in the same order at every thread count — the
+/// solver's pressure field is bitwise identical serial vs. parallel.
+constexpr double kCellCostNs = 3.0;
+
+/// Grids at or below this many cells run the *entire* solve inside a
+/// runtime SerialRegion.  Profiling with --trace showed a 64x64 solve
+/// spending ~97% of its time in 128x128 FFT passes chopped into ~16-block
+/// jobs of a few hundred microseconds: at 4-8 threads the fork/join
+/// handshakes cost more than the parallel FFT saves, and on an
+/// oversubscribed host they made 4t *slower* than 1t (0.96x in the old
+/// BENCH_runtime.json baseline).  Because the parallel primitives are
+/// bitwise-deterministic, forcing serial execution changes scheduling only,
+/// never results.
+constexpr std::size_t kSerialSolveCells = 64 * 64;
 
 /// Deterministic blocked sum over f(k) for k in [0, n).
 template <typename F>
-double blocked_sum(std::size_t n, F&& f) {
+double blocked_sum(std::size_t grain, std::size_t n, F&& f) {
   return runtime::parallel_reduce(
-      kCellGrain, n, 0.0,
+      grain, n, 0.0,
       [&](std::size_t k0, std::size_t k1) {
         double s = 0.0;
         for (std::size_t k = k0; k < k1; ++k) s += f(k);
@@ -60,8 +75,13 @@ GridD ElasticContactSolver::make_green_kernel(std::size_t rows,
 
 ElasticContactSolver::ElasticContactSolver(std::size_t rows, std::size_t cols,
                                            const Options& opt)
-    : rows_(rows), cols_(cols), opt_(opt),
-      green_(make_green_kernel(rows, cols, opt)) {
+    : rows_(rows), cols_(cols), opt_(opt), green_([&] {
+        // Same small-grid rule as solve(): the constructor's kernel FFT on
+        // the doubled grid is not worth a fork/join either.
+        std::optional<runtime::ThreadPool::SerialRegion> serial;
+        if (rows * cols <= kSerialSolveCells) serial.emplace();
+        return CircularConvolver(make_green_kernel(rows, cols, opt));
+      }()) {
   if (rows == 0 || cols == 0)
     throw std::invalid_argument("ElasticContactSolver: empty grid");
   if (opt.effective_modulus <= 0.0)
@@ -84,6 +104,12 @@ GridD ElasticContactSolver::solve(const GridD& height,
   NF_TRACE_SPAN("contact.solve");
   NF_COUNTER_ADD("contact.solves", 1);
   const std::size_t n = rows_ * cols_;
+  // Small solves run entirely serial (cell loops *and* the nested FFT
+  // passes inside green_.apply degrade inline); see kSerialSolveCells.
+  // The guard depends only on the grid shape, so results are unchanged.
+  std::optional<runtime::ThreadPool::SerialRegion> serial;
+  if (n <= kSerialSolveCells) serial.emplace();
+  const std::size_t cell_grain = runtime::grain_for_cost(kCellCostNs, n);
   const double total_load = nominal_pressure * static_cast<double>(n);
 
   // Polonsky-Keer: minimize complementarity energy with CG restricted to the
@@ -124,7 +150,7 @@ GridD ElasticContactSolver::solve(const GridD& height,
       std::size_t count = 0;
     };
     const GapStat gap = runtime::parallel_reduce(
-        kCellGrain, n, GapStat{},
+        cell_grain, n, GapStat{},
         [&](std::size_t k0, std::size_t k1) {
           GapStat s;
           for (std::size_t k = k0; k < k1; ++k) {
@@ -146,7 +172,7 @@ GridD ElasticContactSolver::solve(const GridD& height,
     NF_CHECK_FINITE(gbar);
 
     // Residual update writes r (disjoint per cell) while reducing |r|^2.
-    const double g_new = blocked_sum(n, [&](std::size_t k) {
+    const double g_new = blocked_sum(cell_grain, n, [&](std::size_t k) {
       r[k] = (p[k] > 0.0) ? (u[k] - height[k] - gbar) : 0.0;
       return r[k] * r[k];
     });
@@ -158,7 +184,7 @@ GridD ElasticContactSolver::solve(const GridD& height,
     const double beta = restart_cg ? 0.0 : g_new / g_old;
     restart_cg = false;
     g_old = g_new;
-    runtime::parallel_for(kCellGrain, n, [&](std::size_t k0, std::size_t k1) {
+    runtime::parallel_for(cell_grain, n, [&](std::size_t k0, std::size_t k1) {
       for (std::size_t k = k0; k < k1; ++k)
         d[k] = (p[k] > 0.0) ? (-r[k] + beta * d[k]) : 0.0;
     });
@@ -166,7 +192,8 @@ GridD ElasticContactSolver::solve(const GridD& height,
     // Step length along d: alpha = (r.r) / (d.(G d)) over the contact set.
     const GridD Gd = green_.apply(d);
     const double denom = blocked_sum(
-        n, [&](std::size_t k) { return p[k] > 0.0 ? d[k] * Gd[k] : 0.0; });
+        cell_grain, n,
+        [&](std::size_t k) { return p[k] > 0.0 ? d[k] * Gd[k] : 0.0; });
     if (std::abs(denom) < 1e-300) break;
     const double alpha = g_new / denom;
     NF_CHECK_FINITE(alpha);
@@ -177,7 +204,7 @@ GridD ElasticContactSolver::solve(const GridD& height,
     // Both projection passes write disjoint cells and reduce an "any cell
     // left/entered the contact set" flag (order-independent OR).
     bool set_changed = runtime::parallel_reduce(
-        kCellGrain, n, false,
+        cell_grain, n, false,
         [&](std::size_t k0, std::size_t k1) {
           bool changed = false;
           for (std::size_t k = k0; k < k1; ++k) {
@@ -197,7 +224,7 @@ GridD ElasticContactSolver::solve(const GridD& height,
     // Points outside contact that penetrate (gap < -delta) re-enter.
     const GridD u2 = green_.apply(p);
     set_changed = runtime::parallel_reduce(
-        kCellGrain, n, set_changed,
+        cell_grain, n, set_changed,
         [&](std::size_t k0, std::size_t k1) {
           bool changed = false;
           for (std::size_t k = k0; k < k1; ++k) {
@@ -212,14 +239,14 @@ GridD ElasticContactSolver::solve(const GridD& height,
     if (set_changed) restart_cg = true;
 
     // Load balance.
-    const double sum = blocked_sum(n, [&](std::size_t k) { return p[k]; });
+    const double sum = blocked_sum(cell_grain, n, [&](std::size_t k) { return p[k]; });
     if (sum <= 0.0) {
       p.fill(nominal_pressure);
       restart_cg = true;
       continue;
     }
     const double scale = total_load / sum;
-    runtime::parallel_for(kCellGrain, n, [&](std::size_t k0, std::size_t k1) {
+    runtime::parallel_for(cell_grain, n, [&](std::size_t k0, std::size_t k1) {
       for (std::size_t k = k0; k < k1; ++k) p[k] *= scale;
     });
   }

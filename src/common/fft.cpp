@@ -53,11 +53,20 @@ void fft2d(std::vector<std::complex<double>>& a, std::size_t rows,
   std::complex<double>* pa = a.data();
   // The 1-D transforms of a batch are independent (each touches one row /
   // one column), so both passes parallelize with a scratch buffer per
-  // block.  A single row FFT at typical grid sizes (64-512 points) is a few
-  // microseconds, hence the grain of 8 transforms per block.
-  constexpr std::size_t kFftGrain = 8;
+  // block.  Grains come from a measured cost model: one len-point transform
+  // plus its scratch copies is ~4 ns * len * log2(len) (e.g. ~3.6 us at
+  // len = 128, matching --trace), the column pass ~1.5x that for the
+  // strided gather/scatter.  grain_for_cost turns this into ~25 us blocks
+  // and runs whole sub-50 us passes inline — a 128 x 128 transform used to
+  // fork 2 x 16 tiny blocks per pass and was *slower* at 4-8 threads.
+  const auto fft_cost_ns = [](std::size_t len) {
+    return 4.0 * static_cast<double>(len) *
+           std::log2(static_cast<double>(len < 2 ? 2 : len));
+  };
   // Rows.
-  runtime::parallel_for(kFftGrain, rows, [=](std::size_t i0, std::size_t i1) {
+  const std::size_t row_grain =
+      runtime::grain_for_cost(fft_cost_ns(cols), rows);
+  runtime::parallel_for(row_grain, rows, [=](std::size_t i0, std::size_t i1) {
     std::vector<std::complex<double>> tmp;
     for (std::size_t i = i0; i < i1; ++i) {
       tmp.assign(pa + i * cols, pa + (i + 1) * cols);
@@ -66,7 +75,9 @@ void fft2d(std::vector<std::complex<double>>& a, std::size_t rows,
     }
   });
   // Columns.
-  runtime::parallel_for(kFftGrain, cols, [=](std::size_t j0, std::size_t j1) {
+  const std::size_t col_grain =
+      runtime::grain_for_cost(1.5 * fft_cost_ns(rows), cols);
+  runtime::parallel_for(col_grain, cols, [=](std::size_t j0, std::size_t j1) {
     std::vector<std::complex<double>> tmp(rows);
     for (std::size_t j = j0; j < j1; ++j) {
       for (std::size_t i = 0; i < rows; ++i) tmp[i] = pa[i * cols + j];
@@ -115,7 +126,10 @@ GridD CircularConvolver::apply(const GridD& input) const {
   {
     std::complex<double>* px = x.data();
     const std::complex<double>* pk = kernel_hat_.data();
-    runtime::parallel_for(4096, x.size(), [=](std::size_t k0, std::size_t k1) {
+    // ~3 ns per complex multiply: grids under ~16k points stay inline.
+    const std::size_t grain = runtime::grain_for_cost(3.0, x.size());
+    runtime::parallel_for(grain, x.size(),
+                          [=](std::size_t k0, std::size_t k1) {
       for (std::size_t k = k0; k < k1; ++k) px[k] *= pk[k];
     });
   }
@@ -140,10 +154,16 @@ GridD convolve_small(const GridD& input, const GridD& kernel,
   const std::ptrdiff_t kc = static_cast<std::ptrdiff_t>(kernel.cols()) / 2;
   GridD out(input.rows(), input.cols(), 0.0);
   // Each output row is independent of the others (pure gather), so the row
-  // loop parallelizes; grain 2 because a row costs R_kernel * C_kernel * C
-  // multiply-adds.
-  runtime::parallel_for(2, static_cast<std::size_t>(R), [&](std::size_t r0,
-                                                            std::size_t r1) {
+  // loop parallelizes; a row costs R_kernel * C_kernel * C multiply-adds at
+  // ~2.5 ns each (bounds-checked gather), which grain_for_cost converts to
+  // ~25 us blocks (small inputs run inline as a single block).
+  const double row_cost_ns = 2.5 * static_cast<double>(kernel.rows()) *
+                             static_cast<double>(kernel.cols()) *
+                             static_cast<double>(C);
+  const std::size_t row_grain =
+      runtime::grain_for_cost(row_cost_ns, static_cast<std::size_t>(R));
+  runtime::parallel_for(row_grain, static_cast<std::size_t>(R),
+                        [&](std::size_t r0, std::size_t r1) {
   for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(r0);
        i < static_cast<std::ptrdiff_t>(r1); ++i) {
     for (std::ptrdiff_t j = 0; j < C; ++j) {

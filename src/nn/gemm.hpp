@@ -2,10 +2,14 @@
 
 namespace neurfill::nn {
 
-/// Minimal single-precision GEMM kernels used by conv2d/linear.  Row-major
+/// Single-precision GEMM kernels used by conv2d/linear.  Row-major
 /// storage.  C (MxN) += A op * B op; `accumulate=false` overwrites C.
-/// The loops are ordered i-k-j so the inner loop streams both B and C rows,
-/// which auto-vectorizes well at -O2/-O3.
+/// All three variants share one cache-blocked, register-tiled micro-kernel:
+/// B is packed into Nr-wide column slivers and A into Mr-interleaved panels
+/// (transposition is absorbed by the packing gather), K is split into
+/// cache-resident slabs, and each (Mr x Nr) C tile is owned by exactly one
+/// parallel block with k accumulated in ascending order — so results are
+/// bitwise identical at every thread count.  See docs/runtime.md.
 
 /// C = A(MxK) * B(KxN)
 void gemm_nn(int M, int N, int K, const float* A, const float* B, float* C,

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/check.hpp"
 #include "nn/gemm.hpp"
 #include "nn/ops.hpp"
@@ -35,9 +36,12 @@ void im2col(const float* x, int C, int H, int W, int kh, int kw, int stride,
   check_unfold_geometry("im2col", H, W, kh, kw, stride, pad, Hout, Wout);
   const int cols = Hout * Wout;
   // Each unfolded row (c, ki, kj) writes a disjoint `cols`-wide slice, so
-  // the plane loop parallelizes directly.
+  // the plane loop parallelizes directly; one plane costs ~1.5 ns per
+  // output element (predicated copy), so the grain comes from the cost
+  // model and small unfolds run inline.
+  const std::size_t planes = static_cast<std::size_t>(C * kh * kw);
   runtime::parallel_for(
-      4, static_cast<std::size_t>(C * kh * kw),
+      runtime::grain_for_cost(1.5 * static_cast<double>(cols), planes), planes,
       [=](std::size_t p0, std::size_t p1) {
         for (std::size_t p = p0; p < p1; ++p) {
           const int c = static_cast<int>(p) / (kh * kw);
@@ -68,9 +72,13 @@ void col2im(const float* col, int C, int H, int W, int kh, int kw, int stride,
   const int cols = Hout * Wout;
   // The (ki, kj) scatters of one channel overlap each other but never cross
   // channels, so the accumulation parallelizes over c only; within a
-  // channel the scatter order is the fixed serial one.
-  runtime::parallel_for(1, static_cast<std::size_t>(C), [=](std::size_t c0,
-                                                            std::size_t c1) {
+  // channel the scatter order is the fixed serial one.  One channel costs
+  // ~2 ns per (kernel tap x output element) accumulate.
+  const double chan_cost_ns = 2.0 * static_cast<double>(kh * kw) *
+                              static_cast<double>(cols);
+  runtime::parallel_for(
+      runtime::grain_for_cost(chan_cost_ns, static_cast<std::size_t>(C)),
+      static_cast<std::size_t>(C), [=](std::size_t c0, std::size_t c1) {
   for (int c = static_cast<int>(c0); c < static_cast<int>(c1); ++c) {
     for (int ki = 0; ki < kh; ++ki) {
       for (int kj = 0; kj < kw; ++kj) {
@@ -166,15 +174,23 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   NF_CHECK(out.numel() == static_cast<std::int64_t>(N) * O * cols,
            "conv2d: output numel %lld != N*O*HoutWout = %d*%d*%d",
            static_cast<long long>(out.numel()), N, O, cols);
-  std::vector<float> col(static_cast<std::size_t>(K) * cols);
+  // Persistent unfold scratch: the (K, cols) im2col matrix is rebuilt for
+  // every batch element of every conv in the network, so it lives in a
+  // grow-only thread-local aligned buffer instead of a per-call vector —
+  // zero allocations in steady state, and 64-byte alignment feeds the
+  // packed GEMM full cache lines.
+  static thread_local AlignedBuffer<float> tls_col;
+  float* col = tls_col.ensure(static_cast<std::size_t>(K) * cols);
+  const std::size_t bias_grain = runtime::grain_for_cost(
+      1.0 * static_cast<double>(cols), static_cast<std::size_t>(O));
   for (int n = 0; n < N; ++n) {
     im2col(x.data() + static_cast<std::int64_t>(n) * C * H * W, C, H, W, kh,
-           kw, stride, padding, Hout, Wout, col.data());
+           kw, stride, padding, Hout, Wout, col);
     float* po = out.data() + static_cast<std::int64_t>(n) * O * cols;
-    gemm_nn(O, cols, K, weight.data(), col.data(), po, false);
+    gemm_nn(O, cols, K, weight.data(), col, po, false);
     if (bias.defined()) {
       const float* pb = bias.data();
-      runtime::parallel_for(4, static_cast<std::size_t>(O),
+      runtime::parallel_for(bias_grain, static_cast<std::size_t>(O),
                             [=](std::size_t o0, std::size_t o1) {
                               for (std::size_t o = o0; o < o1; ++o)
                                 for (int i = 0; i < cols; ++i)
@@ -192,27 +208,35 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
        Wout, K, cols]() mutable {
         NF_TRACE_SPAN("nn.conv2d_backward");
         const float* go = out->grad.data();
-        std::vector<float> colbuf(static_cast<std::size_t>(K) * cols);
-        std::vector<float> dcol;
-        if (x.requires_grad()) dcol.resize(static_cast<std::size_t>(K) * cols);
+        // Same persistent-scratch scheme as the forward pass; separate
+        // buffers because dcol is consumed (col2im) while colbuf is still
+        // live for the weight gradient.
+        static thread_local AlignedBuffer<float> tls_colbuf;
+        static thread_local AlignedBuffer<float> tls_dcol;
+        float* colbuf = tls_colbuf.ensure(static_cast<std::size_t>(K) * cols);
+        float* dcol = x.requires_grad()
+                          ? tls_dcol.ensure(static_cast<std::size_t>(K) * cols)
+                          : nullptr;
+        const std::size_t gb_grain = runtime::grain_for_cost(
+            1.0 * static_cast<double>(cols), static_cast<std::size_t>(O));
         for (int n = 0; n < N; ++n) {
           const float* gout = go + static_cast<std::int64_t>(n) * O * cols;
           // The unfolded input is recomputed rather than cached: it is the
           // largest intermediate and recomputation is one im2col pass.
           if (weight.requires_grad() || x.requires_grad())
             im2col(x.data() + static_cast<std::int64_t>(n) * C * H * W, C, H,
-                   W, kh, kw, stride, padding, Hout, Wout, colbuf.data());
+                   W, kh, kw, stride, padding, Hout, Wout, colbuf);
           if (weight.requires_grad())  // dW += dOut (O,cols) * col^T (cols,K)
-            gemm_nt(O, K, cols, gout, colbuf.data(), weight.grad(), true);
+            gemm_nt(O, K, cols, gout, colbuf, weight.grad(), true);
           if (x.requires_grad()) {  // dcol = W^T (K,O) * dOut (O,cols)
-            gemm_tn(K, cols, O, weight.data(), gout, dcol.data(), false);
-            col2im(dcol.data(), C, H, W, kh, kw, stride, padding, Hout, Wout,
+            gemm_tn(K, cols, O, weight.data(), gout, dcol, false);
+            col2im(dcol, C, H, W, kh, kw, stride, padding, Hout, Wout,
                    x.grad() + static_cast<std::int64_t>(n) * C * H * W);
           }
           if (bias.defined() && bias.requires_grad()) {
             float* gb = bias.grad();
             runtime::parallel_for(
-                4, static_cast<std::size_t>(O),
+                gb_grain, static_cast<std::size_t>(O),
                 [=](std::size_t o0, std::size_t o1) {
                   for (std::size_t o = o0; o < o1; ++o) {
                     float acc = gb[o];

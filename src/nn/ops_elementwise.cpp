@@ -11,10 +11,15 @@ namespace neurfill::nn {
 
 namespace {
 
-/// Elements per parallel block for flat elementwise loops: large enough
-/// that one block is ~10 us of work, fixed so the blocking never depends on
-/// the thread count (see src/runtime/parallel.hpp).
-constexpr std::size_t kElemGrain = 8192;
+/// Grain for flat elementwise loops: ~2 ns per element (load, a few ALU
+/// ops, store), converted by runtime::grain_for_cost into ~25 us blocks;
+/// loops under ~50 us run inline as a single block instead of forking.
+/// Depends only on n — never the thread count — so the block decomposition
+/// (and therefore every parallel_reduce combine order) is identical at any
+/// thread count.
+inline std::size_t elem_grain(std::int64_t n) {
+  return runtime::grain_for_cost(2.0, static_cast<std::size_t>(n));
+}
 
 /// Shapes padded to 4 dims with leading 1s, plus flat strides where
 /// broadcast dimensions get stride 0.
@@ -82,7 +87,7 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, DFA dfa, DFB dfb) {
     const float* pb = b.data();
     float* po = out.data();
     const std::int64_t n = a.numel();
-    runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n),
+    runtime::parallel_for(elem_grain(n), static_cast<std::size_t>(n),
                           [=](std::size_t i0, std::size_t i1) {
                             for (std::size_t i = i0; i < i1; ++i)
                               po[i] = f(pa[i], pb[i]);
@@ -96,7 +101,7 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, DFA dfa, DFB dfb) {
       // accumulations parallelize over the flat range.
       if (a.requires_grad()) {
         float* ga = a.grad();
-        runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n2),
+        runtime::parallel_for(elem_grain(n2), static_cast<std::size_t>(n2),
                               [=](std::size_t i0, std::size_t i1) {
                                 for (std::size_t i = i0; i < i1; ++i)
                                   ga[i] += ga_src[i] * dfa(pa2[i], pb2[i]);
@@ -104,7 +109,7 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, DFA dfa, DFB dfb) {
       }
       if (b.requires_grad()) {
         float* gb = b.grad();
-        runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n2),
+        runtime::parallel_for(elem_grain(n2), static_cast<std::size_t>(n2),
                               [=](std::size_t i0, std::size_t i1) {
                                 for (std::size_t i = i0; i < i1; ++i)
                                   gb[i] += ga_src[i] * dfb(pa2[i], pb2[i]);
@@ -163,7 +168,7 @@ Tensor unary_op(const Tensor& a, F f, DF df) {
   const float* pa = a.data();
   float* po = out.data();
   const std::int64_t n = a.numel();
-  runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n),
+  runtime::parallel_for(elem_grain(n), static_cast<std::size_t>(n),
                         [=](std::size_t i0, std::size_t i1) {
                           for (std::size_t i = i0; i < i1; ++i)
                             po[i] = f(pa[i]);
@@ -174,7 +179,7 @@ Tensor unary_op(const Tensor& a, F f, DF df) {
     const float* po2 = out->data.data();
     float* ga = a.grad();
     const std::int64_t n2 = a.numel();
-    runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n2),
+    runtime::parallel_for(elem_grain(n2), static_cast<std::size_t>(n2),
                           [=](std::size_t i0, std::size_t i1) {
                             for (std::size_t i = i0; i < i1; ++i)
                               ga[i] += go[i] * df(pa2[i], po2[i]);
@@ -305,7 +310,7 @@ Tensor sum(const Tensor& a) {
   // Deterministic blocked reduction: the per-block partials are combined in
   // block order, so the value is bitwise identical at every thread count.
   const double acc = runtime::parallel_reduce(
-      kElemGrain, static_cast<std::size_t>(n), 0.0,
+      elem_grain(n), static_cast<std::size_t>(n), 0.0,
       [=](std::size_t i0, std::size_t i1) {
         double s = 0.0;
         for (std::size_t i = i0; i < i1; ++i)
@@ -318,7 +323,7 @@ Tensor sum(const Tensor& a) {
     const float g = out->grad[0];
     float* ga = a.grad();
     const std::int64_t n2 = a.numel();
-    runtime::parallel_for(kElemGrain, static_cast<std::size_t>(n2),
+    runtime::parallel_for(elem_grain(n2), static_cast<std::size_t>(n2),
                           [=](std::size_t i0, std::size_t i1) {
                             for (std::size_t i = i0; i < i1; ++i) ga[i] += g;
                           });

@@ -35,6 +35,32 @@ int thread_count();
 /// this as --threads.  Must not be called from inside a parallel region.
 void set_thread_count(int threads);
 
+// Grain derivation from measured per-iteration cost.  The constants come
+// from bench/bench_runtime_scaling on the committed baseline hardware:
+// publishing a job (wake + claims + completion handshake) costs a handful
+// of microseconds, and one atomic block claim ~50 ns, so blocks of ~25 us
+// keep scheduling under 1% while still splitting finely enough for load
+// balance.  Loops whose *total* cost is under ~50 us are not worth forking
+// at all — the fork/join handshake would rival the work — and run as a
+// single inline block.
+constexpr double kTargetBlockCostNs = 25000.0;
+constexpr double kSerialBelowNs = 50000.0;
+
+/// Iterations per block for a loop of `n` iterations costing roughly
+/// `ns_per_item` nanoseconds each.  Returns `n` (one inline block, no
+/// scheduling) when the whole loop is cheaper than the fork/join handshake.
+/// A pure function of its arguments — never of the thread count — so using
+/// it preserves the determinism contract below.
+inline std::size_t grain_for_cost(double ns_per_item, std::size_t n) {
+  if (n == 0) return 1;
+  if (!(ns_per_item > 0.0)) return n;
+  if (ns_per_item * static_cast<double>(n) <= kSerialBelowNs) return n;
+  const double g = kTargetBlockCostNs / ns_per_item;
+  if (g <= 1.0) return 1;
+  if (g >= static_cast<double>(n)) return n;
+  return static_cast<std::size_t>(g);
+}
+
 /// Runs fn(begin, end) over [0, n) in blocks of at most `grain` iterations.
 /// Blocks may run concurrently and in any order; fn must write only state
 /// disjoint per iteration (or per block).  Exceptions propagate to the

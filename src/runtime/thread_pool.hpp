@@ -1,7 +1,7 @@
 #pragma once
 
-// Fixed-size work-stealing thread pool: the execution substrate under every
-// parallel primitive in src/runtime/parallel.hpp.
+// Fixed-size thread pool with lock-free block claiming: the execution
+// substrate under every parallel primitive in src/runtime/parallel.hpp.
 //
 // Design constraints (see docs/runtime.md):
 //  * One data-parallel job at a time.  The pool exists to run blocked loops
@@ -11,12 +11,16 @@
 //    spawns T-1 workers, so `threads = 1` means zero workers and every job
 //    runs inline on the caller (the serial degrade path for 1-core hosts or
 //    NEURFILL_THREADS=1).
-//  * Work stealing over block indices: each participant owns a contiguous
-//    shard of the block range and pops from its front; an idle participant
-//    steals single blocks from the *back* of the fullest remaining shard.
-//    Scheduling order therefore varies between runs — primitives that need
+//  * Atomic chunk claiming: inside a job every participant claims block
+//    indices from a single shared atomic counter (one fetch_add per block,
+//    ~10 ns).  Scheduling order varies between runs — primitives that need
 //    determinism (parallel_reduce) fix the block decomposition and combine
 //    per-block results in block order, never in completion order.
+//  * Spin-before-park: idle workers spin briefly on the job-generation
+//    atomic before parking on a condition variable, so back-to-back jobs
+//    (the common shape: one parallel region per GEMM slab / solver step)
+//    are picked up without a futex round-trip.  The caller likewise spins
+//    briefly for completion before parking.
 //  * Exceptions thrown by a block are caught, the job is cancelled (the
 //    remaining blocks are skipped), and the first exception is rethrown on
 //    the calling thread after every participant has quiesced.
@@ -24,8 +28,10 @@
 //    worker runs the nested job inline and serially on that worker, so
 //    nesting can never deadlock the pool or oversubscribe the machine.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -58,36 +64,54 @@ class ThreadPool {
   /// nested parallel primitive would degrade to serial execution.
   static bool inside_worker();
 
- private:
-  /// Remaining blocks [next, end) owned by one participant.
-  struct Shard {
-    std::size_t next = 0;
-    std::size_t end = 0;
+  /// RAII scope that forces every parallel primitive issued by the current
+  /// thread to run inline and serially (the same degrade path as nested
+  /// parallelism).  Because the primitives are bitwise-deterministic, a
+  /// SerialRegion never changes results — only scheduling.  Hot paths use
+  /// it to opt whole small problems out of fork/join entirely (e.g. the
+  /// contact solver on small grids, where per-iteration joins would cost
+  /// more than they save; see docs/runtime.md).
+  class SerialRegion {
+   public:
+    SerialRegion();
+    ~SerialRegion();
+    SerialRegion(const SerialRegion&) = delete;
+    SerialRegion& operator=(const SerialRegion&) = delete;
+
+   private:
+    bool prev_;
   };
 
-  void worker_loop(std::size_t shard_index);
-  /// Claims one block for `self` (own front first, then steal from the
-  /// back of the fullest other shard).  Returns false when the job has no
-  /// blocks left anywhere.
-  bool claim_block(std::size_t self, std::size_t& block);
-  void run_participant(std::size_t shard_index);
+ private:
+  void worker_loop(std::size_t worker_index);
+  /// One CAS on next_block_ that simultaneously checks the claimant still
+  /// works on generation `my_gen` and reserves the next block index.
+  /// Returns false when the job has no blocks left (or is not current).
+  bool claim(std::uint64_t my_gen, std::size_t& block);
+  /// Claims blocks for generation `my_gen` and runs them until the job is
+  /// exhausted.  Called by the job owner and by every worker that observed
+  /// the job's generation.
+  void run_participant(std::uint64_t my_gen);
 
-  // All job state below is guarded by m_.  Blocks are coarse by design
-  // (grain-sized chunks of work, microseconds to milliseconds each), so a
-  // single mutex around the index bookkeeping is both TSan-clean and cheap
-  // relative to the work it schedules.
-  std::mutex m_;
-  std::condition_variable work_cv_;  ///< wakes workers for a new job
-  std::condition_variable done_cv_;  ///< wakes the caller on completion
-  std::vector<Shard> shards_;        ///< one per participant; [0] = caller
+  // Job state.  Everything a participant touches per block is an atomic;
+  // the mutex below is only taken to publish a job, to record the first
+  // exception, and around condition-variable park/unpark.  body_ is
+  // deliberately non-atomic: it is written under m_ before the counter's
+  // release-store publishes the job and only ever read after a successful
+  // generation-checked claim (see thread_pool.cpp for the full argument).
   const std::function<void(std::size_t)>* body_ = nullptr;
-  std::size_t job_generation_ = 0;
-  std::size_t blocks_total_ = 0;
-  std::size_t blocks_claimed_ = 0;
-  std::size_t blocks_done_ = 0;
-  bool cancelled_ = false;
+  std::atomic<std::size_t> blocks_total_{0};
+  /// Packed (generation << 40 | next block index) claim counter.
+  std::atomic<std::uint64_t> next_block_{0};
+  std::atomic<std::size_t> blocks_done_{0};  ///< retired (run/skipped) blocks
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> stop_{false};
+  int spin_iterations_ = 1;  ///< spin-before-park budget (1 when oversubscribed)
+
+  std::mutex m_;  ///< guards job publication, first_error_, and cv waits
+  std::condition_variable work_cv_;  ///< parks workers between jobs
+  std::condition_variable done_cv_;  ///< parks the caller until completion
   std::exception_ptr first_error_;
-  bool stop_ = false;
 
   std::mutex job_mutex_;  ///< serializes concurrent for_blocks callers
   std::vector<std::thread> workers_;

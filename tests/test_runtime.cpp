@@ -1,6 +1,7 @@
-// Tests for the src/runtime work-stealing pool and its data-parallel
-// primitives, plus the cross-layer determinism contract: parallel results
-// must be bitwise identical to serial ones at every thread count.
+// Tests for the src/runtime atomic-claiming thread pool and its
+// data-parallel primitives, plus the cross-layer determinism contract:
+// parallel results must be bitwise identical to serial ones at every
+// thread count.
 
 #include <gtest/gtest.h>
 
@@ -238,4 +239,110 @@ TEST(Determinism, ContactSolverBitwiseIdentical) {
     ASSERT_EQ(results[0][i], results[1][i]) << "cell " << i;
     ASSERT_EQ(results[0][i], results[2][i]) << "cell " << i;
   }
+}
+
+namespace {
+
+/// Double-precision reference for all three GEMM layouts, plus the running
+/// sum of |a*b| used to bound the float kernel's rounding error.
+void reference_gemm(int variant, int M, int N, int K, const float* A,
+                    const float* B, std::vector<double>& C,
+                    std::vector<double>& Cabs) {
+  C.assign(static_cast<std::size_t>(M) * N, 0.0);
+  Cabs.assign(static_cast<std::size_t>(M) * N, 0.0);
+  for (int i = 0; i < M; ++i)
+    for (int j = 0; j < N; ++j)
+      for (int k = 0; k < K; ++k) {
+        double a = 0.0, b = 0.0;
+        switch (variant) {
+          case 0:  // nn: A(M,K), B(K,N)
+            a = A[i * K + k];
+            b = B[k * N + j];
+            break;
+          case 1:  // nt: A(M,K), B(N,K)
+            a = A[i * K + k];
+            b = B[j * K + k];
+            break;
+          default:  // tn: A(K,M), B(K,N)
+            a = A[k * M + i];
+            b = B[k * N + j];
+        }
+        C[static_cast<std::size_t>(i) * N + j] += a * b;
+        Cabs[static_cast<std::size_t>(i) * N + j] += std::abs(a * b);
+      }
+}
+
+void run_variant(int variant, int M, int N, int K, const float* A,
+                 const float* B, float* C, bool accumulate) {
+  switch (variant) {
+    case 0: nn::gemm_nn(M, N, K, A, B, C, accumulate); break;
+    case 1: nn::gemm_nt(M, N, K, A, B, C, accumulate); break;
+    default: nn::gemm_tn(M, N, K, A, B, C, accumulate);
+  }
+}
+
+}  // namespace
+
+// Shapes chosen to hit every edge of the packed kernel: degenerate dims,
+// primes that divide none of the tile sizes, and the register/cache tile
+// boundaries themselves off by one (Mr = 6, Nr = 16, Kc = 256, Mc = 96).
+TEST(PackedGemm, EdgeShapesMatchDoubleReference) {
+  const int shapes[][3] = {
+      {1, 1, 1},   {1, 17, 5},  {7, 1, 9},    {11, 23, 1},  {13, 17, 19},
+      {97, 101, 103}, {5, 15, 12}, {6, 16, 96}, {7, 17, 97},  {12, 32, 255},
+      {96, 16, 256}, {97, 33, 257}, {191, 47, 64},
+  };
+  Rng rng(23);
+  for (const auto& s : shapes) {
+    const int M = s[0], N = s[1], K = s[2];
+    std::vector<float> A(static_cast<std::size_t>(std::max(M * K, K * M)));
+    std::vector<float> B(static_cast<std::size_t>(std::max(K * N, N * K)));
+    for (auto& v : A) v = static_cast<float>(rng.normal());
+    for (auto& v : B) v = static_cast<float>(rng.normal());
+    for (int variant = 0; variant < 3; ++variant) {
+      for (const bool accumulate : {false, true}) {
+        std::vector<float> C(static_cast<std::size_t>(M) * N);
+        for (std::size_t i = 0; i < C.size(); ++i)
+          C[i] = accumulate ? 0.25f * static_cast<float>(i % 7) : -99.0f;
+        std::vector<double> ref, ref_abs;
+        reference_gemm(variant, M, N, K, A.data(), B.data(), ref, ref_abs);
+        if (accumulate)
+          for (std::size_t i = 0; i < ref.size(); ++i)
+            ref[i] += static_cast<double>(C[i]);
+        run_variant(variant, M, N, K, A.data(), B.data(), C.data(),
+                    accumulate);
+        for (std::size_t i = 0; i < C.size(); ++i) {
+          const double tol = 1e-4 * ref_abs[i] + 1e-4;
+          ASSERT_NEAR(static_cast<double>(C[i]), ref[i], tol)
+              << "variant " << variant << " accumulate " << accumulate
+              << " shape " << M << "x" << N << "x" << K << " elem " << i;
+        }
+      }
+    }
+  }
+}
+
+// K = 300 crosses the Kc = 256 slab boundary, so per-element sums span two
+// packed slabs; the fixed slab order must keep results bitwise identical at
+// every thread count, for both overwrite and accumulate epilogues.
+TEST(PackedGemm, SlabCrossingBitwiseIdenticalAcrossThreadCounts) {
+  const int M = 23, N = 31, K = 300;
+  Rng rng(29);
+  std::vector<float> A(static_cast<std::size_t>(M) * K);
+  std::vector<float> B(static_cast<std::size_t>(K) * N);
+  for (auto& v : A) v = static_cast<float>(rng.normal());
+  for (auto& v : B) v = static_cast<float>(rng.normal());
+  const auto run = [&] {
+    std::vector<float> out;
+    for (int variant = 0; variant < 3; ++variant) {
+      std::vector<float> C(static_cast<std::size_t>(M) * N, 0.125f);
+      run_variant(variant, M, N, K, A.data(), B.data(), C.data(),
+                  /*accumulate=*/true);
+      out.insert(out.end(), C.begin(), C.end());
+    }
+    return out;
+  };
+  const auto results = at_thread_counts({1, 2, 8}, run);
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh bench_runtime_scaling JSON summary
+against the committed baseline and fail on meaningful regressions.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.20]
+
+Gated keys (higher is better):
+  gemm_gflops_1t   -- single-thread packed-GEMM throughput
+  gemm_speedup_4t  -- 4-thread scaling of the same kernel
+
+A fresh value below (1 - tolerance) * baseline fails the check.  The
+default 20% tolerance absorbs CI-runner noise (shared cores, turbo
+variance); real regressions from kernel or scheduler changes are far
+larger than that.  Keys missing from either file fail loudly rather than
+silently passing.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_KEYS = ("gemm_gflops_1t", "gemm_speedup_4t")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional drop vs baseline (default 0.20)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures = []
+    for key in GATED_KEYS:
+        if key not in baseline:
+            failures.append(f"{key}: missing from baseline {args.baseline}")
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run {args.fresh}")
+            continue
+        base, got = float(baseline[key]), float(fresh[key])
+        floor = (1.0 - args.tolerance) * base
+        status = "ok" if got >= floor else "REGRESSION"
+        print(f"{key}: baseline {base:.3f}  fresh {got:.3f}  "
+              f"floor {floor:.3f}  {status}")
+        if got < floor:
+            failures.append(
+                f"{key}: {got:.3f} < {floor:.3f} "
+                f"({args.tolerance:.0%} below baseline {base:.3f})")
+
+    if failures:
+        print("\nperf smoke FAILED:", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print("perf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
