@@ -31,26 +31,25 @@ struct ProblemBundle {
 
 inline std::shared_ptr<CmpSurrogate> load_or_quick_train(
     const WindowExtraction& ext, const CmpSimulator& sim) {
-  try {
-    return load_surrogate(surrogate_prefix());
-  } catch (const std::exception& e) {
-    std::printf("note: cached surrogate unavailable (%s); quick-training a "
-                "reduced one (results will be weaker than with "
-                "examples/train_surrogate output)\n",
-                e.what());
-    SurrogateConfig cfg;
-    cfg.unet.base_channels = 8;
-    cfg.unet.depth = 2;
-    auto s = std::make_shared<CmpSurrogate>(cfg, 5);
-    TrainingDataGenerator gen({ext}, sim, 17, 4);
-    TrainOptions opt;
-    opt.epochs = 6;
-    opt.dataset_size = 60;
-    opt.grid_rows = ext.rows;
-    opt.grid_cols = ext.cols;
-    train_surrogate(*s, gen, opt);
-    return s;
-  }
+  Expected<std::shared_ptr<CmpSurrogate>> loaded =
+      load_surrogate(surrogate_prefix());
+  if (loaded.ok()) return std::move(*loaded);
+  std::printf("note: cached surrogate unavailable (%s); quick-training a "
+              "reduced one (results will be weaker than with "
+              "examples/train_surrogate output)\n",
+              loaded.error().to_string().c_str());
+  SurrogateConfig cfg;
+  cfg.unet.base_channels = 8;
+  cfg.unet.depth = 2;
+  auto s = std::make_shared<CmpSurrogate>(cfg, 5);
+  TrainingDataGenerator gen({ext}, sim, 17, 4);
+  TrainOptions opt;
+  opt.epochs = 6;
+  opt.dataset_size = 60;
+  opt.grid_rows = ext.rows;
+  opt.grid_cols = ext.cols;
+  train_surrogate(*s, gen, opt);
+  return s;
 }
 
 inline ProblemBundle make_bundle(char design, int windows,

@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
   FillProblem problem(ext, simulator, coeffs);
 
   std::shared_ptr<CmpSurrogate> surrogate;
-  try {
-    surrogate = load_surrogate(prefix);
-  } catch (const std::exception&) {
+  if (Expected<std::shared_ptr<CmpSurrogate>> loaded = load_surrogate(prefix)) {
+    surrogate = std::move(*loaded);
+  } else {
     std::printf("cached surrogate missing; training a small one\n");
     SurrogateConfig cfg;
     cfg.unet.base_channels = 8;

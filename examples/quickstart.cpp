@@ -28,26 +28,25 @@ namespace {
 std::shared_ptr<CmpSurrogate> load_or_train(const std::string& prefix,
                                             const WindowExtraction& ext,
                                             const CmpSimulator& sim) {
-  try {
-    auto s = load_surrogate(prefix);
+  Expected<std::shared_ptr<CmpSurrogate>> loaded = load_surrogate(prefix);
+  if (loaded.ok()) {
     std::printf("loaded pre-trained surrogate from %s\n", prefix.c_str());
-    return s;
-  } catch (const std::exception&) {
-    std::printf("no cached surrogate at %s; training a small one (~1 min)\n",
-                prefix.c_str());
-    SurrogateConfig cfg;
-    cfg.unet.base_channels = 8;
-    cfg.unet.depth = 2;
-    auto s = std::make_shared<CmpSurrogate>(cfg, 5);
-    TrainingDataGenerator gen({ext}, sim, 17, 4);
-    TrainOptions opt;
-    opt.epochs = 8;
-    opt.dataset_size = 80;
-    opt.grid_rows = ext.rows;
-    opt.grid_cols = ext.cols;
-    train_surrogate(*s, gen, opt);
-    return s;
+    return std::move(*loaded);
   }
+  std::printf("no usable surrogate at %s (%s); training a small one (~1 min)\n",
+              prefix.c_str(), loaded.error().to_string().c_str());
+  SurrogateConfig cfg;
+  cfg.unet.base_channels = 8;
+  cfg.unet.depth = 2;
+  auto s = std::make_shared<CmpSurrogate>(cfg, 5);
+  TrainingDataGenerator gen({ext}, sim, 17, 4);
+  TrainOptions opt;
+  opt.epochs = 8;
+  opt.dataset_size = 80;
+  opt.grid_rows = ext.rows;
+  opt.grid_cols = ext.cols;
+  train_surrogate(*s, gen, opt);
+  return s;
 }
 
 }  // namespace

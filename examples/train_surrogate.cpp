@@ -4,13 +4,19 @@
 //
 // Usage:
 //   train_surrogate [out_prefix] [grid] [dataset] [epochs] [seed]
-//                   [--threads N]
+//                   [--threads N] [--resume]
 //
 // Defaults reproduce the repository's cached artifact: sources are Designs A
 // and B (Design C is held out for the extension-ability experiment of
 // Section V-A), 32x32 training layouts assembled by the two-step random
 // procedure of Fig. 8.
+//
+// Training checkpoints after every epoch (<prefix>.{meta,weights,train});
+// SIGINT stops after the current sample with the last completed epoch
+// durable on disk, and `--resume` continues from it.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,15 +32,23 @@
 #include "surrogate/eval.hpp"
 #include "surrogate/trainer.hpp"
 
+namespace {
+std::atomic<bool> g_interrupt{false};
+void handle_sigint(int) { g_interrupt.store(true); }
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace neurfill;
   set_log_level(LogLevel::kInfo);
 
-  // Split --threads off; the remaining arguments are positional.
+  // Split flags off; the remaining arguments are positional.
+  bool resume = false;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       runtime::set_thread_count(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
     } else {
       pos.push_back(argv[i]);
     }
@@ -61,15 +75,6 @@ int main(int argc, char** argv) {
 
   SurrogateConfig config;  // UNet base 8, depth 3, group norm
   CmpSurrogate surrogate(config, seed);
-  try {
-    // Resume from an existing checkpoint (epoch-granular; see
-    // TrainOptions::checkpoint_prefix).
-    auto prev = load_surrogate(out);
-    surrogate = std::move(*prev);
-    std::printf("resuming from checkpoint %s\n", out.c_str());
-  } catch (const std::exception&) {
-    // fresh start
-  }
   std::printf("UNet parameters: %lld\n",
               static_cast<long long>(surrogate.unet().parameter_count()));
 
@@ -82,13 +87,32 @@ int main(int argc, char** argv) {
   opt.seed = seed;
   opt.verbose = true;
   opt.checkpoint_prefix = out;  // interruption-safe: save every epoch
+  opt.resume = resume;          // continue from <out>.train when present
+  opt.interrupt = &g_interrupt;
+  std::signal(SIGINT, handle_sigint);
 
   Timer timer;
   const TrainStats stats = train_surrogate(surrogate, datagen, opt);
+  if (stats.start_epoch > 0)
+    std::printf("resumed after epoch %d\n", stats.start_epoch);
   std::printf("trained %d samples in %.1fs; final loss %.5f\n",
               stats.samples_seen, timer.elapsed_seconds(), stats.final_loss);
 
-  save_surrogate(surrogate, out);
+  if (stats.interrupted) {
+    // The in-memory weights carry a partial epoch; the on-disk pair
+    // (<out>.weights + <out>.train) is the consistent last-completed-epoch
+    // state, so leave it untouched for --resume.
+    std::printf("interrupted; last completed epoch is durable at %s "
+                "(rerun with --resume)\n",
+                out.c_str());
+    return 130;
+  }
+
+  Expected<void> saved = save_surrogate(surrogate, out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.error().to_string().c_str());
+    return 1;
+  }
   std::printf("saved surrogate to %s.{meta,weights}\n", out.c_str());
 
   // Quick held-out accuracy summary (full Fig. 9 reproduction lives in

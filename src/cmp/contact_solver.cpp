@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "common/check.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
@@ -97,6 +102,19 @@ GridD ElasticContactSolver::deflection(const GridD& pressure) const {
 
 GridD ElasticContactSolver::solve(const GridD& height,
                                   double nominal_pressure) const {
+  ContactDiag diag;
+  Expected<GridD> res = try_solve(height, nominal_pressure, &diag);
+  if (res.ok()) return std::move(*res);
+  // Legacy semantics: a non-converged run yields the final iterate (it
+  // passed the physicality postconditions); numeric poison escalates.
+  if (res.error().code == ErrorCode::kNonConverged)
+    return std::move(diag.final_pressure);
+  throw ErrorException(res.error());
+}
+
+Expected<GridD> ElasticContactSolver::try_solve(const GridD& height,
+                                                double nominal_pressure,
+                                                ContactDiag* diag) const {
   if (height.rows() != rows_ || height.cols() != cols_)
     throw std::invalid_argument("ElasticContactSolver: shape mismatch");
   if (nominal_pressure <= 0.0)
@@ -130,16 +148,36 @@ GridD ElasticContactSolver::solve(const GridD& height,
   }();
 
   last_iterations_ = 0;
+  bool converged = false;
+  double last_rms = std::numeric_limits<double>::quiet_NaN();
+  double best_rms = std::numeric_limits<double>::infinity();
+  const char* stall = "iteration budget exhausted";
   for (int it = 0; it < opt_.max_iterations; ++it) {
     ++last_iterations_;
     NF_TRACE_SPAN("contact.iteration");
     NF_COUNTER_ADD("contact.iterations", 1);
-    const GridD u = green_.apply(p);
-    // Convergence invariant: the FFT-applied Green's operator must return
-    // finite deflections; a NaN here would silently poison the whole
-    // pressure field on the next projection.
-    NF_CHECK_ALL_FINITE("contact solver: deflection field", u.data(),
-                        u.size());
+    GridD u = green_.apply(p);
+    if (NF_FAULT("contact.nan"))
+      u[0] = std::numeric_limits<double>::quiet_NaN();
+    // The FFT-applied Green's operator must return finite deflections; a
+    // NaN here would silently poison the whole pressure field on the next
+    // projection.  This is a routine event under injection (and plausible
+    // on pathological inputs), so it reports rather than aborts — p still
+    // holds the last good projected iterate.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!std::isfinite(u[k])) [[unlikely]] {
+        if (diag) {
+          diag->converged = false;
+          diag->iterations = last_iterations_;
+          diag->final_pressure = std::move(p);
+        }
+        char msg[160];
+        std::snprintf(msg, sizeof(msg),
+                      "non-finite deflection %g at cell %zu on iteration %d",
+                      u[k], k, last_iterations_);
+        return Error(ErrorCode::kNumericPoison, "cmp.contact", msg);
+      }
+    }
     // Gap up to the unknown rigid approach delta: g_i = u_i - h_i.  On the
     // contact set g should be constant (= -delta); use its contact-set mean
     // as the working delta estimate.
@@ -167,7 +205,10 @@ GridD ElasticContactSolver::solve(const GridD& height,
           return a;
         });
     const std::size_t nc = gap.count;
-    if (nc == 0) break;
+    if (nc == 0) {
+      converged = true;  // degenerate full-separation state; legacy accept
+      break;
+    }
     const double gbar = gap.sum / static_cast<double>(nc);
     NF_CHECK_FINITE(gbar);
 
@@ -176,10 +217,22 @@ GridD ElasticContactSolver::solve(const GridD& height,
       r[k] = (p[k] > 0.0) ? (u[k] - height[k] - gbar) : 0.0;
       return r[k] * r[k];
     });
-    NF_GAUGE_SET("contact.residual_rms",
-                 std::sqrt(g_new / static_cast<double>(nc)));
-    if (std::sqrt(g_new / static_cast<double>(nc)) < opt_.tolerance * href)
+    last_rms = std::sqrt(g_new / static_cast<double>(nc));
+    NF_GAUGE_SET("contact.residual_rms", last_rms);
+    if (diag) {
+      diag->residual_trail.push_back(last_rms);
+      if (last_rms < best_rms) {
+        best_rms = last_rms;
+        diag->best_residual_rms = last_rms;
+        diag->best_pressure = p;
+      }
+    }
+    // contact.stall suppresses the convergence accept (the && short-circuit
+    // means the site is hit exactly when the solve would have converged).
+    if (last_rms < opt_.tolerance * href && !NF_FAULT("contact.stall")) {
+      converged = true;
       break;
+    }
 
     const double beta = restart_cg ? 0.0 : g_new / g_old;
     restart_cg = false;
@@ -194,7 +247,10 @@ GridD ElasticContactSolver::solve(const GridD& height,
     const double denom = blocked_sum(
         cell_grain, n,
         [&](std::size_t k) { return p[k] > 0.0 ? d[k] * Gd[k] : 0.0; });
-    if (std::abs(denom) < 1e-300) break;
+    if (std::abs(denom) < 1e-300) {
+      stall = "conjugate-gradient stagnation (step denominator underflow)";
+      break;
+    }
     const double alpha = g_new / denom;
     NF_CHECK_FINITE(alpha);
     NF_CHECK(g_new >= 0.0, "contact solver: negative residual norm %g", g_new);
@@ -250,12 +306,27 @@ GridD ElasticContactSolver::solve(const GridD& height,
       for (std::size_t k = k0; k < k1; ++k) p[k] *= scale;
     });
   }
-  // Postconditions: the solution is a physical pressure field.
+  // Postconditions: the iterate is a physical pressure field (this holds
+  // for non-converged exits too — projection keeps p >= 0 throughout).
   for (std::size_t k = 0; k < n; ++k)
     NF_CHECK(p[k] >= 0.0, "contact solver: negative pressure %g at %zu", p[k],
              k);
   NF_CHECK_ALL_FINITE("contact solver: pressure field", p.data(), p.size());
-  return p;
+  if (diag) {
+    diag->converged = converged;
+    diag->iterations = last_iterations_;
+  }
+  if (converged) {
+    if (diag) diag->final_pressure = p;
+    return p;
+  }
+  if (diag) diag->final_pressure = std::move(p);
+  char msg[192];
+  std::snprintf(msg, sizeof(msg),
+                "%s: residual rms %.3g (accept threshold %.3g) after %d "
+                "iterations",
+                stall, last_rms, opt_.tolerance * href, last_iterations_);
+  return Error(ErrorCode::kNonConverged, "cmp.contact", msg);
 }
 
 }  // namespace neurfill

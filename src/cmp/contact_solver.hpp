@@ -1,9 +1,29 @@
 #pragma once
 
+#include <vector>
+
+#include "common/error.hpp"
 #include "common/fft.hpp"
 #include "common/grid2d.hpp"
 
 namespace neurfill {
+
+/// Diagnostics of one contact solve (docs/robustness.md).  On failure the
+/// caller can inspect how the solve went wrong (residual trail) and degrade
+/// to the best iterate seen instead of aborting.
+struct ContactDiag {
+  bool converged = false;
+  int iterations = 0;
+  /// Complementarity residual RMS per iteration, in order.
+  std::vector<double> residual_trail;
+  /// Lowest residual RMS seen and the pressure field that produced it
+  /// (empty until the first completed iteration).
+  double best_residual_rms = 0.0;
+  GridD best_pressure;
+  /// Pressure field at exit (what the legacy solve() returned on a
+  /// non-converged run).
+  GridD final_pressure;
+};
 
 /// Reference elastic contact solver (Polonsky & Keer style) for the pad /
 /// wafer interface: given the surface height profile, find the contact
@@ -37,7 +57,22 @@ class ElasticContactSolver {
 
   /// Heights in the same length unit used by `effective_modulus`; returns
   /// the pressure grid with mean equal to `nominal_pressure`.
+  ///
+  /// Legacy strict interface: a non-converged solve returns the final
+  /// iterate (matching the original behavior); a NaN-poisoned solve throws
+  /// ErrorException(kNumericPoison).  Callers that want to retry or degrade
+  /// use try_solve.
   GridD solve(const GridD& height, double nominal_pressure) const;
+
+  /// Recoverable interface.  On success returns the converged pressure
+  /// field.  On failure returns a structured error — kNonConverged when the
+  /// iteration budget ran out, kNumericPoison when a non-finite deflection
+  /// appeared — and, when `diag` is non-null, fills it with the residual
+  /// trail plus the best and final iterates so the caller can degrade
+  /// gracefully.  Fault sites: contact.stall (suppresses convergence),
+  /// contact.nan (poisons the deflection field).
+  Expected<GridD> try_solve(const GridD& height, double nominal_pressure,
+                            ContactDiag* diag = nullptr) const;
 
   /// Deflection field for a given pressure (exposed for testing).
   GridD deflection(const GridD& pressure) const;

@@ -9,9 +9,28 @@
 #include "cmp/contact_solver.hpp"
 #include "cmp/dsh_model.hpp"
 #include "cmp/pad_model.hpp"
+#include "common/error.hpp"
 #include "obs/trace.hpp"
 
 namespace neurfill {
+
+namespace {
+
+/// Contrast-damped copy of an envelope: heights pulled halfway toward their
+/// mean.  Used for the damped-restart retry — a solve that stalls on a
+/// high-contrast surface usually converges on the damped one, and a
+/// slightly smoothed pressure field beats aborting the whole fill run.
+GridD damp_toward_mean(const GridD& z) {
+  double mean = 0.0;
+  for (const double v : z) mean += v;
+  mean /= static_cast<double>(z.size());
+  GridD damped = z;
+  for (std::size_t k = 0; k < damped.size(); ++k)
+    damped[k] = mean + 0.5 * (z[k] - mean);
+  return damped;
+}
+
+}  // namespace
 
 CmpSimulator::CmpSimulator(const CmpProcessParams& params)
     : params_(params),
@@ -67,10 +86,41 @@ LayerSimResult CmpSimulator::simulate_layer(const LayerSimInput& input) const {
     elastic = std::make_unique<ElasticContactSolver>(rows, cols, eopt);
   }
 
+  // Contact solve with graceful degradation (docs/robustness.md): retry a
+  // failed solve once against a contrast-damped envelope, then fall back to
+  // the best iterate seen, then to the asperity model.  Every path yields a
+  // physical pressure field; the health ledger records that quality
+  // degraded so the final report can say so honestly.
+  const auto elastic_pressure = [&](const GridD& z) -> GridD {
+    ContactDiag diag;
+    Expected<GridD> first = elastic->try_solve(z, params_.nominal_pressure,
+                                               &diag);
+    if (first.ok()) return std::move(*first);
+    if (first.error().code == ErrorCode::kNumericPoison)
+      health_->contact_poisoned.fetch_add(1, std::memory_order_relaxed);
+    health_->contact_retries.fetch_add(1, std::memory_order_relaxed);
+    NF_COUNTER_ADD("cmp.contact_retries", 1);
+    ContactDiag retry_diag;
+    Expected<GridD> retry = elastic->try_solve(
+        damp_toward_mean(z), params_.nominal_pressure, &retry_diag);
+    health_->contact_degraded.fetch_add(1, std::memory_order_relaxed);
+    NF_COUNTER_ADD("cmp.contact_degraded", 1);
+    if (retry.ok()) return std::move(*retry);
+    if (diag.best_pressure.size() > 0) return std::move(diag.best_pressure);
+    if (retry_diag.best_pressure.size() > 0)
+      return std::move(retry_diag.best_pressure);
+    return asperity_pressure(z, params_.asperity_lambda,
+                             params_.nominal_pressure);
+  };
+
   const int steps =
       static_cast<int>(std::ceil(params_.polish_time_s / params_.dt_s));
   for (int s = 0; s < steps; ++s) {
     NF_TRACE_SPAN("cmp.polish_step");
+    if (deadline_.expired())
+      throw ErrorException(Error(
+          ErrorCode::kDeadlineExceeded, "cmp.simulate",
+          "run deadline expired during a polish step"));
     const double dt =
         std::min(params_.dt_s, params_.polish_time_s - s * params_.dt_s);
     // Pad bending: the pad cannot follow window-scale detail, so the
@@ -81,7 +131,7 @@ LayerSimResult CmpSimulator::simulate_layer(const LayerSimInput& input) const {
         (params_.pressure_model == PressureModel::kAsperity)
             ? asperity_pressure(z_smooth, params_.asperity_lambda,
                                 params_.nominal_pressure)
-            : elastic->solve(z_smooth, params_.nominal_pressure);
+            : elastic_pressure(z_smooth);
     for (std::size_t k = 0; k < z_up.size(); ++k) {
       const DshRates r = dsh_removal_rates(rho_eff[k], h[k], p[k], dsh);
       z_up[k] -= r.up * dt;

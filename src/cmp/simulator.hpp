@@ -1,12 +1,32 @@
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/fft.hpp"
 #include "common/grid2d.hpp"
 #include "layout/window_grid.hpp"
 
 namespace neurfill {
+
+/// Degradation ledger of a simulator (docs/robustness.md).  Counters are
+/// atomics because layer simulations run concurrently (NMMSO batch
+/// evaluation); the ledger lives behind a shared_ptr so the copies the fill
+/// problem makes of its simulator all account to one ledger — a degraded
+/// solve anywhere in a run is visible from the report at the end.
+struct SimulatorHealth {
+  std::atomic<long> contact_retries{0};   ///< contact solves retried
+  std::atomic<long> contact_degraded{0};  ///< solves that fell back (damped
+                                          ///< restart / best-iterate /
+                                          ///< asperity substitute)
+  std::atomic<long> contact_poisoned{0};  ///< NaN-poisoned solves observed
+
+  bool any_degraded() const {
+    return contact_degraded.load(std::memory_order_relaxed) > 0;
+  }
+};
 
 /// Pressure-distribution model used inside the simulator (Fig. 2 step 2).
 enum class PressureModel {
@@ -75,9 +95,20 @@ class CmpSimulator {
   std::vector<GridD> simulate_heights(const WindowExtraction& ext,
                                       const std::vector<GridD>& x) const;
 
+  /// Degradation ledger, shared across copies of this simulator.
+  SimulatorHealth& health() const { return *health_; }
+
+  /// Deadline for subsequent simulate calls (default: infinite).  An
+  /// expired deadline raises ErrorException(kDeadlineExceeded) at the next
+  /// polish step; optimizer loops catch it and return their best-so-far.
+  void set_deadline(const Deadline& deadline) { deadline_ = deadline; }
+
  private:
   CmpProcessParams params_;
   GridD kernel_;  ///< character-length smoothing kernel
+  Deadline deadline_;
+  std::shared_ptr<SimulatorHealth> health_ =
+      std::make_shared<SimulatorHealth>();
 };
 
 }  // namespace neurfill

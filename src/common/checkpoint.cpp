@@ -1,0 +1,236 @@
+#include "common/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <new>
+
+#include "common/check.hpp"
+#include "common/fault.hpp"
+
+namespace neurfill {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'F', 'C', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+std::string errno_text() {
+  return std::string(std::strerror(errno));
+}
+
+/// Formats "%08x" without dragging in <sstream>/<iomanip>.
+std::string hex8(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return std::string(buf);
+}
+
+Error io_error(const std::string& path, const std::string& what) {
+  return Error(ErrorCode::kIo, "common.checkpoint",
+               "'" + path + "': " + what);
+}
+
+Error corrupt(const std::string& path, const std::string& what) {
+  return Error(ErrorCode::kCorrupt, "common.checkpoint",
+               "'" + path + "': " + what);
+}
+
+/// Writes the full buffer to an fd, fsyncs, closes.  Returns "" on success,
+/// an error description otherwise.  The io.short_write fault site drops the
+/// tail of the buffer and reports failure, modeling a full disk / torn write.
+std::string write_all_sync(int fd, const char* data, std::size_t n) {
+  std::size_t total = n;
+  if (NF_FAULT("io.short_write")) total = n / 2;
+  std::size_t off = 0;
+  while (off < total) {
+    const ssize_t w = ::write(fd, data + off, total - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return "write failed: " + errno_text();
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  if (total < n) return "short write (injected): wrote " +
+                        std::to_string(total) + " of " + std::to_string(n) +
+                        " bytes";
+  if (::fsync(fd) != 0) return "fsync failed: " + errno_text();
+  return std::string();
+}
+
+void fsync_parent_dir(const std::string& path) {
+  // Durability of the rename itself.  Best-effort: a directory that cannot
+  // be fsynced (e.g. some tmpfs variants) does not fail the commit.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  // Bytewise reflected CRC-32 with a lazily built table; identical to
+  // zlib.crc32 so checkpoints can be authored/audited from Python.
+  static const std::uint32_t* kTable = [] {
+    static std::uint32_t table[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void CheckpointWriter::add_section(const std::string& name,
+                                   std::vector<char> payload) {
+  for (const auto& s : sections_)
+    NF_CHECK(s.first != name, "duplicate checkpoint section: %s", name.c_str());
+  sections_.emplace_back(name, std::move(payload));
+}
+
+Expected<void> CheckpointWriter::commit(const std::string& path) const {
+  // Assemble the complete image in memory first: the on-disk file is written
+  // in one pass, so a crash can only produce a missing or torn *temp* file,
+  // never a torn checkpoint.
+  ByteWriter image;
+  image.raw(kMagic, sizeof(kMagic));
+  image.u32(kVersion);
+  image.u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    image.str(name);
+    image.u64(payload.size());
+    image.u32(crc32(payload.data(), payload.size()));
+    image.raw(payload.data(), payload.size());
+  }
+  const std::vector<char> bytes = image.take();
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_error(tmp, "open failed: " + errno_text());
+  const std::string write_err = write_all_sync(fd, bytes.data(), bytes.size());
+  ::close(fd);
+  if (!write_err.empty()) {
+    ::unlink(tmp.c_str());
+    return io_error(tmp, write_err);
+  }
+  if (NF_FAULT("io.rename")) {
+    ::unlink(tmp.c_str());
+    return io_error(path, "rename from '" + tmp + "' failed: injected");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    ::unlink(tmp.c_str());
+    return io_error(path, "rename from '" + tmp + "' failed: " + why);
+  }
+  fsync_parent_dir(path);
+  return Expected<void>();
+}
+
+Expected<CheckpointReader> CheckpointReader::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT)
+      return Error(ErrorCode::kNotFound, "common.checkpoint",
+                   "'" + path + "': no such file");
+    return io_error(path, "open failed: " + errno_text());
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  ::lseek(fd, 0, SEEK_SET);
+  if (size < 0) {
+    ::close(fd);
+    return io_error(path, "lseek failed: " + errno_text());
+  }
+  if (NF_FAULT("checkpoint.alloc")) {
+    ::close(fd);
+    return Error(ErrorCode::kResourceExhausted, "common.checkpoint",
+                 "'" + path + "': allocation of " + std::to_string(size) +
+                     " bytes failed (injected)");
+  }
+  std::vector<char> bytes;
+  try {
+    bytes.resize(static_cast<std::size_t>(size));
+  } catch (const std::bad_alloc&) {
+    ::close(fd);
+    return Error(ErrorCode::kResourceExhausted, "common.checkpoint",
+                 "'" + path + "': allocation of " + std::to_string(size) +
+                     " bytes failed");
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t r = ::read(fd, bytes.data() + off, bytes.size() - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return io_error(path, "read failed: " + errno_text());
+    }
+    if (r == 0) break;  // concurrent truncation: parsed below as corrupt
+    off += static_cast<std::size_t>(r);
+  }
+  ::close(fd);
+  if (NF_FAULT("io.short_read")) off /= 2;
+  bytes.resize(off);
+
+  // Parse + validate everything up front.
+  ByteReader r(bytes);
+  char magic[4];
+  if (!r.raw(magic, sizeof(magic)) || std::memcmp(magic, kMagic, 4) != 0)
+    return corrupt(path, "bad magic (not an NFCP checkpoint)");
+  const std::uint32_t version = r.u32();
+  if (!r.ok() || version != kVersion)
+    return corrupt(path, "unsupported version " + std::to_string(version) +
+                             " (expected " + std::to_string(kVersion) + ")");
+  const std::uint32_t count = r.u32();
+  if (!r.ok()) return corrupt(path, "truncated before section count");
+  CheckpointReader reader;
+  reader.path_ = path;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = r.str();
+    const std::uint64_t payload_len = r.u64();
+    const std::uint32_t expect_crc = r.u32();
+    if (!r.ok() || payload_len > bytes.size())
+      return corrupt(path, "truncated header of section " + std::to_string(i) +
+                               (name.empty() ? "" : " ('" + name + "')"));
+    std::vector<char> payload(static_cast<std::size_t>(payload_len));
+    if (!r.raw(payload.data(), payload.size()))
+      return corrupt(path, "section '" + name + "' truncated: expected " +
+                               std::to_string(payload_len) + " payload bytes");
+    const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
+    if (actual_crc != expect_crc)
+      return corrupt(path, "section '" + name + "' checksum mismatch: expected "
+                               + hex8(expect_crc) + ", got " + hex8(actual_crc));
+    reader.names_.push_back(name);
+    reader.sections_.emplace_back(name, std::move(payload));
+  }
+  if (!r.at_end())
+    return corrupt(path, "trailing bytes after last section");
+  return reader;
+}
+
+bool CheckpointReader::has_section(const std::string& name) const {
+  for (const auto& s : sections_)
+    if (s.first == name) return true;
+  return false;
+}
+
+Expected<const std::vector<char>*> CheckpointReader::section(
+    const std::string& name) const {
+  for (const auto& s : sections_)
+    if (s.first == name) return &s.second;
+  return Error(ErrorCode::kCorrupt, "common.checkpoint",
+               "'" + path_ + "': missing section '" + name + "'");
+}
+
+}  // namespace neurfill

@@ -1,0 +1,167 @@
+#pragma once
+
+// Crash-safe sectioned checkpoint container (docs/robustness.md).
+//
+// On-disk layout (little-endian, the only platform we target):
+//
+//   char  magic[4] = "NFCP"
+//   u32   version  = 1
+//   u32   section_count
+//   section*: u32 name_len, name bytes,
+//             u64 payload_len, u32 crc32(payload), payload bytes
+//
+// Writing is atomic: the whole image is assembled in memory, written to
+// `<path>.tmp`, fsync'd, and renamed over `path` (the directory is fsync'd
+// after the rename).  A crash — or a SIGKILL — at any point leaves either
+// the complete old file or the complete new file, never a torn one; a torn
+// *image* (power loss between fsync and rename acknowledgment, a stray
+// truncation, a flipped bit) is rejected at open() with a structured
+// nf::Error naming the file, the failing section, and the expected vs.
+// actual checksum.
+//
+// Fault sites (docs/robustness.md catalog): io.short_write truncates the
+// temp image and fails the commit; io.rename fails the final rename (the
+// old file stays intact); io.short_read truncates the in-memory image on
+// open (exercising the truncation rejection); checkpoint.alloc fails the
+// image allocation with kResourceExhausted.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace neurfill {
+
+/// zlib-compatible CRC-32 (polynomial 0xEDB88320, reflected), so external
+/// tooling (python zlib.crc32) can produce and verify our checksums.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// Append-only little-endian byte stream for section payloads.
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f32(float v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void f64_vec(const std::vector<double>& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(double));
+  }
+  void f32_vec(const std::vector<float>& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(float));
+  }
+  void raw(const void* p, std::size_t n) {
+    if (n == 0) return;  // empty vectors hand us data() == nullptr
+    const char* c = static_cast<const char*>(p);
+    bytes_.insert(bytes_.end(), c, c + n);
+  }
+  std::vector<char> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<char> bytes_;
+};
+
+/// Matching reader.  Reads past the end set a sticky failure flag and
+/// return zero values; callers check ok() once after the last read instead
+/// of threading Expected through every field.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<char>& bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  std::uint64_t u64() { return fixed<std::uint64_t>(); }
+  std::int64_t i64() { return fixed<std::int64_t>(); }
+  float f32() { return fixed<float>(); }
+  double f64() { return fixed<double>(); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!take(n)) return std::string();
+    return std::string(bytes_.data() + pos_ - n, n);
+  }
+  std::vector<double> f64_vec() { return vec<double>(); }
+  std::vector<float> f32_vec() { return vec<float>(); }
+  bool raw(void* p, std::size_t n) {
+    if (!take(n)) return false;
+    if (n != 0) std::memcpy(p, bytes_.data() + pos_ - n, n);
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+ private:
+  template <typename T>
+  T fixed() {
+    T v{};
+    raw(&v, sizeof(v));
+    return v;
+  }
+  template <typename T>
+  std::vector<T> vec() {
+    const std::uint64_t n = u64();
+    // Sanity bound: a corrupt length must not drive a giant allocation.
+    if (!ok_ || n * sizeof(T) > bytes_.size() - pos_) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<T> v(static_cast<std::size_t>(n));
+    raw(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+  bool take(std::size_t n) {
+    if (!ok_ || n > bytes_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::vector<char>& bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Assembles a checkpoint in memory; commit() makes it durable atomically.
+class CheckpointWriter {
+ public:
+  /// Adds a section (duplicate names are a caller bug, checked).
+  void add_section(const std::string& name, std::vector<char> payload);
+
+  /// Atomic write-to-temp + fsync + rename + directory fsync.
+  Expected<void> commit(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<char>>> sections_;
+};
+
+/// Opens, fully reads, and CRC-validates a checkpoint.  All corruption is
+/// detected at open time so later section() calls cannot fail midway
+/// through a restore.
+class CheckpointReader {
+ public:
+  static Expected<CheckpointReader> open(const std::string& path);
+
+  bool has_section(const std::string& name) const;
+  /// The payload of `name`; kCorrupt error naming the file when absent
+  /// (an absent section in a validated file means a format mismatch).
+  Expected<const std::vector<char>*> section(const std::string& name) const;
+  const std::vector<std::string>& section_names() const { return names_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<std::string> names_;  ///< file order
+  std::vector<std::pair<std::string, std::vector<char>>> sections_;
+};
+
+}  // namespace neurfill

@@ -1,0 +1,198 @@
+#include "common/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace neurfill::fault {
+
+namespace {
+
+enum class Mode { kHit, kAfter, kProb };
+
+struct Site {
+  Mode mode = Mode::kHit;
+  std::uint64_t n = 1;      ///< hit / after threshold
+  double p = 0.0;           ///< prob mode
+  std::uint64_t seed = 0;   ///< prob mode
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Count of armed sites, readable without the lock.  should_inject bails on
+/// zero with a single relaxed load — the entire cost of an unarmed build.
+std::atomic<int> g_armed{0};
+std::atomic<bool> g_env_loaded{false};
+
+/// splitmix64-style mixer: the prob-mode verdict for (seed, site, hit) must
+/// be a pure function so concurrent hits stay deterministic as a set.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t hash_site(const char* site) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a
+  for (const char* c = site; *c; ++c) {
+    h ^= static_cast<unsigned char>(*c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+void arm(const std::string& site, Site s) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const bool fresh = r.sites.find(site) == r.sites.end();
+  r.sites[site] = s;
+  if (fresh) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool any_armed() { return g_armed.load(std::memory_order_relaxed) > 0; }
+
+void arm_hit(const std::string& site, std::uint64_t nth) {
+  Site s;
+  s.mode = Mode::kHit;
+  s.n = nth == 0 ? 1 : nth;
+  arm(site, s);
+}
+
+void arm_after(const std::string& site, std::uint64_t nth) {
+  Site s;
+  s.mode = Mode::kAfter;
+  s.n = nth == 0 ? 1 : nth;
+  arm(site, s);
+}
+
+void arm_prob(const std::string& site, double p, std::uint64_t seed) {
+  Site s;
+  s.mode = Mode::kProb;
+  s.p = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  s.seed = seed;
+  arm(site, s);
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.sites.erase(site) > 0)
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  g_armed.fetch_sub(static_cast<int>(r.sites.size()),
+                    std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fired(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fired;
+}
+
+bool configure(const std::string& spec, std::uint64_t seed) {
+  // "site=mode:arg;site=mode:arg" — modes hit:N, after:N, prob:P.
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    const std::size_t colon = entry.find(':', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || colon == std::string::npos || eq == 0)
+      return false;
+    const std::string site = entry.substr(0, eq);
+    const std::string mode = entry.substr(eq + 1, colon - eq - 1);
+    const std::string arg = entry.substr(colon + 1);
+    char* parse_end = nullptr;
+    if (mode == "hit" || mode == "after") {
+      const unsigned long long n = std::strtoull(arg.c_str(), &parse_end, 10);
+      if (arg.empty() || *parse_end != '\0') return false;
+      if (mode == "hit")
+        arm_hit(site, n);
+      else
+        arm_after(site, n);
+    } else if (mode == "prob") {
+      const double p = std::strtod(arg.c_str(), &parse_end);
+      if (arg.empty() || *parse_end != '\0') return false;
+      arm_prob(site, p, seed);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void configure_from_env() {
+  if (g_env_loaded.exchange(true)) return;
+  const char* spec = std::getenv("NEURFILL_FAULTS");
+  if (!spec || !*spec) return;
+  std::uint64_t seed = 0;
+  if (const char* s = std::getenv("NEURFILL_FAULTS_SEED"))
+    seed = std::strtoull(s, nullptr, 10);
+  configure(spec, seed);
+}
+
+bool should_inject(const char* site) {
+  // First call loads the environment spec; afterwards this is one exchange
+  // that is always true.  Keeping it here (not in a static initializer)
+  // makes the env path testable and order-independent.
+  if (!g_env_loaded.load(std::memory_order_acquire)) configure_from_env();
+  if (!any_armed()) return false;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  Site& s = it->second;
+  const std::uint64_t hit = ++s.hits;  // 1-based
+  bool fire = false;
+  switch (s.mode) {
+    case Mode::kHit:
+      fire = hit == s.n;
+      break;
+    case Mode::kAfter:
+      fire = hit >= s.n;
+      break;
+    case Mode::kProb:
+      // Verdict is pure in (seed, site, hit index): deterministic as a set
+      // regardless of which thread claims which hit.
+      fire = static_cast<double>(mix(s.seed ^ hash_site(site) ^ hit) >> 11) *
+                 0x1.0p-53 <
+             s.p;
+      break;
+  }
+  if (fire) ++s.fired;
+  return fire;
+}
+
+}  // namespace neurfill::fault

@@ -1,0 +1,75 @@
+#pragma once
+
+// Deterministic fault injection (docs/robustness.md).
+//
+// Every graceful-degradation path in the pipeline has a *named site* where
+// a test can force the failure it recovers from:
+//
+//   if (NF_FAULT("contact.stall")) { /* pretend the solve did not converge */ }
+//
+// Sites are armed per-process, by API (fault::arm) or by environment
+// (NEURFILL_FAULTS="contact.stall=after:1;sqp.poison=hit:2"), with three
+// trigger modes:
+//   hit:N    fire exactly on the Nth hit of the site (1-based), once
+//   after:N  fire on every hit >= N (persistent failure)
+//   prob:P   fire independently per hit with probability P; the decision for
+//            hit k is a pure function of (seed, site, k), so the *set* of
+//            firing hit indices is deterministic even when hits race across
+//            threads (which thread draws hit k may vary; the verdict for
+//            hit k cannot).  Seed comes from arm_prob / NEURFILL_FAULTS_SEED.
+//
+// Gating mirrors the obs pattern (src/obs/trace.hpp): with the CMake option
+// NEURFILL_ENABLE_FAULTS=OFF the macro compiles to a constant `false` and
+// every injection branch folds away; with it ON (the default), an unarmed
+// process pays one relaxed atomic load per site hit.  Hit counters are only
+// maintained while at least one site is armed.
+
+#include <cstdint>
+#include <string>
+
+namespace neurfill::fault {
+
+/// True when at least one site is armed (one relaxed atomic load).
+bool any_armed();
+
+/// Arms `site` to fire exactly on the nth hit (1-based).
+void arm_hit(const std::string& site, std::uint64_t nth);
+/// Arms `site` to fire on every hit >= nth (1-based).
+void arm_after(const std::string& site, std::uint64_t nth);
+/// Arms `site` to fire per-hit with probability p under `seed`.
+void arm_prob(const std::string& site, double p, std::uint64_t seed = 0);
+
+/// Disarms one site / every site (counters reset).
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Hits observed for `site` since it was armed (0 when not armed).
+std::uint64_t hits(const std::string& site);
+/// Times `site` actually fired since it was armed.
+std::uint64_t fired(const std::string& site);
+
+/// Parses a NEURFILL_FAULTS-style spec ("site=mode:arg;site2=...") and arms
+/// accordingly.  Returns false (arming nothing further) on a malformed spec.
+bool configure(const std::string& spec, std::uint64_t seed = 0);
+
+/// Reads NEURFILL_FAULTS / NEURFILL_FAULTS_SEED from the environment.
+/// Called once from should_inject's slow path; safe to call again.
+void configure_from_env();
+
+/// The hot-path decision.  Prefer the NF_FAULT macro.
+bool should_inject(const char* site);
+
+}  // namespace neurfill::fault
+
+#if !defined(NEURFILL_DISABLE_FAULTS)
+
+/// True when the named fault site should fire now.  Sites are string
+/// literals, catalogued in docs/robustness.md.
+#define NF_FAULT(site) (::neurfill::fault::should_inject(site))
+
+#else  // NEURFILL_DISABLE_FAULTS
+
+/// Compiled out: a constant false folds the whole injection branch away.
+#define NF_FAULT(site) false
+
+#endif  // NEURFILL_DISABLE_FAULTS

@@ -38,6 +38,27 @@ class Rng {
   /// Derive an independent stream (for per-worker/per-sample seeding).
   Rng split();
 
+  /// Exact generator state, for checkpoint/resume (docs/robustness.md): a
+  /// restored Rng continues the identical stream, including the cached
+  /// Box-Muller half.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.has_cached_normal = has_cached_normal_;
+    st.cached_normal = cached_normal_;
+    return st;
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    has_cached_normal_ = st.has_cached_normal;
+    cached_normal_ = st.cached_normal;
+  }
+
  private:
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;

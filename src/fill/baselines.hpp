@@ -14,6 +14,13 @@ struct FillRunResult {
   double runtime_s = 0.0;
   int iterations = 0;
   long objective_evaluations = 0;  ///< simulator or network calls
+  /// The run deadline expired before the optimization finished; x is the
+  /// honest best feasible fill found so far (docs/robustness.md).
+  bool timed_out = false;
+  /// Numeric poison (NaN/Inf) was survived along the way — backtracked,
+  /// dropped, or degraded to a fallback — so quality may be reduced.
+  bool degraded = false;
+  int numeric_recoveries = 0;  ///< poisoned evaluations recovered in SQP
 };
 
 /// Lin [10]-style rule-based filler: a linear search of the per-layer target

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/log.hpp"
+#include "fill/snapshot.hpp"
 #include "obs/trace.hpp"
 
 namespace neurfill {
@@ -76,6 +79,139 @@ double network_quality(const FillProblem& problem, const CmpNetwork& network,
   return net.s_plan + pd.s_pd;
 }
 
+void persist_snapshot(const FillSnapshot& snap, const std::string& path) {
+  const Expected<void> res = save_fill_snapshot(snap, path);
+  // A failed snapshot must not kill the optimization it protects.
+  if (!res.ok())
+    LOG_WARN("fill snapshot failed: %s", res.error().to_string().c_str());
+}
+
+/// Loads + validates a resume snapshot for `method`; returns false (fresh
+/// run) when the file does not exist.  A corrupt or mismatched snapshot is
+/// a hard error: silently recomputing would violate the byte-identical
+/// resume contract.
+bool load_resume_snapshot(const NeurFillOptions& options,
+                          const std::string& method, std::size_t dims,
+                          FillSnapshot* snap) {
+  if (!options.resume) return false;
+  if (options.snapshot_path.empty())
+    throw ErrorException(Error(ErrorCode::kInvalidArgument, "fill.snapshot",
+                               "resume requested without a snapshot path"));
+  Expected<FillSnapshot> loaded = load_fill_snapshot(options.snapshot_path);
+  if (!loaded.ok()) {
+    if (loaded.error().code == ErrorCode::kNotFound) {
+      LOG_INFO("no snapshot at '%s', starting fresh",
+               options.snapshot_path.c_str());
+      return false;
+    }
+    throw ErrorException(loaded.error());
+  }
+  if (loaded->method != method)
+    throw ErrorException(Error(
+        ErrorCode::kInvalidArgument, "fill.snapshot",
+        "'" + options.snapshot_path + "' was written by method '" +
+            loaded->method + "', not '" + method + "'"));
+  if (loaded->dims != dims)
+    throw ErrorException(Error(
+        ErrorCode::kInvalidArgument, "fill.snapshot",
+        "'" + options.snapshot_path + "' has " +
+            std::to_string(loaded->dims) + " variables, the problem has " +
+            std::to_string(dims)));
+  *snap = std::move(*loaded);
+  LOG_INFO("resuming from '%s': %zu/%zu starts done%s",
+           options.snapshot_path.c_str(), snap->completed.size(),
+           snap->starts.size(),
+           snap->has_sqp_state ? ", one mid-flight" : "");
+  return true;
+}
+
+struct MspDrive {
+  std::vector<SqpResult> results;  ///< sorted best (lowest f) first
+  bool timed_out = false;
+};
+
+/// Runs SQP over the MSP start list with per-iteration snapshotting and a
+/// shared deadline; continues from `resumed` when non-null.  Deterministic:
+/// an interrupted + resumed drive visits the exact same iterates as an
+/// uninterrupted one.
+MspDrive drive_msp(const ObjectiveFn& obj, const std::string& method,
+                   const std::vector<VecD>& starts, const Box& box,
+                   const NeurFillOptions& options, long* evals,
+                   const FillSnapshot* resumed) {
+  MspDrive out;
+  SqpState resume_state;
+  bool use_resume = false;
+  if (resumed) {
+    out.results = resumed->completed;
+    if (resumed->has_sqp_state) {
+      resume_state = resumed->sqp;
+      use_resume = true;
+    }
+  }
+  const auto make_snapshot = [&](bool mid_flight, const SqpState* st) {
+    FillSnapshot snap;
+    snap.method = method;
+    snap.dims = box.size();
+    snap.evaluations = *evals;
+    snap.starts = starts;
+    snap.completed = out.results;
+    snap.has_sqp_state = mid_flight;
+    if (mid_flight) snap.sqp = *st;
+    return snap;
+  };
+  for (std::size_t i = out.results.size(); i < starts.size(); ++i) {
+    SqpOptions so = options.sqp;
+    so.deadline = options.deadline;
+    if (use_resume) {
+      so.resume = &resume_state;
+      use_resume = false;
+    }
+    if (!options.snapshot_path.empty() || options.interrupt) {
+      so.checkpoint_hook = [&](const SqpState& st) {
+        const bool interrupted =
+            options.interrupt &&
+            options.interrupt->load(std::memory_order_relaxed);
+        if (!options.snapshot_path.empty() &&
+            (interrupted || options.snapshot_every <= 1 ||
+             st.iteration % options.snapshot_every == 0))
+          persist_snapshot(make_snapshot(true, &st), options.snapshot_path);
+        if (interrupted)
+          throw ErrorException(Error(
+              ErrorCode::kInterrupted, "fill",
+              options.snapshot_path.empty()
+                  ? std::string("interrupt acknowledged")
+                  : "interrupt acknowledged; snapshot saved to '" +
+                        options.snapshot_path + "'"));
+      };
+    }
+    out.results.push_back(sqp_minimize(obj, starts[i], box, so));
+    if (!options.snapshot_path.empty())
+      persist_snapshot(make_snapshot(false, nullptr), options.snapshot_path);
+    if (out.results.back().timed_out) {
+      out.timed_out = true;
+      break;
+    }
+  }
+  std::sort(out.results.begin(), out.results.end(),
+            [](const SqpResult& a, const SqpResult& b) { return a.f < b.f; });
+  return out;
+}
+
+/// Folds an MSP drive into the FillRunResult bookkeeping shared by the pkb
+/// and mm drivers.
+void fold_drive(const FillProblem& problem, const MspDrive& drive,
+                FillRunResult* res) {
+  res->x = problem.unflatten(drive.results.front().x);
+  res->iterations = 0;
+  res->timed_out = res->timed_out || drive.timed_out;
+  for (const SqpResult& r : drive.results) {
+    res->iterations += r.iterations;
+    res->numeric_recoveries += r.numeric_recoveries;
+    if (r.poisoned) res->degraded = true;
+  }
+  if (res->numeric_recoveries > 0) res->degraded = true;
+}
+
 }  // namespace
 
 FillRunResult neurfill_pkb(const FillProblem& problem,
@@ -85,20 +221,34 @@ FillRunResult neurfill_pkb(const FillProblem& problem,
   // the trace event come from the same clock reads (see obs::SpanTimer).
   obs::SpanTimer timer("fill.neurfill_pkb");
   long evals = 0;
-  const std::vector<GridD> start = pkb_starting_point(
-      problem.extraction(),
-      [&](const std::vector<GridD>& x) {
-        return network_quality(problem, network, x, &evals);
-      },
-      options.pkb_steps);
+  FillSnapshot resumed;
+  const bool have_resume = load_resume_snapshot(
+      options, "pkb", problem.bounds().size(), &resumed);
+
+  std::vector<VecD> starts;
+  if (have_resume) {
+    // The snapshot stores the start list, so the PKB linear search (and its
+    // evaluation count) is not replayed.
+    starts = resumed.starts;
+    evals = resumed.evaluations;
+  } else {
+    const std::vector<GridD> start = pkb_starting_point(
+        problem.extraction(),
+        [&](const std::vector<GridD>& x) {
+          return network_quality(problem, network, x, &evals);
+        },
+        options.pkb_steps);
+    starts.push_back(problem.flatten(start));
+  }
+
   const ObjectiveFn obj = make_network_objective(problem, network, &evals);
-  const SqpResult sqp =
-      sqp_minimize(obj, problem.flatten(start), problem.bounds(), options.sqp);
+  const MspDrive drive = drive_msp(obj, "pkb", starts, problem.bounds(),
+                                   options, &evals, have_resume ? &resumed
+                                                                : nullptr);
 
   FillRunResult res;
   res.method = "NeurFill (PKB)";
-  res.x = problem.unflatten(sqp.x);
-  res.iterations = sqp.iterations;
+  fold_drive(problem, drive, &res);
   res.objective_evaluations = evals;
   NF_COUNTER_ADD("fill.objective_evaluations", evals);
   res.runtime_s = timer.stop_seconds();
@@ -110,66 +260,91 @@ FillRunResult neurfill_mm(const FillProblem& problem, const CmpNetwork& network,
   obs::SpanTimer timer("fill.neurfill_mm");
   long evals = 0;
   const ObjectiveFn obj = make_network_objective(problem, network, &evals);
+  FillSnapshot resumed;
+  const bool have_resume = load_resume_snapshot(
+      options, "mm", problem.bounds().size(), &resumed);
 
-  // Multi-modal exploration maximizes the quality score (value only).  The
-  // explore objective carries no shared mutable state (its evaluations are
-  // tallied from the optimizer afterwards), so NMMSO may run its per-swarm
-  // evaluation batches on the thread pool.
-  const ObjectiveFn net_obj = make_network_objective(problem, network, nullptr);
-  const ObjectiveFn explore = [&net_obj](const VecD& v, VecD*) -> double {
-    return -net_obj(v, nullptr);  // NMMSO maximizes
-  };
-  NmmsoOptions nmmso_opt = options.nmmso;
-  nmmso_opt.parallel_evaluations = true;
-  Nmmso nmmso(explore, problem.bounds(), nmmso_opt);
-  const std::vector<Mode> modes = nmmso.run();
-  evals += nmmso.evaluations_used();
-
-  // MSP-SQP over a diverse pool: the best NMMSO modes, the PKB start, and a
-  // spread of target-density fills (the structured corners of the landscape
-  // the paper's multi-modal search is meant to cover — distinct basins of
-  // the quality score reached from different fill levels).
   std::vector<VecD> starts;
-  for (const Mode& m : modes) {
-    if (static_cast<int>(starts.size()) >= options.mm_starts) break;
-    starts.push_back(m.x);
-  }
-  const std::vector<GridD> pkb = pkb_starting_point(
-      problem.extraction(),
-      [&](const std::vector<GridD>& x) {
-        return network_quality(problem, network, x, &evals);
-      },
-      options.pkb_steps);
-  starts.push_back(problem.flatten(pkb));
-  {
-    const WindowExtraction& ext = problem.extraction();
-    std::vector<double> lo(ext.num_layers(), 1.0), hi(ext.num_layers(), 0.0);
-    for (std::size_t l = 0; l < ext.num_layers(); ++l) {
-      const auto& d = ext.layers[l];
-      double mean_rho = 0.0;
-      for (std::size_t k = 0; k < d.slack.size(); ++k) {
-        const double rho = d.wire_density[k] + d.dummy_density[k];
-        mean_rho += rho;
-        hi[l] = std::max(hi[l], rho + d.slack[k]);
-      }
-      lo[l] = mean_rho / static_cast<double>(d.slack.size());
+  bool explore_timed_out = false;
+  if (have_resume) {
+    // NMMSO is checkpointed only at phase completion (its mid-run state is
+    // not persisted), so a snapshot implies the start list is final.
+    starts = resumed.starts;
+    evals = resumed.evaluations;
+  } else {
+    // Multi-modal exploration maximizes the quality score (value only).
+    // The explore objective carries no shared mutable state (its
+    // evaluations are tallied from the optimizer afterwards), so NMMSO may
+    // run its per-swarm evaluation batches on the thread pool.
+    const ObjectiveFn net_obj =
+        make_network_objective(problem, network, nullptr);
+    const ObjectiveFn explore = [&net_obj](const VecD& v, VecD*) -> double {
+      return -net_obj(v, nullptr);  // NMMSO maximizes
+    };
+    NmmsoOptions nmmso_opt = options.nmmso;
+    nmmso_opt.parallel_evaluations = true;
+    nmmso_opt.deadline = options.deadline;
+    nmmso_opt.interrupt = options.interrupt;
+    Nmmso nmmso(explore, problem.bounds(), nmmso_opt);
+    const std::vector<Mode> modes = nmmso.run();
+    evals += nmmso.evaluations_used();
+    explore_timed_out = nmmso.timed_out();
+
+    // MSP-SQP over a diverse pool: the best NMMSO modes, the PKB start, and
+    // a spread of target-density fills (the structured corners of the
+    // landscape the paper's multi-modal search is meant to cover — distinct
+    // basins of the quality score reached from different fill levels).
+    for (const Mode& m : modes) {
+      if (static_cast<int>(starts.size()) >= options.mm_starts) break;
+      starts.push_back(m.x);
     }
-    for (const double t : {0.25, 0.55, 0.85}) {
-      std::vector<double> td(ext.num_layers());
-      for (std::size_t l = 0; l < td.size(); ++l)
-        td[l] = lo[l] + t * (hi[l] - lo[l]);
-      starts.push_back(problem.flatten(target_density_fill(ext, td)));
+    const std::vector<GridD> pkb = pkb_starting_point(
+        problem.extraction(),
+        [&](const std::vector<GridD>& x) {
+          return network_quality(problem, network, x, &evals);
+        },
+        options.pkb_steps);
+    starts.push_back(problem.flatten(pkb));
+    {
+      const WindowExtraction& ext = problem.extraction();
+      std::vector<double> lo(ext.num_layers(), 1.0), hi(ext.num_layers(), 0.0);
+      for (std::size_t l = 0; l < ext.num_layers(); ++l) {
+        const auto& d = ext.layers[l];
+        double mean_rho = 0.0;
+        for (std::size_t k = 0; k < d.slack.size(); ++k) {
+          const double rho = d.wire_density[k] + d.dummy_density[k];
+          mean_rho += rho;
+          hi[l] = std::max(hi[l], rho + d.slack[k]);
+        }
+        lo[l] = mean_rho / static_cast<double>(d.slack.size());
+      }
+      for (const double t : {0.25, 0.55, 0.85}) {
+        std::vector<double> td(ext.num_layers());
+        for (std::size_t l = 0; l < td.size(); ++l)
+          td[l] = lo[l] + t * (hi[l] - lo[l]);
+        starts.push_back(problem.flatten(target_density_fill(ext, td)));
+      }
+    }
+    // Exploration phase complete: persist the start list so a later resume
+    // skips NMMSO entirely.
+    if (!options.snapshot_path.empty()) {
+      FillSnapshot snap;
+      snap.method = "mm";
+      snap.dims = problem.bounds().size();
+      snap.evaluations = evals;
+      snap.starts = starts;
+      persist_snapshot(snap, options.snapshot_path);
     }
   }
 
-  const std::vector<SqpResult> results =
-      msp_sqp_minimize(obj, starts, problem.bounds(), options.sqp);
+  const MspDrive drive = drive_msp(obj, "mm", starts, problem.bounds(),
+                                   options, &evals, have_resume ? &resumed
+                                                                : nullptr);
 
   FillRunResult res;
   res.method = "NeurFill (MM)";
-  res.x = problem.unflatten(results.front().x);
-  res.iterations = 0;
-  for (const auto& r : results) res.iterations += r.iterations;
+  res.timed_out = explore_timed_out;
+  fold_drive(problem, drive, &res);
   res.objective_evaluations = evals;
   NF_COUNTER_ADD("fill.objective_evaluations", evals);
   res.runtime_s = timer.stop_seconds();

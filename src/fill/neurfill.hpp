@@ -1,5 +1,9 @@
 #pragma once
 
+#include <atomic>
+#include <string>
+
+#include "common/deadline.hpp"
 #include "fill/baselines.hpp"
 #include "fill/problem.hpp"
 #include "opt/nmmso.hpp"
@@ -14,6 +18,23 @@ struct NeurFillOptions {
   int pkb_steps = 9;      ///< linear-search samples of the PKB start
   NmmsoOptions nmmso;     ///< multi-modal search budget (MM variant)
   int mm_starts = 4;      ///< top modes refined by MSP-SQP
+  /// Wall-clock budget for the whole optimization (docs/robustness.md):
+  /// expiry stops the MSP drive and returns the best feasible fill with
+  /// FillRunResult::timed_out set.
+  Deadline deadline;
+  /// When non-empty, the MSP drive state is snapshotted here (atomically,
+  /// CRC-checksummed) at every completed start and every snapshot_every-th
+  /// SQP iteration, so a killed run can continue with --resume.
+  std::string snapshot_path;
+  int snapshot_every = 1;  ///< SQP iterations between mid-start snapshots
+  /// Continue from snapshot_path (missing file = fresh run; a mismatched
+  /// method/dimension or corrupt snapshot throws ErrorException).  Resumed
+  /// runs produce bitwise-identical fills to uninterrupted ones.
+  bool resume = false;
+  /// Operator interrupt (borrowed, e.g. from a SIGINT handler): a final
+  /// snapshot is written (when snapshot_path is set) and
+  /// ErrorException(kInterrupted) is thrown.
+  const std::atomic<bool>* interrupt = nullptr;
   NeurFillOptions() {
     sqp.max_iterations = 40;
     nmmso.max_evaluations = 400;

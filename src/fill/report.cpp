@@ -15,9 +15,14 @@ MethodReport score_fill_result(const FillProblem& problem,
   rep.method = result.method;
   rep.runtime_s = result.runtime_s;
   rep.objective_evaluations = result.objective_evaluations;
+  rep.timed_out = result.timed_out;
+  rep.degraded = result.degraded;
 
   const QualityBreakdown q = problem.evaluate(result.x);
   rep.truth = q.planarity;
+  // Contact-solver retries/degradations during the truth simulation also
+  // taint the row: the score was computed on a degraded surface.
+  if (problem.simulator().health().any_degraded()) rep.degraded = true;
 
   // The file-size criterion measures the *fill output* file (the dummies a
   // downstream tool would merge into the design), matching the contest
@@ -57,7 +62,10 @@ void print_table3_row(std::ostream& os, const std::string& design,
      << q.s_pd / perf_budget << std::setw(7) << q.s_sigma << std::setw(7)
      << q.s_sigma_star << std::setw(7) << q.s_ol << std::setw(7) << r.score.s_fs
      << std::setw(15) << runtime.str() << std::setw(7) << r.score.s_m
-     << std::setw(9) << q.s_qual << std::setw(9) << r.score.overall << '\n';
+     << std::setw(9) << q.s_qual << std::setw(9) << r.score.overall;
+  if (r.timed_out) os << " [timed-out]";
+  if (r.degraded) os << " [degraded]";
+  os << '\n';
 }
 
 void print_coefficients(std::ostream& os, const ScoreCoefficients& c) {

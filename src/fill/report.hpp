@@ -21,6 +21,10 @@ struct MethodReport {
   double file_size_bytes = 0.0;
   double memory_bytes = 0.0;
   long objective_evaluations = 0;
+  /// Honest-quality flags (docs/robustness.md), folded from the run result
+  /// and the scoring simulator's health ledger; printed as a row suffix.
+  bool timed_out = false;  ///< the run deadline cut the optimization short
+  bool degraded = false;   ///< numeric poison was survived along the way
 };
 
 /// Scores a fill result: simulates the filled layout, assembles quality,

@@ -1,0 +1,36 @@
+#pragma once
+
+// Optimization snapshot for interruption-safe NeurFill runs
+// (docs/robustness.md): the complete MSP-SQP drive state of a pkb/mm run —
+// the start list, every finished start's result, and the loop-top SqpState
+// of the start in progress.  nf_fill writes one periodically (--snapshot)
+// and `--resume` continues from it; because SQP is deterministic from its
+// loop-top state, a resumed run produces a fill bitwise identical to the
+// uninterrupted one (tests/resume_kill_test.sh).
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "opt/sqp.hpp"
+
+namespace neurfill {
+
+struct FillSnapshot {
+  std::string method;    ///< "pkb" | "mm"; resume refuses a mismatch
+  std::size_t dims = 0;  ///< flattened variable count; resume refuses a mismatch
+  long evaluations = 0;  ///< objective-evaluation counter at capture time
+  std::vector<VecD> starts;          ///< full MSP start list (phase complete)
+  std::vector<SqpResult> completed;  ///< finished starts, in start order
+  bool has_sqp_state = false;        ///< a start is mid-flight
+  SqpState sqp;  ///< loop-top state of start #completed.size()
+};
+
+/// Atomic (write-temp + rename), CRC-checksummed NFCP write.
+Expected<void> save_fill_snapshot(const FillSnapshot& snap,
+                                  const std::string& path);
+
+/// kNotFound when absent, kCorrupt (naming file/section) on damage.
+Expected<FillSnapshot> load_fill_snapshot(const std::string& path);
+
+}  // namespace neurfill

@@ -2,71 +2,63 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
-#include <stdexcept>
+
+#include "common/checkpoint.hpp"
 
 namespace neurfill::nn {
 
 namespace {
-constexpr char kMagic[4] = {'N', 'F', 'W', '1'};
 
-void write_u32(std::ostream& os, std::uint32_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+Error format_error(const std::string& path, const std::string& what) {
+  return Error(ErrorCode::kCorrupt, "nn.serialize", "'" + path + "': " + what);
 }
 
-std::uint32_t read_u32(std::istream& is) {
-  std::uint32_t v = 0;
-  if (!is.read(reinterpret_cast<char*>(&v), sizeof(v)))
-    throw std::runtime_error("checkpoint: truncated file");
-  return v;
-}
 }  // namespace
 
-void save_parameters(const Module& module, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
-  os.write(kMagic, sizeof(kMagic));
-  const auto params = module.named_parameters();
-  write_u32(os, static_cast<std::uint32_t>(params.size()));
-  for (const auto& [name, t] : params) {
-    write_u32(os, static_cast<std::uint32_t>(name.size()));
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_u32(os, static_cast<std::uint32_t>(t.shape().size()));
-    for (const int d : t.shape()) write_u32(os, static_cast<std::uint32_t>(d));
-    os.write(reinterpret_cast<const char*>(t.data()),
-             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+Expected<void> save_parameters(const Module& module, const std::string& path) {
+  CheckpointWriter writer;
+  for (const auto& [name, t] : module.named_parameters()) {
+    ByteWriter payload;
+    payload.u32(static_cast<std::uint32_t>(t.shape().size()));
+    for (const int d : t.shape()) payload.u32(static_cast<std::uint32_t>(d));
+    payload.raw(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+    writer.add_section(name, payload.take());
   }
-  if (!os) throw std::runtime_error("checkpoint: write failed: " + path);
+  return writer.commit(path);
 }
 
-void load_parameters(Module& module, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
-  char magic[4];
-  if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
-    throw std::runtime_error("checkpoint: bad magic in " + path);
-  const std::uint32_t count = read_u32(is);
+Expected<void> load_parameters(Module& module, const std::string& path) {
+  Expected<CheckpointReader> reader = CheckpointReader::open(path);
+  if (!reader.ok()) return reader.error();
   auto params = module.named_parameters();
-  if (count != params.size())
-    throw std::runtime_error("checkpoint: parameter count mismatch");
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t name_len = read_u32(is);
-    std::string name(name_len, '\0');
-    if (!is.read(name.data(), name_len))
-      throw std::runtime_error("checkpoint: truncated name");
-    const std::uint32_t ndim = read_u32(is);
+  if (reader->section_names().size() != params.size())
+    return format_error(path, "parameter count mismatch: file has " +
+                                  std::to_string(reader->section_names().size()) +
+                                  " sections, module has " +
+                                  std::to_string(params.size()) +
+                                  " parameters");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const std::string& name = params[i].first;
+    if (reader->section_names()[i] != name)
+      return format_error(path, "parameter name mismatch at index " +
+                                    std::to_string(i) + ": file section '" +
+                                    reader->section_names()[i] +
+                                    "', module parameter '" + name + "'");
+    const std::vector<char>& payload = **reader->section(name);
+    ByteReader r(payload);
+    const std::uint32_t ndim = r.u32();
     std::vector<int> dims(ndim);
-    for (auto& d : dims) d = static_cast<int>(read_u32(is));
-    if (name != params[i].first)
-      throw std::runtime_error("checkpoint: parameter name mismatch: " + name +
-                               " vs " + params[i].first);
+    for (auto& d : dims) d = static_cast<int>(r.u32());
     Tensor t = params[i].second;
-    if (dims != t.shape())
-      throw std::runtime_error("checkpoint: shape mismatch for " + name);
-    if (!is.read(reinterpret_cast<char*>(t.data()),
-                 static_cast<std::streamsize>(t.numel() * sizeof(float))))
-      throw std::runtime_error("checkpoint: truncated data for " + name);
+    if (!r.ok() || dims != t.shape())
+      return format_error(path, "shape mismatch for parameter '" + name + "'");
+    if (!r.raw(t.data(),
+               static_cast<std::size_t>(t.numel()) * sizeof(float)) ||
+        !r.at_end())
+      return format_error(
+          path, "payload size mismatch for parameter '" + name + "'");
   }
+  return Expected<void>();
 }
 
 }  // namespace neurfill::nn

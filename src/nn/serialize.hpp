@@ -2,17 +2,22 @@
 
 #include <string>
 
+#include "common/error.hpp"
 #include "nn/module.hpp"
 
 namespace neurfill::nn {
 
-/// Binary checkpoint format for module parameters:
-///   magic "NFW1", u32 count, then per parameter:
-///   u32 name_len, name bytes, u32 ndim, u32 dims[ndim], f32 data[numel].
-/// Little-endian (the only platform we target).  Loading matches strictly by
-/// name and shape and throws on any mismatch, so silently loading the wrong
-/// architecture is impossible.
-void save_parameters(const Module& module, const std::string& path);
-void load_parameters(Module& module, const std::string& path);
+/// Module parameters persist as an NFCP checkpoint container
+/// (common/checkpoint.hpp): one CRC32-checksummed section per parameter,
+/// named by the parameter, with payload u32 ndim, u32 dims[ndim],
+/// f32 data[numel] (little-endian).  Saving is atomic (write-to-temp +
+/// rename), so a crash mid-save never leaves a torn weights file.
+///
+/// Loading matches strictly by name and shape.  Any failure — missing file,
+/// truncation, checksum mismatch, architecture mismatch — comes back as a
+/// structured nf::Error naming the file, the section, and (for corruption)
+/// the expected vs. actual checksum; nothing throws and nothing aborts.
+Expected<void> save_parameters(const Module& module, const std::string& path);
+Expected<void> load_parameters(Module& module, const std::string& path);
 
 }  // namespace neurfill::nn

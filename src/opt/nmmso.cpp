@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
@@ -21,7 +23,20 @@ Nmmso::Nmmso(ObjectiveFn f, Box box, const NmmsoOptions& options)
 
 double Nmmso::evaluate(const VecD& x) {
   ++evaluations_;
-  return f_(x, nullptr);
+  return sanitize_value(f_(x, nullptr));
+}
+
+double Nmmso::sanitize_value(double v) {
+  if (NF_FAULT("nmmso.poison")) v = std::numeric_limits<double>::quiet_NaN();
+  if (!std::isfinite(v)) [[unlikely]] {
+    // Poisoned member: map to -inf so it can never become a pbest/gbest
+    // (and a poisoned spawn is discarded in apply_move) — the rest of the
+    // batch proceeds untouched.
+    poisoned_drops_.fetch_add(1, std::memory_order_relaxed);
+    NF_COUNTER_ADD("opt.nmmso_poison_drops", 1);
+    return -std::numeric_limits<double>::infinity();
+  }
+  return v;
 }
 
 VecD Nmmso::random_point() {
@@ -158,9 +173,10 @@ void Nmmso::evaluate_moves(std::vector<PlannedMove>& moves) {
   if (opt_.parallel_evaluations && moves.size() > 1) {
     PlannedMove* pm = moves.data();
     const ObjectiveFn& f = f_;
-    runtime::parallel_for(1, moves.size(), [&f, pm](std::size_t m0,
-                                                    std::size_t m1) {
-      for (std::size_t m = m0; m < m1; ++m) pm[m].value = f(pm[m].x, nullptr);
+    runtime::parallel_for(1, moves.size(), [this, &f, pm](std::size_t m0,
+                                                          std::size_t m1) {
+      for (std::size_t m = m0; m < m1; ++m)
+        pm[m].value = sanitize_value(f(pm[m].x, nullptr));
     });
     evaluations_ += static_cast<int>(moves.size());
   } else {
@@ -173,6 +189,9 @@ void Nmmso::apply_move(const PlannedMove& move) {
   const std::size_t dims = box_.lo.size();
   const double val = move.value;
   if (move.spawn) {
+    // A poisoned spawn is dropped outright: admitting a -inf member would
+    // only pad the swarm toward its cap with dead weight.
+    if (val == -std::numeric_limits<double>::infinity()) return;
     Particle p;
     p.x = move.x;
     p.v.assign(dims, 0.0);
@@ -223,12 +242,24 @@ std::vector<Mode> Nmmso::run() {
   NF_TRACE_SPAN("opt.nmmso");
   swarms_.clear();
   evaluations_ = 0;
+  timed_out_ = false;
+  // A deadline raised from inside the objective (reference-simulator runs)
+  // lands between state mutations, so the swarms remain a consistent
+  // best-so-far set to report from.
+  try {
   {
     VecD x = random_point();
     const double v = evaluate(x);
     swarms_.push_back(make_swarm(std::move(x), v));
   }
   while (evaluations_ < opt_.max_evaluations) {
+    if (opt_.interrupt && opt_.interrupt->load(std::memory_order_relaxed))
+      throw ErrorException(Error(ErrorCode::kInterrupted, "opt.nmmso",
+                                 "interrupt acknowledged between iterations"));
+    if (opt_.deadline.expired()) {
+      timed_out_ = true;
+      break;
+    }
     try_merges();
     // Evolve a random subset of swarms, always including the fittest.
     std::vector<std::size_t> order(swarms_.size());
@@ -263,6 +294,10 @@ std::vector<Mode> Nmmso::run() {
       const double v = evaluate(x);
       swarms_.push_back(make_swarm(std::move(x), v));
     }
+  }
+  } catch (const ErrorException& e) {
+    if (e.err.code != ErrorCode::kDeadlineExceeded) throw;
+    timed_out_ = true;
   }
   std::vector<Mode> modes;
   modes.reserve(swarms_.size());

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/rng.hpp"
 #include "opt/objective.hpp"
 
@@ -29,6 +31,14 @@ struct NmmsoOptions {
   /// (the batch is planned before any evaluation and applied in a fixed
   /// order); enable only if the objective is safe to call concurrently.
   bool parallel_evaluations = false;
+  /// Expiry stops the search and returns the modes found so far (checked
+  /// between iterations, where the swarm state is consistent).
+  Deadline deadline;
+  /// Operator interrupt (borrowed, e.g. from a SIGINT handler).  Checked
+  /// between iterations; when set, run() throws ErrorException(kInterrupted)
+  /// — partial multi-modal state is not checkpointable, so the caller
+  /// restarts the (deterministic) search on resume.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 /// Niching Migratory Multi-Swarm Optimiser [Fieldsend, CEC 2014], the
@@ -55,6 +65,17 @@ class Nmmso {
   std::vector<Mode> run();
 
   int evaluations_used() const { return evaluations_; }
+
+  /// True when the last run() stopped on an expired deadline; the returned
+  /// modes are the honest best-so-far.
+  bool timed_out() const { return timed_out_; }
+
+  /// Poisoned (non-finite) evaluations observed and dropped: the poisoned
+  /// member is discarded (spawn) or barred from pbest/gbest (PSO move)
+  /// instead of failing the batch (docs/robustness.md).
+  long poisoned_drops() const {
+    return poisoned_drops_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Particle {
@@ -85,6 +106,7 @@ class Nmmso {
   };
 
   double evaluate(const VecD& x);
+  double sanitize_value(double v);
   VecD random_point();
   double normalized_distance(const VecD& a, const VecD& b) const;
   void try_merges();
@@ -99,6 +121,8 @@ class Nmmso {
   Rng rng_;
   std::vector<Swarm> swarms_;
   int evaluations_ = 0;
+  bool timed_out_ = false;
+  std::atomic<long> poisoned_drops_{0};  ///< batch evals run concurrently
 };
 
 }  // namespace neurfill

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace neurfill {
@@ -15,6 +18,15 @@ double dot(const VecD& a, const VecD& b) {
   for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;
 }
+
+bool all_finite(const VecD& v) {
+  for (const double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+/// Bounded exponential-shrink retries after a poisoned evaluation.
+constexpr int kMaxPoisonShrinks = 5;
 }  // namespace
 
 void LbfgsHessian::reset() {
@@ -63,6 +75,23 @@ void LbfgsHessian::rebuild() {
   }
 }
 
+void LbfgsHessian::export_state(
+    double* sigma, std::vector<std::pair<VecD, VecD>>* pairs) const {
+  *sigma = sigma_;
+  pairs->clear();
+  pairs->reserve(raw_.size());
+  for (const Pair& p : raw_) pairs->emplace_back(p.s, p.y);
+}
+
+void LbfgsHessian::restore_state(
+    double sigma, const std::vector<std::pair<VecD, VecD>>& pairs) {
+  raw_.clear();
+  for (const auto& [s, y] : pairs) raw_.push_back({s, y});
+  while (static_cast<int>(raw_.size()) > memory_) raw_.pop_front();
+  sigma_ = sigma;
+  rebuild();
+}
+
 void LbfgsHessian::apply(const VecD& v, VecD& out) const {
   out.assign(v.size(), 0.0);
   for (std::size_t i = 0; i < v.size(); ++i) out[i] = sigma_ * v[i];
@@ -84,20 +113,69 @@ SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
   box.clamp(x0);
   res.x = std::move(x0);
 
-  VecD g(n), g_new(n);
-  double fx = f(res.x, &g);
-  ++res.function_evaluations;
-  // Poison detector: the objective gradient usually comes out of the
-  // surrogate's backward pass.  A single NaN here would propagate through
-  // the L-BFGS pairs into every later iterate, so fail at the source.
-  NF_CHECK_FINITE(fx);
-  NF_CHECK(g.size() == n, "sqp: gradient size %zu, expected %zu", g.size(), n);
-  NF_CHECK_ALL_FINITE("sqp: objective gradient", g.data(), g.size());
+  // Every objective evaluation funnels through here so the sqp.poison
+  // fault site can poison any chosen evaluation.
+  const auto eval = [&](const VecD& x, VecD* grad) -> double {
+    double v = f(x, grad);
+    ++res.function_evaluations;
+    if (NF_FAULT("sqp.poison")) v = std::numeric_limits<double>::quiet_NaN();
+    return v;
+  };
 
   LbfgsHessian hessian(options.lbfgs_memory);
+  VecD g(n), g_new(n);
   VecD trial(n), s(n), y(n);
+  double fx = std::numeric_limits<double>::infinity();
+  int start_it = 0;
 
-  for (int it = 0; it < options.max_iterations; ++it) {
+  // The objective may run the reference simulator, whose deadline raises
+  // ErrorException(kDeadlineExceeded) mid-evaluation.  res.x always holds
+  // the last *accepted* iterate, so catching here degrades to an honest
+  // best-so-far result instead of tearing down the run.
+  try {
+    if (options.resume) {
+      const SqpState& st = *options.resume;
+      NF_CHECK(st.x.size() == n && st.g.size() == n,
+               "sqp resume: state dimension %zu/%zu, expected %zu",
+               st.x.size(), st.g.size(), n);
+      res.x = st.x;
+      g = st.g;
+      fx = st.f;
+      start_it = st.iteration;
+      res.iterations = st.iteration;
+      res.function_evaluations = st.function_evaluations;
+      hessian.restore_state(st.lbfgs_sigma, st.lbfgs_pairs);
+    } else {
+      fx = eval(res.x, &g);
+      NF_CHECK(g.size() == n, "sqp: gradient size %zu, expected %zu", g.size(),
+               n);
+      // A poisoned *first* evaluation leaves nothing to backtrack to: the
+      // start is abandoned with f = +inf so MSP sorting drops it (the
+      // NMMSO analogue drops the poisoned swarm member).
+      if (!std::isfinite(fx) || !all_finite(g)) {
+        res.poisoned = true;
+        res.f = std::numeric_limits<double>::infinity();
+        return res;
+      }
+    }
+
+  for (int it = start_it; it < options.max_iterations; ++it) {
+    // Loop-top snapshot: with this state a restarted process re-runs
+    // iteration `it` bitwise-identically (docs/robustness.md).
+    if (options.checkpoint_hook) {
+      SqpState st;
+      st.x = res.x;
+      st.g = g;
+      st.f = fx;
+      st.iteration = it;
+      st.function_evaluations = res.function_evaluations;
+      hessian.export_state(&st.lbfgs_sigma, &st.lbfgs_pairs);
+      options.checkpoint_hook(st);
+    }
+    if (options.deadline.expired()) {
+      res.timed_out = true;
+      break;
+    }
     res.iterations = it + 1;
     NF_TRACE_SPAN("opt.sqp_step");
     NF_COUNTER_ADD("opt.sqp_iterations", 1);
@@ -143,8 +221,11 @@ SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
     for (int ls = 0; ls < options.max_line_search; ++ls) {
       for (std::size_t i = 0; i < n; ++i) trial[i] = res.x[i] + alpha * d[i];
       box.clamp(trial);  // guard rounding
-      f_trial = f(trial, nullptr);
-      ++res.function_evaluations;
+      f_trial = eval(trial, nullptr);
+      // A NaN trial value fails the Armijo comparison below, so a poisoned
+      // line-search evaluation already degrades to "shrink and retry" —
+      // just account for it.
+      if (!std::isfinite(f_trial)) ++res.numeric_recoveries;
       if (f_trial <= fx + options.armijo_c1 * alpha * gd) {
         accepted = true;
         break;
@@ -154,13 +235,32 @@ SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
     if (!accepted) break;  // line search failed: stationary to our accuracy
 
     const double f_old = fx;
-    fx = f(trial, &g_new);
-    ++res.function_evaluations;
-    NF_CHECK_FINITE(fx);
+    double f_new = eval(trial, &g_new);
     NF_CHECK(g_new.size() == n, "sqp: gradient size %zu, expected %zu",
              g_new.size(), n);
-    NF_CHECK_ALL_FINITE("sqp: objective gradient", g_new.data(),
-                        g_new.size());
+    // Poisoned value/gradient mid-run: back off toward the last accepted
+    // iterate with exponentially shrinking steps (bounded retries) instead
+    // of aborting — one NaN would otherwise propagate through the L-BFGS
+    // pairs into every later iterate.
+    int shrinks = 0;
+    while ((!std::isfinite(f_new) || !all_finite(g_new)) &&
+           shrinks < kMaxPoisonShrinks) {
+      ++shrinks;
+      ++res.numeric_recoveries;
+      alpha *= 0.25;
+      for (std::size_t i = 0; i < n; ++i) trial[i] = res.x[i] + alpha * d[i];
+      box.clamp(trial);
+      f_new = eval(trial, &g_new);
+    }
+    if (!std::isfinite(f_new) || !all_finite(g_new)) {
+      res.poisoned = true;  // unrecoverable: keep the last good iterate
+      break;
+    }
+    // In a clean run f_new re-evaluates the accepted trial (deterministic,
+    // so <= f_old by Armijo); after poison shrinks the landing point can be
+    // uphill, in which case stop at the best-so-far instead of accepting.
+    if (f_new > f_old) break;
+    fx = f_new;
     for (std::size_t i = 0; i < n; ++i) {
       s[i] = trial[i] - res.x[i];
       y[i] = g_new[i] - g[i];
@@ -173,6 +273,10 @@ SqpResult sqp_minimize(const ObjectiveFn& f, VecD x0, const Box& box,
       res.converged = true;
       break;
     }
+  }
+  } catch (const ErrorException& e) {
+    if (e.err.code != ErrorCode::kDeadlineExceeded) throw;
+    res.timed_out = true;
   }
   res.f = fx;
   NF_COUNTER_ADD("opt.sqp_evaluations", res.function_evaluations);

@@ -1,7 +1,11 @@
 #pragma once
 
 #include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
 
+#include "common/deadline.hpp"
 #include "opt/box_qp.hpp"
 #include "opt/objective.hpp"
 
@@ -22,6 +26,15 @@ class LbfgsHessian {
   void apply(const VecD& v, VecD& out) const;
   bool empty() const { return raw_.empty(); }
 
+  /// Checkpoint support (docs/robustness.md): the raw (s, y) history plus
+  /// sigma fully determine the Hessian — restore_state rebuilds the damped
+  /// terms from them, bitwise identically to the original incremental
+  /// construction.
+  void export_state(double* sigma,
+                    std::vector<std::pair<VecD, VecD>>* pairs) const;
+  void restore_state(double sigma,
+                     const std::vector<std::pair<VecD, VecD>>& pairs);
+
  private:
   struct Pair {
     VecD s, y;
@@ -38,6 +51,20 @@ class LbfgsHessian {
   std::vector<Term> terms_;
 };
 
+/// Complete loop-top state of an SQP run: everything needed to continue the
+/// iteration bitwise-identically after a process restart.  Captured by
+/// SqpOptions::checkpoint_hook at the top of every iteration; fed back via
+/// SqpOptions::resume.
+struct SqpState {
+  VecD x;                 ///< current iterate (last accepted point)
+  VecD g;                 ///< gradient at x
+  double f = 0.0;         ///< objective at x
+  int iteration = 0;      ///< 0-based index of the iteration about to run
+  int function_evaluations = 0;
+  double lbfgs_sigma = 1.0;
+  std::vector<std::pair<VecD, VecD>> lbfgs_pairs;  ///< raw (s, y) history
+};
+
 struct SqpOptions {
   int max_iterations = 100;
   double tolerance = 1e-6;  ///< on the projected-gradient infinity norm
@@ -45,6 +72,13 @@ struct SqpOptions {
   double armijo_c1 = 1e-4;
   int max_line_search = 30;
   BoxQpOptions qp;
+  /// Expiry returns the best-so-far iterate with timed_out set.
+  Deadline deadline;
+  /// Called at the top of every iteration with the loop-top state.
+  std::function<void(const SqpState&)> checkpoint_hook;
+  /// When non-null, skip the initial evaluation and continue from this
+  /// state (borrowed; must outlive the call).
+  const SqpState* resume = nullptr;
 };
 
 struct SqpResult {
@@ -53,6 +87,13 @@ struct SqpResult {
   int iterations = 0;
   int function_evaluations = 0;
   bool converged = false;
+  bool timed_out = false;  ///< deadline expired; x is the best-so-far point
+  /// The run hit unrecoverable numeric poison: x/f are the last good
+  /// iterate (or the clamped start with f = +inf when the very first
+  /// evaluation was poisoned, so MSP sorting drops the start).
+  bool poisoned = false;
+  /// Poisoned evaluations recovered by backtracking (exponential shrink).
+  int numeric_recoveries = 0;
 };
 
 /// Bound-constrained SQP (the optimizer of the NeurFill framework, Fig. 7):

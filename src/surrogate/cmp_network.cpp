@@ -69,9 +69,13 @@ std::vector<nn::Tensor> CmpSurrogate::forward_heights(
   return heights;
 }
 
-void save_surrogate(const CmpSurrogate& s, const std::string& path_prefix) {
-  std::ofstream meta(path_prefix + ".meta");
-  if (!meta) throw std::runtime_error("save_surrogate: cannot write meta");
+Expected<void> save_surrogate(const CmpSurrogate& s,
+                              const std::string& path_prefix) {
+  const std::string meta_path = path_prefix + ".meta";
+  std::ofstream meta(meta_path);
+  if (!meta)
+    return Error(ErrorCode::kIo, "surrogate.io",
+                 "'" + meta_path + "': cannot open for writing");
   const SurrogateConfig& c = s.config();
   meta << "unet " << c.unet.in_channels << ' ' << c.unet.out_channels << ' '
        << c.unet.base_channels << ' ' << c.unet.depth << ' '
@@ -81,30 +85,47 @@ void save_surrogate(const CmpSurrogate& s, const std::string& path_prefix) {
        << c.features.width_ref_um << ' ' << c.features.height_scale << ' '
        << c.features.height_offset << '\n';
   meta << "chain " << c.topo_transfer << ' ' << c.outlier_eta << '\n';
-  nn::save_parameters(s.unet(), path_prefix + ".weights");
+  meta.flush();
+  if (!meta)
+    return Error(ErrorCode::kIo, "surrogate.io",
+                 "'" + meta_path + "': write failed");
+  return nn::save_parameters(s.unet(), path_prefix + ".weights");
 }
 
-std::shared_ptr<CmpSurrogate> load_surrogate(const std::string& path_prefix) {
-  std::ifstream meta(path_prefix + ".meta");
+Expected<std::shared_ptr<CmpSurrogate>> load_surrogate(
+    const std::string& path_prefix) {
+  const std::string meta_path = path_prefix + ".meta";
+  std::ifstream meta(meta_path);
   if (!meta)
-    throw std::runtime_error("load_surrogate: missing " + path_prefix + ".meta");
+    return Error(ErrorCode::kNotFound, "surrogate.io",
+                 "'" + meta_path + "': no such file");
   SurrogateConfig c;
   std::string kw;
   int use_norm = 0;
   if (!(meta >> kw >> c.unet.in_channels >> c.unet.out_channels >>
         c.unet.base_channels >> c.unet.depth >> use_norm) ||
       kw != "unet")
-    throw std::runtime_error("load_surrogate: bad meta (unet)");
+    return Error(ErrorCode::kCorrupt, "surrogate.io",
+                 "'" + meta_path + "': bad meta (unet line)");
   c.unet.use_group_norm = use_norm != 0;
   if (!(meta >> kw >> c.features.window_um >> c.features.dummy_edge_um >>
         c.features.perimeter_norm >> c.features.width_ref_um >>
         c.features.height_scale >> c.features.height_offset) ||
       kw != "features")
-    throw std::runtime_error("load_surrogate: bad meta (features)");
+    return Error(ErrorCode::kCorrupt, "surrogate.io",
+                 "'" + meta_path + "': bad meta (features line)");
   if (!(meta >> kw >> c.topo_transfer >> c.outlier_eta) || kw != "chain")
-    throw std::runtime_error("load_surrogate: bad meta (chain)");
+    return Error(ErrorCode::kCorrupt, "surrogate.io",
+                 "'" + meta_path + "': bad meta (chain line)");
+  if (c.unet.in_channels != FeatureConstants::kInChannels)
+    return Error(ErrorCode::kCorrupt, "surrogate.io",
+                 "'" + meta_path + "': unet in_channels " +
+                     std::to_string(c.unet.in_channels) + " != expected " +
+                     std::to_string(FeatureConstants::kInChannels));
   auto s = std::make_shared<CmpSurrogate>(c, /*seed=*/0);
-  nn::load_parameters(s->unet(), path_prefix + ".weights");
+  Expected<void> weights =
+      nn::load_parameters(s->unet(), path_prefix + ".weights");
+  if (!weights.ok()) return weights.error();
   return s;
 }
 

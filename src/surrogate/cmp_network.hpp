@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "fill/score_coeffs.hpp"
 #include "layout/window_grid.hpp"
 #include "nn/unet.hpp"
@@ -68,9 +69,14 @@ class CmpSurrogate {
 };
 
 /// Saves/loads the surrogate as <path>.meta (text config) + <path>.weights
-/// (binary parameters).
-void save_surrogate(const CmpSurrogate& s, const std::string& path_prefix);
-std::shared_ptr<CmpSurrogate> load_surrogate(const std::string& path_prefix);
+/// (CRC-checksummed NFCP container, written atomically).  Failures come
+/// back as structured nf::Error values naming the file and, for weight
+/// corruption, the failing section and expected-vs-actual checksum — tools
+/// print error.to_string() and exit 1, no stack trace.
+Expected<void> save_surrogate(const CmpSurrogate& s,
+                              const std::string& path_prefix);
+Expected<std::shared_ptr<CmpSurrogate>> load_surrogate(
+    const std::string& path_prefix);
 
 /// The CMP neural network of Fig. 4, bound to one extraction and one score
 /// coefficient set: extraction layer -> pre-trained UNet -> objective layers

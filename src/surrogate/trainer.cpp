@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/checkpoint.hpp"
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "obs/trace.hpp"
 #include "nn/ops.hpp"
 #include "nn/optim.hpp"
+#include "nn/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace neurfill {
 
@@ -76,6 +79,163 @@ nn::Tensor sample_loss_tensor(const CmpSurrogate& surrogate,
   return loss;
 }
 
+constexpr std::uint32_t kTrainStateVersion = 1;
+
+/// Writes `<prefix>.train`: the optimizer/shuffle/progress state that,
+/// together with the `<prefix>` surrogate checkpoint, lets a later run
+/// resume after the last completed epoch (docs/robustness.md).  Failures
+/// are logged and swallowed — a missed checkpoint must not kill training.
+void save_train_state(const std::string& prefix, const TrainOptions& options,
+                      const TrainStats& stats, int epochs_done,
+                      const nn::Adam& opt, const Rng& shuffle_rng,
+                      const std::vector<std::size_t>& order,
+                      const FeatureConstants& fc) {
+  CheckpointWriter w;
+  ByteWriter meta;
+  meta.u32(kTrainStateVersion);
+  meta.u32(static_cast<std::uint32_t>(epochs_done));
+  meta.i64(stats.samples_seen);
+  meta.u32(static_cast<std::uint32_t>(std::max(options.dataset_size, 0)));
+  meta.u64(options.seed);
+  meta.f64(fc.height_offset);
+  meta.f64(fc.height_scale);
+  w.add_section("meta", meta.take());
+  ByteWriter el;
+  el.f64_vec(stats.epoch_loss);
+  w.add_section("epoch_loss", el.take());
+  ByteWriter ad;
+  const nn::Adam::State st = opt.export_state();
+  ad.i64(st.t);
+  ad.u32(static_cast<std::uint32_t>(st.m.size()));
+  for (const auto& m : st.m) ad.f32_vec(m);
+  for (const auto& v : st.v) ad.f32_vec(v);
+  w.add_section("adam", ad.take());
+  ByteWriter rw;
+  const Rng::State rs = shuffle_rng.state();
+  for (int i = 0; i < 4; ++i) rw.u64(rs.s[i]);
+  rw.u32(rs.has_cached_normal ? 1u : 0u);
+  rw.f64(rs.cached_normal);
+  w.add_section("rng", rw.take());
+  // The epoch shuffle permutes `order` in place, so each epoch's order is
+  // the composition of every shuffle before it.  The RNG state alone cannot
+  // reproduce that from a fresh identity order — persist the array itself.
+  ByteWriter ow;
+  ow.u64(order.size());
+  for (std::size_t idx : order) ow.u64(idx);
+  w.add_section("order", ow.take());
+  Expected<void> res = w.commit(prefix + ".train");
+  if (!res.ok())
+    LOG_WARN("training state checkpoint failed: %s",
+             res.error().to_string().c_str());
+}
+
+/// Restores training state from `<prefix>.train` + `<prefix>.weights`.
+/// Returns the epoch to start from (0 = fresh start).  Every failure mode
+/// (missing file, CRC mismatch, option mismatch, layout drift) degrades to
+/// a warning and a from-scratch run — resume is an optimization, never a
+/// correctness gate.
+int resume_train_state(const std::string& prefix, const TrainOptions& options,
+                       CmpSurrogate& surrogate, nn::Adam& opt,
+                       Rng& shuffle_rng, std::vector<std::size_t>& order,
+                       TrainStats& stats) {
+  const std::string path = prefix + ".train";
+  Expected<CheckpointReader> reader = CheckpointReader::open(path);
+  if (!reader.ok()) {
+    if (reader.error().code == ErrorCode::kNotFound)
+      LOG_INFO("no training checkpoint at '%s', starting fresh", path.c_str());
+    else
+      LOG_WARN("ignoring training checkpoint: %s",
+               reader.error().to_string().c_str());
+    return 0;
+  }
+  for (const char* name : {"meta", "epoch_loss", "adam", "rng", "order"}) {
+    if (!reader->has_section(name)) {
+      LOG_WARN("training checkpoint '%s' missing section '%s', starting fresh",
+               path.c_str(), name);
+      return 0;
+    }
+  }
+  ByteReader meta(**reader->section("meta"));
+  const std::uint32_t version = meta.u32();
+  const int epochs_done = static_cast<int>(meta.u32());
+  const std::int64_t samples_seen = meta.i64();
+  const int dataset_size = static_cast<int>(meta.u32());
+  const std::uint64_t seed = meta.u64();
+  const double height_offset = meta.f64();
+  const double height_scale = meta.f64();
+  if (!meta.ok() || !meta.at_end() || version != kTrainStateVersion) {
+    LOG_WARN("training checkpoint '%s' has incompatible meta, starting fresh",
+             path.c_str());
+    return 0;
+  }
+  if (dataset_size != options.dataset_size || seed != options.seed) {
+    LOG_WARN(
+        "training checkpoint '%s' was written with dataset_size=%d seed=%llu "
+        "(current: %d/%llu), starting fresh",
+        path.c_str(), dataset_size, static_cast<unsigned long long>(seed),
+        options.dataset_size, static_cast<unsigned long long>(options.seed));
+    return 0;
+  }
+  ByteReader el(**reader->section("epoch_loss"));
+  std::vector<double> epoch_loss = el.f64_vec();
+  ByteReader ad(**reader->section("adam"));
+  nn::Adam::State st;
+  st.t = ad.i64();
+  const std::uint32_t n_params = ad.u32();
+  st.m.resize(n_params);
+  st.v.resize(n_params);
+  for (auto& m : st.m) m = ad.f32_vec();
+  for (auto& v : st.v) v = ad.f32_vec();
+  ByteReader rw(**reader->section("rng"));
+  Rng::State rs;
+  for (int i = 0; i < 4; ++i) rs.s[i] = rw.u64();
+  rs.has_cached_normal = rw.u32() != 0;
+  rs.cached_normal = rw.f64();
+  ByteReader ow(**reader->section("order"));
+  const std::uint64_t order_n = ow.u64();
+  std::vector<std::size_t> saved_order;
+  bool order_valid = order_n == order.size();
+  if (order_valid) {
+    saved_order.reserve(order.size());
+    for (std::uint64_t i = 0; i < order_n; ++i) {
+      const std::uint64_t idx = ow.u64();
+      if (idx >= order_n) order_valid = false;
+      saved_order.push_back(static_cast<std::size_t>(idx));
+    }
+  }
+  if (!el.ok() || !ad.ok() || !ad.at_end() || !rw.ok() || !rw.at_end() ||
+      !ow.ok() || !ow.at_end() || !order_valid ||
+      epoch_loss.size() != static_cast<std::size_t>(epochs_done)) {
+    LOG_WARN("training checkpoint '%s' has malformed sections, starting fresh",
+             path.c_str());
+    return 0;
+  }
+  Expected<void> weights =
+      nn::load_parameters(surrogate.unet(), prefix + ".weights");
+  if (!weights.ok()) {
+    LOG_WARN("cannot restore surrogate weights for resume (%s), starting fresh",
+             weights.error().to_string().c_str());
+    return 0;
+  }
+  if (!opt.restore_state(st)) {
+    LOG_WARN(
+        "training checkpoint '%s' optimizer state does not match the model, "
+        "starting fresh",
+        path.c_str());
+    return 0;
+  }
+  shuffle_rng.set_state(rs);
+  order = std::move(saved_order);
+  auto& fc = surrogate.mutable_config().features;
+  fc.height_offset = height_offset;
+  fc.height_scale = height_scale;
+  stats.epoch_loss = std::move(epoch_loss);
+  stats.samples_seen = static_cast<int>(samples_seen);
+  LOG_INFO("resuming training from '%s' after %d completed epoch(s)",
+           path.c_str(), epochs_done);
+  return epochs_done;
+}
+
 }  // namespace
 
 double surrogate_sample_loss(const CmpSurrogate& surrogate,
@@ -122,7 +282,25 @@ TrainStats train_surrogate(CmpSurrogate& surrogate,
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   nn::Adam opt(surrogate.unet().parameters(), options.learning_rate);
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+
+  int start_epoch = 0;
+  if (options.resume) {
+    if (options.checkpoint_prefix.empty()) {
+      LOG_WARN("resume requested without checkpoint_prefix, starting fresh");
+    } else if (options.dataset_size <= 0) {
+      // Online samples are consumed from the datagen stream, so a resumed
+      // run cannot replay them; only the fixed-dataset regime is resumable.
+      LOG_WARN("resume is only supported with dataset_size > 0, starting fresh");
+    } else {
+      start_epoch = resume_train_state(options.checkpoint_prefix, options,
+                                       surrogate, opt, shuffle_rng, order,
+                                       stats);
+    }
+  }
+  stats.start_epoch = start_epoch;
+
+  bool stopped = false;
+  for (int epoch = start_epoch; epoch < options.epochs && !stopped; ++epoch) {
     obs::SpanTimer epoch_timer("train.epoch");
     opt.set_learning_rate(options.learning_rate *
                           std::pow(options.lr_decay, static_cast<float>(epoch)));
@@ -133,6 +311,17 @@ TrainStats train_surrogate(CmpSurrogate& surrogate,
     const int steps = dataset.empty() ? options.samples_per_epoch
                                       : static_cast<int>(dataset.size());
     for (int i = 0; i < steps; ++i) {
+      if (options.interrupt &&
+          options.interrupt->load(std::memory_order_relaxed)) {
+        stats.interrupted = true;
+        stopped = true;
+        break;
+      }
+      if (options.deadline.expired()) {
+        stats.timed_out = true;
+        stopped = true;
+        break;
+      }
       const TrainingSample sample =
           dataset.empty()
               ? datagen.generate(options.grid_rows, options.grid_cols)
@@ -152,6 +341,9 @@ TrainStats train_surrogate(CmpSurrogate& surrogate,
         in_batch = 0;
       }
     }
+    // A partially run epoch is discarded: the checkpoint pair on disk still
+    // describes the last *completed* epoch, which is what resume replays.
+    if (stopped) break;
     if (in_batch > 0) {
       opt.step();
       opt.zero_grad();
@@ -163,8 +355,17 @@ TrainStats train_surrogate(CmpSurrogate& surrogate,
     NF_GAUGE_SET("train.epoch_time_s", epoch_timer.stop_seconds());
     if (options.verbose)
       LOG_INFO("epoch %d/%d: loss=%.5f", epoch + 1, options.epochs, epoch_loss);
-    if (!options.checkpoint_prefix.empty())
-      save_surrogate(surrogate, options.checkpoint_prefix);
+    if (!options.checkpoint_prefix.empty()) {
+      Expected<void> saved = save_surrogate(surrogate, options.checkpoint_prefix);
+      if (!saved.ok()) {
+        LOG_WARN("surrogate checkpoint failed: %s",
+                 saved.error().to_string().c_str());
+      } else {
+        save_train_state(options.checkpoint_prefix, options, stats, epoch + 1,
+                         opt, shuffle_rng, order,
+                         surrogate.config().features);
+      }
+    }
   }
   stats.final_loss = stats.epoch_loss.empty() ? 0.0 : stats.epoch_loss.back();
   return stats;

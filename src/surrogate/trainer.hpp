@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "surrogate/cmp_network.hpp"
 #include "surrogate/datagen.hpp"
 
@@ -25,14 +27,30 @@ struct TrainOptions {
   std::uint64_t seed = 1;
   bool verbose = false;
   /// When non-empty, the surrogate is checkpointed (save_surrogate) to this
-  /// prefix after every epoch, so long trainings are interruption-safe.
+  /// prefix after every epoch, plus a `<prefix>.train` optimizer-state
+  /// checkpoint, so long trainings are interruption-safe.
   std::string checkpoint_prefix;
+  /// Resume an interrupted training from `<prefix>.train` (epoch-granular;
+  /// requires checkpoint_prefix and the fixed-dataset regime,
+  /// dataset_size > 0, so the replayed dataset is deterministic).  A
+  /// missing, corrupt, or mismatched checkpoint logs a warning and trains
+  /// from scratch.
+  bool resume = false;
+  /// When set, training stops after the current sample once *interrupt is
+  /// true (e.g. from a SIGINT handler); the last checkpoint stays valid.
+  const std::atomic<bool>* interrupt = nullptr;
+  /// Wall-clock budget; when it expires training stops after the current
+  /// sample and stats.timed_out is set.
+  Deadline deadline;
 };
 
 struct TrainStats {
   std::vector<double> epoch_loss;  ///< mean normalized MSE per epoch
   double final_loss = 0.0;
   int samples_seen = 0;
+  int start_epoch = 0;       ///< first epoch actually run (>0 after resume)
+  bool interrupted = false;  ///< stopped early by options.interrupt
+  bool timed_out = false;    ///< stopped early by options.deadline
 };
 
 /// Pre-training of the UNet (Section IV-F, Eq. 20): minimizes the MSE

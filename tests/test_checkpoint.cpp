@@ -1,0 +1,210 @@
+// Corruption-matrix tests for the NFCP checkpoint container
+// (docs/robustness.md): a checkpoint damaged in any way — truncated at any
+// byte, one byte flipped anywhere — must be rejected as a structured error
+// before any field is restored, never half-parsed or crashed on.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/checkpoint.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace neurfill {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+struct Section {
+  std::string name;
+  std::vector<char> payload;
+};
+
+std::vector<Section> reference_sections() {
+  std::vector<Section> s;
+  ByteWriter meta;
+  meta.u32(1);
+  meta.str("pkb");
+  meta.u64(2048);
+  s.push_back({"meta", meta.take()});
+  ByteWriter vecs;
+  vecs.f64_vec({1.0, 2.5, -3.125, 0.0});
+  vecs.f32_vec({0.5f, -0.25f});
+  s.push_back({"vectors", vecs.take()});
+  ByteWriter tail;
+  tail.i64(-7);
+  tail.f64(3.14159);
+  s.push_back({"tail", tail.take()});
+  return s;
+}
+
+void write_reference(const std::string& path) {
+  CheckpointWriter w;
+  for (const Section& s : reference_sections()) w.add_section(s.name, s.payload);
+  ASSERT_TRUE(w.commit(path).ok());
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// True when the damaged image can no longer silently impersonate the
+/// original: open() rejects it, or the original sections are no longer all
+/// present with their original payloads (a flipped *name* byte yields a
+/// CRC-valid file whose sections simply do not match — the restore path
+/// then rejects it on the missing-section lookup).
+bool corruption_detected(const std::string& path) {
+  Expected<CheckpointReader> reader = CheckpointReader::open(path);
+  if (!reader.ok()) return true;
+  for (const Section& want : reference_sections()) {
+    Expected<const std::vector<char>*> got = reader->section(want.name);
+    if (!got.ok()) return true;
+    if (**got != want.payload) return true;
+  }
+  return false;
+}
+
+TEST(CheckpointContainer, RoundTripPreservesSectionsAndOrder) {
+  const std::string path = temp_path("ckpt_roundtrip.nfcp");
+  write_reference(path);
+  Expected<CheckpointReader> reader = CheckpointReader::open(path);
+  ASSERT_TRUE(reader.ok()) << reader.error().to_string();
+  const std::vector<std::string> want_names = {"meta", "vectors", "tail"};
+  EXPECT_EQ(reader->section_names(), want_names);
+  for (const Section& s : reference_sections()) {
+    ASSERT_TRUE(reader->has_section(s.name));
+    Expected<const std::vector<char>*> payload = reader->section(s.name);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ(**payload, s.payload);
+  }
+  // ByteReader round-trip of one payload.
+  ByteReader r(**reader->section("vectors"));
+  EXPECT_EQ(r.f64_vec(), (std::vector<double>{1.0, 2.5, -3.125, 0.0}));
+  EXPECT_EQ(r.f32_vec(), (std::vector<float>{0.5f, -0.25f}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointContainer, MissingSectionIsStructuredCorruptError) {
+  const std::string path = temp_path("ckpt_missing.nfcp");
+  write_reference(path);
+  Expected<CheckpointReader> reader = CheckpointReader::open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->has_section("nope"));
+  Expected<const std::vector<char>*> payload = reader->section("nope");
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.error().code, ErrorCode::kCorrupt);
+  EXPECT_NE(payload.error().message.find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointContainer, MissingFileIsNotFound) {
+  Expected<CheckpointReader> reader =
+      CheckpointReader::open(temp_path("ckpt_never_written.nfcp"));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.error().code, ErrorCode::kNotFound);
+}
+
+TEST(CheckpointContainer, TruncationMatrixEveryPrefixRejected) {
+  // Truncate the image at *every* byte count shorter than the file —
+  // covering every section boundary and every mid-field cut — and require
+  // a structured rejection each time (never a crash, never a half-restore).
+  const std::string ref = temp_path("ckpt_trunc_ref.nfcp");
+  const std::string cut = temp_path("ckpt_trunc_cut.nfcp");
+  write_reference(ref);
+  const std::vector<char> bytes = slurp(ref);
+  ASSERT_GT(bytes.size(), 12u);
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    spit(cut, std::vector<char>(bytes.begin(), bytes.begin() + n));
+    Expected<CheckpointReader> reader = CheckpointReader::open(cut);
+    ASSERT_FALSE(reader.ok()) << "truncation at byte " << n << " accepted";
+    EXPECT_EQ(reader.error().code, ErrorCode::kCorrupt) << "at byte " << n;
+    EXPECT_NE(reader.error().message.find(cut), std::string::npos);
+  }
+  std::remove(ref.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST(CheckpointContainer, BitFlipMatrixEveryByteDetected) {
+  // Flip one byte at every offset (header fields, section names, lengths,
+  // checksums, payloads) and require the damage to be *detected*: open()
+  // rejects the image, or the original sections no longer all match.
+  const std::string ref = temp_path("ckpt_flip_ref.nfcp");
+  const std::string bad = temp_path("ckpt_flip_bad.nfcp");
+  write_reference(ref);
+  const std::vector<char> bytes = slurp(ref);
+  for (std::size_t off = 0; off < bytes.size(); ++off) {
+    std::vector<char> flipped = bytes;
+    flipped[off] = static_cast<char>(flipped[off] ^ 0x5A);
+    spit(bad, flipped);
+    EXPECT_TRUE(corruption_detected(bad))
+        << "byte flip at offset " << off << " went unnoticed";
+  }
+  std::remove(ref.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(CheckpointContainer, AppendedGarbageRejected) {
+  const std::string path = temp_path("ckpt_garbage.nfcp");
+  write_reference(path);
+  std::vector<char> bytes = slurp(path);
+  bytes.push_back('x');
+  spit(path, bytes);
+  Expected<CheckpointReader> reader = CheckpointReader::open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.error().code, ErrorCode::kCorrupt);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointContainer, FailedCommitLeavesLastGoodReadable) {
+#if defined(NEURFILL_DISABLE_FAULTS)
+  GTEST_SKIP() << "fault injection compiled out (NEURFILL_ENABLE_FAULTS=OFF)";
+#endif
+  // An interrupted commit (rename fault mid-write) must leave the previous
+  // checkpoint fully readable — the resume path then restores from it.
+  const std::string path = temp_path("ckpt_lastgood.nfcp");
+  write_reference(path);
+  const std::vector<char> before = slurp(path);
+
+  fault::disarm_all();
+  fault::arm_hit("io.rename", 1);
+  CheckpointWriter w;
+  ByteWriter b;
+  b.str("newer state");
+  w.add_section("meta", b.take());
+  Expected<void> res = w.commit(path);
+  fault::disarm_all();
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error().code, ErrorCode::kIo);
+
+  EXPECT_EQ(slurp(path), before);  // bitwise-identical last-good image
+  EXPECT_TRUE(CheckpointReader::open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointContainer, Crc32MatchesZlibVectors) {
+  // Known zlib crc32 answers, so external tooling can interoperate.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  const char* h = "hello world";
+  EXPECT_EQ(crc32(h, 11), 0x0D4A1185u);
+}
+
+}  // namespace
+}  // namespace neurfill

@@ -1,11 +1,16 @@
 // End-to-end integration tests: the full NeurFill framework (Fig. 7) on a
 // small synthetic design with a briefly pre-trained surrogate.
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "fill/neurfill.hpp"
 #include "fill/report.hpp"
 #include "geom/designs.hpp"
@@ -196,6 +201,106 @@ TEST_F(NeurFillPipeline, CalibrationAnchorsAndMonotonicity) {
   // the calibrated network must agree on the *direction*.
   ASSERT_LT(t1.sigma, t0.sigma);
   EXPECT_LT(c1.sigma, c0.sigma);
+}
+
+TEST_F(NeurFillPipeline, InterruptedPkbResumesByteIdentical) {
+  // docs/robustness.md resume contract: interrupt a run at its very first
+  // checkpoint opportunity, then --resume; the resumed run's fill must be
+  // bitwise identical to an uninterrupted one.
+  NeurFillOptions opt;
+  opt.sqp.max_iterations = 12;
+  opt.pkb_steps = 6;
+  const FillRunResult full = neurfill_pkb(*problem_, *network_, opt);
+
+  const std::string snap = ::testing::TempDir() + "neurfill_resume.nfcp";
+  std::remove(snap.c_str());
+  NeurFillOptions iopt = opt;
+  iopt.snapshot_path = snap;
+  std::atomic<bool> stop{true};  // pre-set: the first checkpoint hook throws
+  iopt.interrupt = &stop;
+  bool interrupted = false;
+  try {
+    neurfill_pkb(*problem_, *network_, iopt);
+  } catch (const ErrorException& e) {
+    interrupted = e.err.code == ErrorCode::kInterrupted;
+  }
+  ASSERT_TRUE(interrupted);
+
+  NeurFillOptions ropt = opt;
+  ropt.snapshot_path = snap;
+  ropt.resume = true;
+  const FillRunResult resumed = neurfill_pkb(*problem_, *network_, ropt);
+  ASSERT_EQ(resumed.x.size(), full.x.size());
+  for (std::size_t l = 0; l < full.x.size(); ++l)
+    for (std::size_t k = 0; k < full.x[l].size(); ++k)
+      EXPECT_EQ(resumed.x[l][k], full.x[l][k]);  // exact, not approximate
+  EXPECT_EQ(resumed.objective_evaluations, full.objective_evaluations);
+  EXPECT_EQ(resumed.iterations, full.iterations);
+  std::remove(snap.c_str());
+}
+
+TEST_F(NeurFillPipeline, SnapshotRenameFaultsStillResumeFromLastGood) {
+  // Random snapshot commits fail mid-write (rename fault): the run itself
+  // must be unaffected, the snapshot on disk stays the last *good* image,
+  // and resuming from it reproduces the identical fill.
+  NeurFillOptions opt;
+  opt.sqp.max_iterations = 12;
+  opt.pkb_steps = 6;
+  const FillRunResult full = neurfill_pkb(*problem_, *network_, opt);
+
+  const std::string snap = ::testing::TempDir() + "neurfill_lastgood.nfcp";
+  std::remove(snap.c_str());
+  NeurFillOptions fopt = opt;
+  fopt.snapshot_path = snap;
+  fault::disarm_all();
+  fault::arm_prob("io.rename", 0.5, 13);
+  const FillRunResult faulted = neurfill_pkb(*problem_, *network_, fopt);
+  fault::disarm_all();
+  for (std::size_t l = 0; l < full.x.size(); ++l)
+    for (std::size_t k = 0; k < full.x[l].size(); ++k)
+      EXPECT_EQ(faulted.x[l][k], full.x[l][k]);
+
+  // Whatever intermediate state survived on disk, resuming from it lands on
+  // the same answer (a missing snapshot falls back to a clean fresh run).
+  NeurFillOptions ropt = opt;
+  ropt.snapshot_path = snap;
+  ropt.resume = true;
+  const FillRunResult resumed = neurfill_pkb(*problem_, *network_, ropt);
+  for (std::size_t l = 0; l < full.x.size(); ++l)
+    for (std::size_t k = 0; k < full.x[l].size(); ++k)
+      EXPECT_EQ(resumed.x[l][k], full.x[l][k]);
+  std::remove(snap.c_str());
+}
+
+TEST_F(NeurFillPipeline, CorruptSnapshotResumeIsStructuredError) {
+  const std::string snap = ::testing::TempDir() + "neurfill_corrupt.nfcp";
+  std::ofstream(snap, std::ios::binary) << "NFCPgarbage-not-a-checkpoint";
+  NeurFillOptions opt;
+  opt.snapshot_path = snap;
+  opt.resume = true;
+  bool corrupt = false;
+  try {
+    neurfill_pkb(*problem_, *network_, opt);
+  } catch (const ErrorException& e) {
+    corrupt = e.err.code == ErrorCode::kCorrupt;
+  }
+  EXPECT_TRUE(corrupt);
+  std::remove(snap.c_str());
+}
+
+TEST_F(NeurFillPipeline, DeadlineExpiryReturnsBestFeasibleFlagged) {
+  NeurFillOptions opt;
+  opt.sqp.max_iterations = 12;
+  opt.pkb_steps = 6;
+  opt.deadline = Deadline::after_seconds(0.0);  // already expired
+  const FillRunResult res = neurfill_pkb(*problem_, *network_, opt);
+  EXPECT_TRUE(res.timed_out);
+  const Box b = problem_->bounds();
+  const VecD v = problem_->flatten(res.x);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_GE(v[i], -1e-9);
+    EXPECT_LE(v[i], b.hi[i] + 1e-9);
+  }
 }
 
 TEST_F(NeurFillPipeline, SurrogateGradientlessVsGradientAgreement) {

@@ -173,8 +173,8 @@ TEST(Serialize, RoundTripExact) {
   UNet b(cfg, rng);  // different weights (rng advanced)
   const std::string path =
       (std::filesystem::temp_directory_path() / "nf_ckpt_test.bin").string();
-  save_parameters(a, path);
-  load_parameters(b, path);
+  ASSERT_TRUE(save_parameters(a, path).ok());
+  ASSERT_TRUE(load_parameters(b, path).ok());
   const auto pa = a.named_parameters();
   const auto pb = b.named_parameters();
   ASSERT_EQ(pa.size(), pb.size());
@@ -202,20 +202,25 @@ TEST(Serialize, RejectsArchitectureMismatch) {
   UNet b(big, rng);
   const std::string path =
       (std::filesystem::temp_directory_path() / "nf_ckpt_bad.bin").string();
-  save_parameters(a, path);
-  EXPECT_THROW(load_parameters(b, path), std::runtime_error);
+  ASSERT_TRUE(save_parameters(a, path).ok());
+  const Expected<void> res = load_parameters(b, path);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error().code, ErrorCode::kCorrupt);
+  // The structured error names the offending file.
+  EXPECT_NE(res.error().message.find(path), std::string::npos);
   std::remove(path.c_str());
 }
 
-TEST(Serialize, MissingFileThrows) {
+TEST(Serialize, MissingFileIsStructuredError) {
   Rng rng(10);
   UNetConfig cfg;
   cfg.in_channels = 1;
   cfg.base_channels = 4;
   cfg.depth = 1;
   UNet net(cfg, rng);
-  EXPECT_THROW(load_parameters(net, "/nonexistent/path.bin"),
-               std::runtime_error);
+  const Expected<void> res = load_parameters(net, "/nonexistent/path.bin");
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error().code, ErrorCode::kNotFound);
 }
 
 }  // namespace

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Converts a legacy NFW1 weights file to the NFCP checkpoint container.
+
+NFW1 (pre-robustness layout):
+  "NFW1", u32 param_count,
+  per param: u32 name_len, name, u32 ndim, u32 dims[ndim], f32 data[]
+
+NFCP (src/common/checkpoint.hpp):
+  "NFCP", u32 version=1, u32 section_count,
+  per section: u32 name_len, name, u64 payload_len, u32 zlib-crc32(payload),
+               payload = u32 ndim, u32 dims[ndim], f32 data[]
+
+Usage: convert_weights_nfcp.py in.weights out.weights
+"""
+import struct
+import sys
+import zlib
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], "rb") as f:
+        blob = f.read()
+    if blob[:4] != b"NFW1":
+        print("error: input is not an NFW1 file", file=sys.stderr)
+        return 1
+    pos = 4
+    (count,) = struct.unpack_from("<I", blob, pos)
+    pos += 4
+    sections = []
+    for _ in range(count):
+        (name_len,) = struct.unpack_from("<I", blob, pos)
+        pos += 4
+        name = blob[pos : pos + name_len]
+        pos += name_len
+        (ndim,) = struct.unpack_from("<I", blob, pos)
+        dims = struct.unpack_from(f"<{ndim}I", blob, pos + 4)
+        n = 1
+        for d in dims:
+            n *= d
+        payload_len = 4 + 4 * ndim + 4 * n
+        payload = blob[pos : pos + payload_len]
+        pos += payload_len
+        sections.append((name, payload))
+    if pos != len(blob):
+        print(f"error: {len(blob) - pos} trailing bytes", file=sys.stderr)
+        return 1
+    out = [b"NFCP", struct.pack("<II", 1, len(sections))]
+    for name, payload in sections:
+        out.append(struct.pack("<I", len(name)))
+        out.append(name)
+        out.append(struct.pack("<QI", len(payload), zlib.crc32(payload)))
+        out.append(payload)
+    with open(sys.argv[2], "wb") as f:
+        f.write(b"".join(out))
+    print(f"converted {count} parameters -> {sys.argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,13 +3,23 @@
 // Run `nf_fill --help` for the full flag list.  pkb/mm need a pre-trained
 // surrogate (see examples/train_surrogate); with none available a reduced
 // surrogate is trained on the fly.
+//
+// Robustness (docs/robustness.md): `--deadline-s` bounds the wall clock and
+// returns the best feasible fill with a [timed-out] report flag;
+// `--snapshot` checkpoints the optimization periodically and `--resume`
+// continues a killed run to a bitwise-identical result; SIGINT writes a
+// final snapshot and exits 130.  Exit codes: 0 success, 1 runtime/input
+// failure (structured one-line error, no stack trace), 2 usage error.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "fill/neurfill.hpp"
 #include "fill/report.hpp"
 #include "geom/glf_io.hpp"
@@ -21,33 +31,47 @@ using namespace neurfill;
 
 namespace {
 
+std::atomic<bool> g_interrupt{false};
+void handle_sigint(int) { g_interrupt.store(true); }
+
 std::shared_ptr<CmpSurrogate> obtain_surrogate(const std::string& prefix,
                                                const WindowExtraction& ext,
                                                const CmpSimulator& sim) {
-  try {
-    return load_surrogate(prefix);
-  } catch (const std::exception&) {
-    std::fprintf(stderr,
-                 "nf_fill: no surrogate at '%s'; training a reduced one\n",
-                 prefix.c_str());
-    SurrogateConfig cfg;
-    cfg.unet.base_channels = 8;
-    cfg.unet.depth = 2;
-    auto s = std::make_shared<CmpSurrogate>(cfg, 5);
-    TrainingDataGenerator gen({ext}, sim, 17, 4);
-    TrainOptions opt;
-    opt.epochs = 6;
-    opt.dataset_size = 60;
-    opt.grid_rows = ext.rows;
-    opt.grid_cols = ext.cols;
-    train_surrogate(*s, gen, opt);
-    return s;
-  }
+  Expected<std::shared_ptr<CmpSurrogate>> loaded = load_surrogate(prefix);
+  if (loaded.ok()) return std::move(*loaded);
+  // A *missing* artifact has the documented quick-train fallback; a present
+  // but corrupt/unreadable one is a hard input error (exit 1, no trace).
+  if (loaded.error().code != ErrorCode::kNotFound)
+    throw ErrorException(loaded.error());
+  std::fprintf(stderr,
+               "nf_fill: no surrogate at '%s'; training a reduced one\n",
+               prefix.c_str());
+  SurrogateConfig cfg;
+  cfg.unet.base_channels = 8;
+  cfg.unet.depth = 2;
+  auto s = std::make_shared<CmpSurrogate>(cfg, 5);
+  TrainingDataGenerator gen({ext}, sim, 17, 4);
+  TrainOptions opt;
+  opt.epochs = 6;
+  opt.dataset_size = 60;
+  opt.grid_rows = ext.rows;
+  opt.grid_cols = ext.cols;
+  train_surrogate(*s, gen, opt);
+  return s;
 }
+
+struct RunFlags {
+  bool report = false;
+  bool drc = false;
+  double deadline_s = 0.0;  ///< 0 = no deadline
+  std::string snapshot_path;
+  int snapshot_every = 1;
+  bool resume = false;
+};
 
 int run(const std::string& in_path, const std::string& out_path,
         const std::string& method, const std::string& surrogate_prefix,
-        const ExtractOptions& eopt, bool report, bool drc) {
+        const ExtractOptions& eopt, const RunFlags& flags) {
   Layout layout = read_glf_file(in_path);
   const WindowExtraction ext = extract_windows(layout, eopt);
   CmpProcessParams params;
@@ -56,24 +80,38 @@ int run(const std::string& in_path, const std::string& out_path,
   const ScoreCoefficients coeffs = make_coefficients(layout, ext, sim);
   FillProblem problem(ext, sim, coeffs);
 
+  const Deadline deadline = flags.deadline_s > 0.0
+                                ? Deadline::after_seconds(flags.deadline_s)
+                                : Deadline();
+
   FillRunResult result;
   if (method == "lin") {
     result = lin_rule_fill(problem);
   } else if (method == "tao") {
-    result = tao_rule_sqp(problem);
+    TaoOptions topt;
+    topt.sqp.deadline = deadline;
+    result = tao_rule_sqp(problem, topt);
   } else if (method == "cai") {
-    result = cai_model_fill(problem);
+    CaiOptions copt;
+    copt.sqp.deadline = deadline;
+    result = cai_model_fill(problem, copt);
   } else {  // pkb or mm: the parser only admits the five known methods
     auto surrogate = obtain_surrogate(surrogate_prefix, ext, sim);
     CmpNetwork network(surrogate, ext, coeffs);
     calibrate_network(network, problem);
-    result = method == "pkb" ? neurfill_pkb(problem, network)
-                             : neurfill_mm(problem, network);
+    NeurFillOptions nopt;
+    nopt.deadline = deadline;
+    nopt.snapshot_path = flags.snapshot_path;
+    nopt.snapshot_every = flags.snapshot_every;
+    nopt.resume = flags.resume;
+    nopt.interrupt = &g_interrupt;
+    result = method == "pkb" ? neurfill_pkb(problem, network, nopt)
+                             : neurfill_mm(problem, network, nopt);
   }
 
   const Layout original = layout;  // scoring must see the pre-fill design
   std::size_t dummies = 0;
-  if (drc) {
+  if (flags.drc) {
     const DrcInsertStats stats = insert_dummies_drc(layout, ext, result.x);
     dummies = stats.placed;
     std::fprintf(stderr,
@@ -84,10 +122,12 @@ int run(const std::string& in_path, const std::string& out_path,
     dummies = insert_dummies(layout, ext, result.x);
   }
   write_glf_file(out_path, layout);
-  std::fprintf(stderr, "%s: inserted %zu dummies in %.1fs (%ld evaluations)\n",
+  std::fprintf(stderr, "%s: inserted %zu dummies in %.1fs (%ld evaluations)%s%s\n",
                result.method.c_str(), dummies, result.runtime_s,
-               result.objective_evaluations);
-  if (report) {
+               result.objective_evaluations,
+               result.timed_out ? " [timed-out]" : "",
+               result.degraded ? " [degraded]" : "");
+  if (flags.report) {
     const MethodReport rep = score_fill_result(problem, original, result);
     print_table3_header(std::cout);
     print_table3_row(std::cout, layout.name, rep);
@@ -102,8 +142,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string method = "pkb";
   std::string surrogate_prefix = "data/unet_cmp";
-  bool report = false;
-  bool drc = false;
+  RunFlags flags;
   ExtractOptions eopt;
   double window_um = eopt.window_um;
   CommonToolOptions common;
@@ -120,8 +159,24 @@ int main(int argc, char** argv) {
   parser.add_double("--window", "UM", "window edge in um (default 100)",
                     &window_um);
   parser.add_flag("--report", "print the Table-III score row for the result",
-                  &report);
-  parser.add_flag("--drc", "insert dummies with design-rule checking", &drc);
+                  &flags.report);
+  parser.add_flag("--drc", "insert dummies with design-rule checking",
+                  &flags.drc);
+  parser.add_double("--deadline-s", "SEC",
+                    "wall-clock budget; expiry returns the best feasible "
+                    "fill flagged [timed-out] (default: none)",
+                    &flags.deadline_s);
+  parser.add_string("--snapshot", "PATH",
+                    "checkpoint the pkb/mm optimization state to PATH "
+                    "(atomic, CRC-checksummed)",
+                    &flags.snapshot_path);
+  parser.add_int("--snapshot-every", "N",
+                 "SQP iterations between mid-start snapshots (default 1)",
+                 &flags.snapshot_every);
+  parser.add_flag("--resume",
+                  "continue from --snapshot PATH; the resumed run's fill is "
+                  "bitwise identical to an uninterrupted one",
+                  &flags.resume);
   add_common_options(parser, &common);
   switch (parser.parse(argc, argv, std::cout, std::cerr)) {
     case ArgParser::Result::kHelp:
@@ -132,13 +187,33 @@ int main(int argc, char** argv) {
       break;
   }
   if (!apply_common_options(common, std::cerr)) return 2;
+  if (flags.resume && flags.snapshot_path.empty()) {
+    std::fprintf(stderr, "nf_fill: --resume requires --snapshot PATH\n");
+    return 2;
+  }
+  if (flags.snapshot_every < 1) {
+    std::fprintf(stderr, "nf_fill: --snapshot-every must be >= 1\n");
+    return 2;
+  }
+  if (!flags.snapshot_path.empty() && method != "pkb" && method != "mm")
+    std::fprintf(stderr,
+                 "nf_fill: note: --snapshot/--resume only apply to pkb/mm\n");
   eopt.window_um = window_um;
+  std::signal(SIGINT, handle_sigint);
   std::fprintf(stderr, "nf_fill: method=%s threads=%d\n", method.c_str(),
                runtime::thread_count());
 
   int rc = 0;
   try {
-    rc = run(in_path, out_path, method, surrogate_prefix, eopt, report, drc);
+    rc = run(in_path, out_path, method, surrogate_prefix, eopt, flags);
+  } catch (const ErrorException& e) {
+    if (e.err.code == ErrorCode::kInterrupted) {
+      std::fprintf(stderr, "nf_fill: %s\n", e.err.message.c_str());
+      rc = 130;
+    } else {
+      std::fprintf(stderr, "error: %s\n", e.err.to_string().c_str());
+      rc = 1;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;

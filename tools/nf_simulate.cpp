@@ -21,10 +21,12 @@ using namespace neurfill;
 namespace {
 
 int run(const std::string& path, const std::string& out_path,
-        const ExtractOptions& eopt, const CmpProcessParams& params) {
+        const ExtractOptions& eopt, const CmpProcessParams& params,
+        double deadline_s) {
   const Layout layout = read_glf_file(path);
   const WindowExtraction ext = extract_windows(layout, eopt);
   CmpSimulator sim(params);
+  if (deadline_s > 0.0) sim.set_deadline(Deadline::after_seconds(deadline_s));
   const auto results = sim.simulate(ext, {});
 
   std::ofstream file;
@@ -55,6 +57,14 @@ int run(const std::string& path, const std::string& out_path,
                "sigma=%.1fA^2 sigma*=%.1fA outliers=%.2fA\n",
                results.size(), ext.rows, ext.cols, m.delta_h, m.sigma,
                m.sigma_star, m.outliers);
+  const SimulatorHealth& health = sim.health();
+  if (health.any_degraded())
+    std::fprintf(stderr,
+                 "[degraded] contact solves: %ld retried, %ld fell back, "
+                 "%ld poisoned (docs/robustness.md)\n",
+                 health.contact_retries.load(),
+                 health.contact_degraded.load(),
+                 health.contact_poisoned.load());
   return 0;
 }
 
@@ -64,6 +74,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string out_path;
   std::string pressure_model = "asperity";
+  double deadline_s = 0.0;
   ExtractOptions eopt;
   double window_um = eopt.window_um;
   CommonToolOptions common;
@@ -78,6 +89,10 @@ int main(int argc, char** argv) {
                     &out_path);
   parser.add_choice("--pressure-model", {"asperity", "elastic"},
                     "pad pressure model (default asperity)", &pressure_model);
+  parser.add_double("--deadline-s", "SEC",
+                    "wall-clock budget for the simulation; expiry is a "
+                    "structured error, exit 1 (default: none)",
+                    &deadline_s);
   add_common_options(parser, &common);
   switch (parser.parse(argc, argv, std::cout, std::cerr)) {
     case ArgParser::Result::kHelp:
@@ -98,7 +113,7 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   try {
-    rc = run(path, out_path, eopt, params);
+    rc = run(path, out_path, eopt, params, deadline_s);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
