@@ -1,0 +1,38 @@
+# Header self-containment check (the header-self-containment contract in
+# docs/static_analysis.md).
+#
+# Generates one translation unit per public header under src/ — each TU is
+# just `#include "<header>"` — and compiles them all into an OBJECT library.
+# A header that silently leans on whatever its usual includer happened to
+# pull in first fails this target, so "compiles in isolation" becomes a
+# build-enforced invariant instead of a convention.  The TUs are only
+# compiled, never linked, so headers declaring out-of-line symbols are fine.
+#
+# Usage (top-level CMakeLists.txt):
+#   include(HeaderSelfCheck)
+#   neurfill_add_header_self_check(nf_headercheck)
+
+function(neurfill_add_header_self_check target)
+  file(GLOB_RECURSE _nf_headers RELATIVE ${CMAKE_SOURCE_DIR}/src
+       CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/src/*.hpp)
+  set(_nf_tus)
+  foreach(_nf_header IN LISTS _nf_headers)
+    string(REPLACE "/" "_" _nf_stem ${_nf_header})
+    string(REGEX REPLACE "\\.hpp$" "" _nf_stem ${_nf_stem})
+    set(_nf_tu ${CMAKE_BINARY_DIR}/headercheck/${_nf_stem}.cpp)
+    set(_nf_body "#include \"${_nf_header}\"  // IWYU pragma: keep\n")
+    # Rewrite the stub only when its content changes so an untouched
+    # configure run does not dirty every headercheck object.
+    set(_nf_existing "")
+    if(EXISTS ${_nf_tu})
+      file(READ ${_nf_tu} _nf_existing)
+    endif()
+    if(NOT _nf_existing STREQUAL _nf_body)
+      file(WRITE ${_nf_tu} ${_nf_body})
+    endif()
+    list(APPEND _nf_tus ${_nf_tu})
+  endforeach()
+  add_library(${target} OBJECT EXCLUDE_FROM_ALL ${_nf_tus})
+  target_include_directories(${target} PRIVATE ${CMAKE_SOURCE_DIR}/src)
+  target_link_libraries(${target} PRIVATE Threads::Threads)
+endfunction()

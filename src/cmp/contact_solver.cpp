@@ -112,7 +112,7 @@ GridD ElasticContactSolver::solve(const GridD& height,
   throw ErrorException(res.error());
 }
 
-Expected<GridD> ElasticContactSolver::try_solve(const GridD& height,
+[[nodiscard]] Expected<GridD> ElasticContactSolver::try_solve(const GridD& height,
                                                 double nominal_pressure,
                                                 ContactDiag* diag) const {
   if (height.rows() != rows_ || height.cols() != cols_)

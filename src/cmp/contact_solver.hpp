@@ -71,7 +71,7 @@ class ElasticContactSolver {
   /// trail plus the best and final iterates so the caller can degrade
   /// gracefully.  Fault sites: contact.stall (suppresses convergence),
   /// contact.nan (poisons the deflection field).
-  Expected<GridD> try_solve(const GridD& height, double nominal_pressure,
+  [[nodiscard]] Expected<GridD> try_solve(const GridD& height, double nominal_pressure,
                             ContactDiag* diag = nullptr) const;
 
   /// Deflection field for a given pressure (exposed for testing).

@@ -1,9 +1,10 @@
 #include "cmp/pad_model.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace neurfill {
 
@@ -34,7 +35,7 @@ GridD asperity_pressure(const GridD& smoothed_height, double lambda,
                         double nominal_pressure) {
   if (lambda <= 0.0)
     throw std::invalid_argument("asperity_pressure: lambda must be positive");
-  assert(!smoothed_height.empty());
+  NF_CHECK(!smoothed_height.empty(), "asperity_pressure: empty height grid");
   const double zmax =
       *std::max_element(smoothed_height.begin(), smoothed_height.end());
   GridD p(smoothed_height.rows(), smoothed_height.cols(), 0.0);

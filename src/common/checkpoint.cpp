@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 #include <new>
+#include <system_error>
 
 #include "common/check.hpp"
 #include "common/fault.hpp"
@@ -19,7 +20,9 @@ constexpr char kMagic[4] = {'N', 'F', 'C', 'P'};
 constexpr std::uint32_t kVersion = 1;
 
 std::string errno_text() {
-  return std::string(std::strerror(errno));
+  // std::strerror shares a static buffer across threads; the
+  // error_code route is reentrant.
+  return std::error_code(errno, std::generic_category()).message();
 }
 
 /// Formats "%08x" without dragging in <sstream>/<iomanip>.
@@ -101,7 +104,7 @@ void CheckpointWriter::add_section(const std::string& name,
   sections_.emplace_back(name, std::move(payload));
 }
 
-Expected<void> CheckpointWriter::commit(const std::string& path) const {
+[[nodiscard]] Expected<void> CheckpointWriter::commit(const std::string& path) const {
   // Assemble the complete image in memory first: the on-disk file is written
   // in one pass, so a crash can only produce a missing or torn *temp* file,
   // never a torn checkpoint.
@@ -139,7 +142,7 @@ Expected<void> CheckpointWriter::commit(const std::string& path) const {
   return Expected<void>();
 }
 
-Expected<CheckpointReader> CheckpointReader::open(const std::string& path) {
+[[nodiscard]] Expected<CheckpointReader> CheckpointReader::open(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     if (errno == ENOENT)
@@ -225,7 +228,7 @@ bool CheckpointReader::has_section(const std::string& name) const {
   return false;
 }
 
-Expected<const std::vector<char>*> CheckpointReader::section(
+[[nodiscard]] Expected<const std::vector<char>*> CheckpointReader::section(
     const std::string& name) const {
   for (const auto& s : sections_)
     if (s.first == name) return &s.second;

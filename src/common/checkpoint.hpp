@@ -138,7 +138,7 @@ class CheckpointWriter {
   void add_section(const std::string& name, std::vector<char> payload);
 
   /// Atomic write-to-temp + fsync + rename + directory fsync.
-  Expected<void> commit(const std::string& path) const;
+  [[nodiscard]] Expected<void> commit(const std::string& path) const;
 
  private:
   std::vector<std::pair<std::string, std::vector<char>>> sections_;
@@ -149,12 +149,12 @@ class CheckpointWriter {
 /// through a restore.
 class CheckpointReader {
  public:
-  static Expected<CheckpointReader> open(const std::string& path);
+  [[nodiscard]] static Expected<CheckpointReader> open(const std::string& path);
 
   bool has_section(const std::string& name) const;
   /// The payload of `name`; kCorrupt error naming the file when absent
   /// (an absent section in a validated file means a format mismatch).
-  Expected<const std::vector<char>*> section(const std::string& name) const;
+  [[nodiscard]] Expected<const std::vector<char>*> section(const std::string& name) const;
   const std::vector<std::string>& section_names() const { return names_; }
   const std::string& path() const { return path_; }
 

@@ -155,10 +155,11 @@ bool configure(const std::string& spec, std::uint64_t seed) {
 
 void configure_from_env() {
   if (g_env_loaded.exchange(true)) return;
-  const char* spec = std::getenv("NEURFILL_FAULTS");
+  // Read once while single-threaded, during fault-plan initialization.
+  const char* spec = std::getenv("NEURFILL_FAULTS");  // NOLINT(concurrency-mt-unsafe)
   if (!spec || !*spec) return;
   std::uint64_t seed = 0;
-  if (const char* s = std::getenv("NEURFILL_FAULTS_SEED"))
+  if (const char* s = std::getenv("NEURFILL_FAULTS_SEED"))  // NOLINT(concurrency-mt-unsafe)
     seed = std::strtoull(s, nullptr, 10);
   configure(spec, seed);
 }

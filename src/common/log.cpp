@@ -21,6 +21,8 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
+  // The LOG_* sink itself — the one place library code may fprintf.
+  // nf-lint: allow(contract-style)
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -1,9 +1,10 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "common/check.hpp"
 
 namespace neurfill {
 
@@ -39,7 +40,7 @@ Summary summarize(std::span<const double> values) {
 Summary summarize(std::span<const float> values) { return summarize_impl(values); }
 
 double percentile(std::vector<double> values, double p) {
-  assert(!values.empty());
+  NF_CHECK(!values.empty(), "percentile of an empty sample");
   std::sort(values.begin(), values.end());
   const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
@@ -50,7 +51,8 @@ double percentile(std::vector<double> values, double p) {
 
 Histogram::Histogram(double lo_, double hi_, std::size_t bins)
     : lo(lo_), hi(hi_), counts(bins, 0) {
-  assert(bins > 0 && hi_ > lo_);
+  NF_CHECK(bins > 0 && hi_ > lo_, "Histogram: bins=%zu lo=%g hi=%g", bins,
+           lo_, hi_);
 }
 
 void Histogram::add(double v) {

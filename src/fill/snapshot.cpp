@@ -22,7 +22,7 @@ Error corrupt(const std::string& path, const std::string& what) {
 
 }  // namespace
 
-Expected<void> save_fill_snapshot(const FillSnapshot& snap,
+[[nodiscard]] Expected<void> save_fill_snapshot(const FillSnapshot& snap,
                                   const std::string& path) {
   CheckpointWriter w;
   ByteWriter meta;
@@ -72,7 +72,7 @@ Expected<void> save_fill_snapshot(const FillSnapshot& snap,
   return w.commit(path);
 }
 
-Expected<FillSnapshot> load_fill_snapshot(const std::string& path) {
+[[nodiscard]] Expected<FillSnapshot> load_fill_snapshot(const std::string& path) {
   Expected<CheckpointReader> reader = CheckpointReader::open(path);
   if (!reader.ok()) return reader.error();
   for (const char* name : {"meta", "starts", "completed"})

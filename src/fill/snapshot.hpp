@@ -27,10 +27,10 @@ struct FillSnapshot {
 };
 
 /// Atomic (write-temp + rename), CRC-checksummed NFCP write.
-Expected<void> save_fill_snapshot(const FillSnapshot& snap,
+[[nodiscard]] Expected<void> save_fill_snapshot(const FillSnapshot& snap,
                                   const std::string& path);
 
 /// kNotFound when absent, kCorrupt (naming file/section) on damage.
-Expected<FillSnapshot> load_fill_snapshot(const std::string& path);
+[[nodiscard]] Expected<FillSnapshot> load_fill_snapshot(const std::string& path);
 
 }  // namespace neurfill

@@ -1,7 +1,7 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.hpp"
 
 namespace neurfill {
 
@@ -14,7 +14,8 @@ struct Rect {
   Rect() = default;
   Rect(double x0_, double y0_, double x1_, double y1_)
       : x0(x0_), y0(y0_), x1(x1_), y1(y1_) {
-    assert(x1 >= x0 && y1 >= y0);
+    NF_CHECK(x1 >= x0 && y1 >= y0, "Rect: inverted extent [%g,%g)x[%g,%g)",
+             x0, x1, y0, y1);
   }
 
   double width() const { return x1 - x0; }

@@ -1,5 +1,6 @@
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -9,10 +10,23 @@
 #include "nn/ops.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace neurfill::nn {
 
 namespace {
+
+/// Convolutions whose per-sample unfold matrix (C*kh*kw rows x Hout*Wout
+/// columns) is at or below this many elements run entirely inside a runtime
+/// SerialRegion — im2col/col2im, the packed GEMM, and the bias loops all
+/// degrade to inline blocks.  Same treatment as the contact solver's
+/// kSerialSolveCells (PR 4): a UNet-encoder-sized layer (16ch 64x64, k3 —
+/// the bench shape) splits each sub-loop into blocks of a few hundred
+/// microseconds, and at 4 threads the per-loop fork/join handshakes cost
+/// more than the parallelism saves (conv2d_fwd_speedup_4t was 0.82 in the
+/// old BENCH_runtime.json).  The primitives are bitwise-deterministic, so
+/// forcing serial execution changes scheduling only, never results.
+constexpr std::size_t kSerialConvUnfoldElems = 1u << 20;
 
 /// Output extent / unfold-geometry agreement shared by im2col and col2im.
 /// The callers derive (Hout, Wout) from (H, W, kernel, stride, pad); a
@@ -180,7 +194,11 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   // zero allocations in steady state, and 64-byte alignment feeds the
   // packed GEMM full cache lines.
   static thread_local AlignedBuffer<float> tls_col;
-  float* col = tls_col.ensure(static_cast<std::size_t>(K) * cols);
+  const std::size_t unfold_elems = static_cast<std::size_t>(K) * cols;
+  float* col = tls_col.ensure(unfold_elems);
+  // Small layers fork no jobs at all (see kSerialConvUnfoldElems above).
+  std::optional<runtime::ThreadPool::SerialRegion> serial;
+  if (unfold_elems <= kSerialConvUnfoldElems) serial.emplace();
   const std::size_t bias_grain = runtime::grain_for_cost(
       1.0 * static_cast<double>(cols), static_cast<std::size_t>(O));
   for (int n = 0; n < N; ++n) {
@@ -213,10 +231,15 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
         // live for the weight gradient.
         static thread_local AlignedBuffer<float> tls_colbuf;
         static thread_local AlignedBuffer<float> tls_dcol;
-        float* colbuf = tls_colbuf.ensure(static_cast<std::size_t>(K) * cols);
-        float* dcol = x.requires_grad()
-                          ? tls_dcol.ensure(static_cast<std::size_t>(K) * cols)
-                          : nullptr;
+        const std::size_t bwd_unfold_elems =
+            static_cast<std::size_t>(K) * cols;
+        float* colbuf = tls_colbuf.ensure(bwd_unfold_elems);
+        float* dcol = x.requires_grad() ? tls_dcol.ensure(bwd_unfold_elems)
+                                        : nullptr;
+        // Same serial threshold as the forward pass: the backward unfolds
+        // and GEMMs are the same shapes, plus one col2im scatter.
+        std::optional<runtime::ThreadPool::SerialRegion> bwd_serial;
+        if (bwd_unfold_elems <= kSerialConvUnfoldElems) bwd_serial.emplace();
         const std::size_t gb_grain = runtime::grain_for_cost(
             1.0 * static_cast<double>(cols), static_cast<std::size_t>(O));
         for (int n = 0; n < N; ++n) {

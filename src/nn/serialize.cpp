@@ -15,7 +15,7 @@ Error format_error(const std::string& path, const std::string& what) {
 
 }  // namespace
 
-Expected<void> save_parameters(const Module& module, const std::string& path) {
+[[nodiscard]] Expected<void> save_parameters(const Module& module, const std::string& path) {
   CheckpointWriter writer;
   for (const auto& [name, t] : module.named_parameters()) {
     ByteWriter payload;
@@ -27,7 +27,7 @@ Expected<void> save_parameters(const Module& module, const std::string& path) {
   return writer.commit(path);
 }
 
-Expected<void> load_parameters(Module& module, const std::string& path) {
+[[nodiscard]] Expected<void> load_parameters(Module& module, const std::string& path) {
   Expected<CheckpointReader> reader = CheckpointReader::open(path);
   if (!reader.ok()) return reader.error();
   auto params = module.named_parameters();

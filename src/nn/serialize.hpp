@@ -17,7 +17,7 @@ namespace neurfill::nn {
 /// truncation, checksum mismatch, architecture mismatch — comes back as a
 /// structured nf::Error naming the file, the section, and (for corruption)
 /// the expected vs. actual checksum; nothing throws and nothing aborts.
-Expected<void> save_parameters(const Module& module, const std::string& path);
-Expected<void> load_parameters(Module& module, const std::string& path);
+[[nodiscard]] Expected<void> save_parameters(const Module& module, const std::string& path);
+[[nodiscard]] Expected<void> load_parameters(Module& module, const std::string& path);
 
 }  // namespace neurfill::nn

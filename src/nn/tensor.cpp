@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_set>
+#include <unordered_set>  // nf-lint: allow(determinism) — membership only
 
 #include "common/check.hpp"
 
@@ -98,6 +98,10 @@ void Tensor::backward() {
 
   // Iterative DFS topological sort over the tape.
   std::vector<detail::TensorImpl*> order;
+  // Membership-only visited set: its iteration order is never observed,
+  // so hash ordering cannot leak into results.  Traversal order comes
+  // from the deterministic `parents` vectors.
+  // nf-lint: allow(determinism)
   std::unordered_set<detail::TensorImpl*> visited;
   std::vector<std::pair<detail::TensorImpl*, std::size_t>> stack;
   stack.emplace_back(impl_.get(), 0);

@@ -15,7 +15,8 @@ namespace {
 /// positive integer; otherwise the hardware concurrency (1 on a 1-core
 /// host, which makes every primitive degrade to inline serial execution).
 int env_default_threads() {
-  if (const char* env = std::getenv("NEURFILL_THREADS")) {
+  // Read once while single-threaded, before the pool exists.
+  if (const char* env = std::getenv("NEURFILL_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
     const int v = std::atoi(env);
     if (v >= 1) return v;
   }

@@ -69,7 +69,7 @@ std::vector<nn::Tensor> CmpSurrogate::forward_heights(
   return heights;
 }
 
-Expected<void> save_surrogate(const CmpSurrogate& s,
+[[nodiscard]] Expected<void> save_surrogate(const CmpSurrogate& s,
                               const std::string& path_prefix) {
   const std::string meta_path = path_prefix + ".meta";
   std::ofstream meta(meta_path);
@@ -92,7 +92,7 @@ Expected<void> save_surrogate(const CmpSurrogate& s,
   return nn::save_parameters(s.unet(), path_prefix + ".weights");
 }
 
-Expected<std::shared_ptr<CmpSurrogate>> load_surrogate(
+[[nodiscard]] Expected<std::shared_ptr<CmpSurrogate>> load_surrogate(
     const std::string& path_prefix) {
   const std::string meta_path = path_prefix + ".meta";
   std::ifstream meta(meta_path);

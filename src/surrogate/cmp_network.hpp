@@ -73,9 +73,9 @@ class CmpSurrogate {
 /// back as structured nf::Error values naming the file and, for weight
 /// corruption, the failing section and expected-vs-actual checksum — tools
 /// print error.to_string() and exit 1, no stack trace.
-Expected<void> save_surrogate(const CmpSurrogate& s,
+[[nodiscard]] Expected<void> save_surrogate(const CmpSurrogate& s,
                               const std::string& path_prefix);
-Expected<std::shared_ptr<CmpSurrogate>> load_surrogate(
+[[nodiscard]] Expected<std::shared_ptr<CmpSurrogate>> load_surrogate(
     const std::string& path_prefix);
 
 /// The CMP neural network of Fig. 4, bound to one extraction and one score

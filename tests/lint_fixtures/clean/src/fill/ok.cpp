@@ -1,0 +1,3 @@
+#include "fill/ok.hpp"
+
+bool clean_fault_site() { return NF_FAULT("clean.ok"); }

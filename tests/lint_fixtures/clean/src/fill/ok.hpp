@@ -1,0 +1,3 @@
+#pragma once
+
+bool clean_fault_site();

@@ -1,0 +1,7 @@
+// Contract-style violations in library code.
+
+void report_and_die(int code) {
+  assert(code != 0);          // LINT[contract-style]
+  printf("code=%d\n", code);  // LINT[contract-style]
+  std::abort();               // LINT[contract-style]
+}

@@ -1,0 +1,18 @@
+// Non-deterministic constructs in a numeric subsystem (src/cmp/): every
+// marked line must be flagged, every unmarked line must not.
+
+void numeric_entry(Fake& c) {
+  int seed = rand();                 // LINT[determinism]
+  srand(42);                         // LINT[determinism]
+  long t = time(nullptr);            // LINT[determinism]
+  std::mt19937 gen(7);               // LINT[determinism]
+  std::thread worker;                // LINT[determinism]
+  std::unordered_map<int, int> m;    // LINT[determinism]
+  c.time(0);      // member access: some other class's time(), fine
+  fake::rand();   // non-std qualifier: fine
+  timer();        // 'time' must match exact identifiers only
+  (void)seed;
+  (void)t;
+  (void)gen;
+  (void)m;
+}

@@ -1,0 +1,12 @@
+// Suppression behavior: every violation below carries an allow() and must
+// produce no finding.  Trailing-comment, comment-above, and multi-rule
+// forms are all exercised.
+
+void suppressed_entry() {
+  int a = rand();  // nf-lint: allow(determinism)
+  // nf-lint: allow(determinism)
+  srand(7);
+  // nf-lint: allow(determinism, contract-style)
+  assert(a != 0);
+  (void)a;
+}

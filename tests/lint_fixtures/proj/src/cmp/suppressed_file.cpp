@@ -1,0 +1,10 @@
+// File-wide suppression: determinism findings anywhere in this file are
+// waived, but other rules still apply.
+// nf-lint: allow-file(determinism)
+
+void noisy() {
+  srand(1);
+  int x = rand();
+  assert(x != 0);  // LINT[contract-style]
+  (void)x;
+}

@@ -1,0 +1,13 @@
+// Trace-hygiene violations: runtime-built names, duplicate span names, and
+// one name shared across instrument kinds.
+
+void traced(const char* dynamic_name) {
+  NF_TRACE_SPAN(dynamic_name);               // LINT[trace-hygiene]
+  NF_TRACE_SPAN("fixture.same_span");
+  NF_TRACE_SPAN("fixture.same_span");        // LINT[trace-hygiene]
+  NF_COUNTER_ADD("fixture.same_span", 1);    // LINT[trace-hygiene]
+  NF_COUNTER_ADD("fixture.items", 1);
+  NF_COUNTER_ADD("fixture.items", 2);  // same-kind counter reuse is fine
+  obs::SpanTimer timer("fixture.timer");
+  NF_GAUGE_SET("fixture.level", 3.0);
+}

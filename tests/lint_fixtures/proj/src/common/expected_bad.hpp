@@ -1,0 +1,17 @@
+#pragma once
+
+// Expected-returning declarations with and without [[nodiscard]].
+
+namespace neurfill {
+
+nf::Expected<int> parse_widget(const char* text);  // LINT[expected-discard]
+
+[[nodiscard]] nf::Expected<int> parse_gadget(const char* text);
+
+class WidgetStore {
+ public:
+  Expected<void> persist(const char* path);  // LINT[expected-discard]
+  [[nodiscard]] Expected<void> open(const char* path);
+};
+
+}  // namespace neurfill

@@ -1,0 +1,19 @@
+#include "common/expected_bad.hpp"
+
+// Call-site discard detection.  `file.open(...)` must NOT be flagged:
+// `open` is too common a member name to attribute from an unqualified call
+// site (it is std::ofstream here, not WidgetStore).
+
+namespace neurfill {
+
+void use_widgets(WidgetStore& store, std::ofstream& file) {
+  parse_widget("w");            // LINT[expected-discard]
+  auto v = parse_widget("w");
+  (void)parse_gadget("g");
+  store.persist("/tmp/w");      // LINT[expected-discard]
+  WidgetStore::open("/tmp/w");  // LINT[expected-discard]
+  file.open("/tmp/other");
+  (void)v;
+}
+
+}  // namespace neurfill

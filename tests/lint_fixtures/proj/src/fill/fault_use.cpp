@@ -1,0 +1,8 @@
+// Fault-catalog cross-check: demo.ok and demo.tool are catalogued,
+// demo.unknown is not, and the catalog's demo.stale row has no code site.
+
+bool fault_sites() {
+  if (NF_FAULT("demo.ok")) return true;
+  if (NF_FAULT("demo.unknown")) return true;  // LINT[fault-catalog]
+  return false;
+}

@@ -1,0 +1,4 @@
+// LINT[pragma-once] — this header deliberately lacks the guard.
+struct BareHeader {
+  int x = 0;
+};

@@ -1,0 +1,8 @@
+// Tools may printf (contract-style is src/-only), but their NF_FAULT sites
+// still count toward the catalog.
+
+int main() {
+  printf("hello\n");
+  if (NF_FAULT("demo.tool")) return 1;
+  return 0;
+}

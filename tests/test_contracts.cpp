@@ -8,8 +8,11 @@
 #include <limits>
 #include <vector>
 
+#include "cmp/pad_model.hpp"
 #include "common/check.hpp"
 #include "common/grid2d.hpp"
+#include "common/stats.hpp"
+#include "geom/rect.hpp"
 #include "nn/tensor.hpp"
 
 namespace {
@@ -94,6 +97,28 @@ TEST(ContractsDeathTest, TensorRejectsDimOutOfRange) {
 TEST(ContractsDeathTest, UndefinedTensorAborts) {
   const neurfill::nn::Tensor t;
   EXPECT_DEATH(t.numel(), "undefined tensor");
+}
+
+// Regression tests for invariants that used to be plain assert() — which
+// -DNDEBUG silently compiled out of every Release build — and are NF_CHECK
+// contracts since the contract-style lint sweep (docs/static_analysis.md).
+
+TEST(ContractsDeathTest, RectRejectsInvertedExtent) {
+  EXPECT_DEATH(neurfill::Rect(1.0, 0.0, 0.0, 2.0), "inverted extent");
+}
+
+TEST(ContractsDeathTest, PercentileRejectsEmptySample) {
+  EXPECT_DEATH(neurfill::percentile({}, 50.0), "empty sample");
+}
+
+TEST(ContractsDeathTest, HistogramRejectsZeroBinsAndInvertedRange) {
+  EXPECT_DEATH(neurfill::Histogram(0.0, 1.0, 0), "NF_CHECK failed");
+  EXPECT_DEATH(neurfill::Histogram(1.0, 0.0, 10), "NF_CHECK failed");
+}
+
+TEST(ContractsDeathTest, AsperityPressureRejectsEmptyGrid) {
+  EXPECT_DEATH(neurfill::asperity_pressure(GridD(), 0.5, 1.0),
+               "empty height grid");
 }
 
 #endif  // !defined(NEURFILL_DISABLE_CHECKS)

@@ -1,0 +1,240 @@
+// nf_lint acceptance tests (tools/nf_lint/lint.hpp).
+//
+// The core contract: every `LINT[<rule>]` marker comment in the
+// tests/lint_fixtures/proj tree corresponds to exactly one finding, and the
+// linter produces nothing else — so each rule is proven live (a rule that
+// stops firing fails the marker diff) and false positives are caught the
+// moment they appear.  The suite also pins the CLI exit-code contract
+// (0 clean / 1 findings / 2 usage), the JSON report shape, suppression
+// behavior, and — most importantly — that the real source tree lints clean.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "nf_lint/lint.hpp"
+
+namespace lint = neurfill::lint;
+namespace fs = std::filesystem;
+
+namespace {
+
+const char* fixture_dir() { return NF_LINT_FIXTURE_DIR; }
+const char* source_root() { return NF_LINT_SOURCE_ROOT; }
+
+/// (file, line, rule) triple; the common currency of these tests.
+using Key = std::tuple<std::string, int, std::string>;
+
+std::set<Key> finding_keys(const lint::Report& report) {
+  std::set<Key> keys;
+  for (const lint::Finding& f : report.findings)
+    keys.insert({f.file, f.line, f.rule});
+  return keys;
+}
+
+/// Scans every file under `root` for LINT[<rule>] markers and returns the
+/// expected finding set.  Paths come back relative to `root` with '/'
+/// separators, matching the linter's rel_path convention.
+std::set<Key> marker_keys(const fs::path& root) {
+  static const std::regex kMarker(R"(LINT\[([a-z-]+)\])");
+  std::set<Key> keys;
+  for (fs::recursive_directory_iterator it(root), end; it != end; ++it) {
+    if (!it->is_regular_file()) continue;
+    std::ifstream in(it->path());
+    std::string line;
+    int lineno = 0;
+    const std::string rel = fs::relative(it->path(), root).generic_string();
+    while (std::getline(in, line)) {
+      ++lineno;
+      for (std::sregex_iterator m(line.begin(), line.end(), kMarker), done;
+           m != done; ++m)
+        keys.insert({rel, lineno, (*m)[1].str()});
+    }
+  }
+  return keys;
+}
+
+lint::Report run_on(const std::string& root,
+                    std::vector<std::string> rules = {}) {
+  lint::Options options;
+  options.root = root;
+  options.rules = std::move(rules);
+  lint::Report report;
+  std::string error;
+  EXPECT_TRUE(lint::run_lint(options, &report, &error)) << error;
+  return report;
+}
+
+std::string describe(const std::set<Key>& keys) {
+  std::ostringstream out;
+  for (const auto& [file, line, rule] : keys)
+    out << "  " << file << ":" << line << " [" << rule << "]\n";
+  return out.str();
+}
+
+TEST(LintLexer, TokensAndCommentChannel) {
+  std::vector<lint::Comment> comments;
+  const std::string src =
+      "int x = 42; // trailing note\n"
+      "/* block\n   spanning */ const char* s = \"a\\\"b\";\n"
+      "auto r = R\"(raw \"quoted\" text)\";\n"
+      "char c = 'q';\n";
+  const std::vector<lint::Token> toks = lint::tokenize(src, &comments);
+
+  ASSERT_EQ(comments.size(), 2u);
+  EXPECT_EQ(comments[0].text, " trailing note");
+  EXPECT_EQ(comments[0].line, 1);
+  EXPECT_EQ(comments[1].line, 2);
+  EXPECT_EQ(comments[1].end_line, 3);
+
+  auto find_string = [&](const std::string& text) {
+    for (const lint::Token& t : toks)
+      if (t.kind == lint::TokKind::kString && t.text == text) return true;
+    return false;
+  };
+  EXPECT_TRUE(find_string("a\\\"b"));
+  EXPECT_TRUE(find_string("raw \"quoted\" text"));
+  bool saw_char = false;
+  for (const lint::Token& t : toks)
+    saw_char = saw_char || (t.kind == lint::TokKind::kChar && t.text == "q");
+  EXPECT_TRUE(saw_char);
+}
+
+TEST(LintRules, FixtureFindingsMatchMarkersExactly) {
+  const fs::path proj = fs::path(fixture_dir()) / "proj";
+  const std::set<Key> expected = marker_keys(proj);
+  ASSERT_FALSE(expected.empty()) << "marker scan found nothing — fixture "
+                                    "tree missing?";
+  const std::set<Key> actual = finding_keys(run_on(proj.string()));
+
+  std::set<Key> missing, extra;
+  std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                      actual.end(), std::inserter(missing, missing.end()));
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(), std::inserter(extra, extra.end()));
+  EXPECT_TRUE(missing.empty())
+      << "marked lines with no finding (rule went dead?):\n"
+      << describe(missing);
+  EXPECT_TRUE(extra.empty())
+      << "findings with no marker (false positive or suppression broken):\n"
+      << describe(extra);
+}
+
+TEST(LintRules, EveryRegisteredRuleFiresInFixtures) {
+  const fs::path proj = fs::path(fixture_dir()) / "proj";
+  const lint::Report report = run_on(proj.string());
+  for (const lint::RuleInfo& rule : lint::rule_infos()) {
+    bool fired = false;
+    for (const lint::Finding& f : report.findings)
+      fired = fired || f.rule == rule.name;
+    EXPECT_TRUE(fired) << "rule '" << rule.name
+                       << "' produced no fixture finding";
+  }
+}
+
+TEST(LintRules, RuleSelectionRestrictsFindings) {
+  const fs::path proj = fs::path(fixture_dir()) / "proj";
+  const lint::Report report = run_on(proj.string(), {"pragma-once"});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "pragma-once");
+  EXPECT_EQ(report.findings[0].file, "src/geom/missing_pragma.hpp");
+}
+
+TEST(LintRules, CleanFixtureTreeIsClean) {
+  const fs::path clean = fs::path(fixture_dir()) / "clean";
+  const lint::Report report = run_on(clean.string());
+  EXPECT_TRUE(report.findings.empty()) << describe(finding_keys(report));
+  EXPECT_EQ(report.files_scanned, 2u);
+}
+
+TEST(LintRules, UnknownRuleIsAnError) {
+  lint::Options options;
+  options.root = (fs::path(fixture_dir()) / "clean").string();
+  options.rules = {"no-such-rule"};
+  lint::Report report;
+  std::string error;
+  EXPECT_FALSE(lint::run_lint(options, &report, &error));
+  EXPECT_NE(error.find("no-such-rule"), std::string::npos) << error;
+}
+
+int cli(std::vector<std::string> args, std::string* out_text = nullptr) {
+  args.insert(args.begin(), "nf_lint");
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  std::ostringstream out, err;
+  const int code = lint::run_cli(static_cast<int>(argv.size()), argv.data(),
+                                 out, err);
+  if (out_text) *out_text = out.str() + err.str();
+  return code;
+}
+
+TEST(LintCli, ExitCodeContract) {
+  const std::string proj = (fs::path(fixture_dir()) / "proj").string();
+  const std::string clean = (fs::path(fixture_dir()) / "clean").string();
+  EXPECT_EQ(cli({"--root", clean}), 0);
+  EXPECT_EQ(cli({"--root", proj}), 1);
+  EXPECT_EQ(cli({"--no-such-flag"}), 2);
+  EXPECT_EQ(cli({"--root", clean, "--rule", "no-such-rule"}), 2);
+  EXPECT_EQ(cli({"--root", proj, "--only", "does/not/exist"}), 2);
+  EXPECT_EQ(cli({"--help"}), 0);
+}
+
+TEST(LintCli, ListRulesNamesEveryRule) {
+  std::string text;
+  EXPECT_EQ(cli({"--list-rules"}), 0);
+  cli({"--list-rules"}, &text);
+  for (const lint::RuleInfo& rule : lint::rule_infos())
+    EXPECT_NE(text.find(rule.name), std::string::npos) << rule.name;
+}
+
+TEST(LintCli, JsonReportIsWrittenAndWellFormed) {
+  const std::string proj = (fs::path(fixture_dir()) / "proj").string();
+  const fs::path json_path =
+      fs::path(testing::TempDir()) / "nf_lint_report.json";
+  EXPECT_EQ(cli({"--root", proj, "--json", json_path.string()}), 1);
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  const std::size_t n = run_on(proj).findings.size();
+  EXPECT_NE(json.find("\"count\":" + std::to_string(n)), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"pragma-once\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"src/geom/missing_pragma.hpp\""),
+            std::string::npos);
+  fs::remove(json_path);
+}
+
+TEST(LintCli, JsonEscapesSpecialCharacters) {
+  lint::Report report;
+  report.files_scanned = 1;
+  report.findings.push_back(
+      {"demo", "a\"b.cpp", 3, "line1\nline2\ttabbed \\ backslash"});
+  const std::string json = lint::report_to_json(report);
+  EXPECT_NE(json.find("a\\\"b.cpp"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttabbed \\\\ backslash"),
+            std::string::npos);
+}
+
+// The teeth of the whole exercise: the real tree must lint clean.  Any new
+// violation needs either a fix or an explicit, justified suppression.
+TEST(LintTree, RealSourceTreeIsClean) {
+  const lint::Report report = run_on(source_root());
+  EXPECT_GT(report.files_scanned, 50u);
+  EXPECT_TRUE(report.findings.empty())
+      << "the source tree no longer lints clean:\n"
+      << describe(finding_keys(report));
+}
+
+}  // namespace

@@ -5,8 +5,10 @@ against the committed baseline and fail on meaningful regressions.
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.20]
 
 Gated keys (higher is better):
-  gemm_gflops_1t   -- single-thread packed-GEMM throughput
-  gemm_speedup_4t  -- 4-thread scaling of the same kernel
+  gemm_gflops_1t         -- single-thread packed-GEMM throughput
+  gemm_speedup_4t        -- 4-thread scaling of the same kernel
+  conv2d_fwd_speedup_4t  -- 4-thread conv2d forward: the serial-region
+                            threshold keeps small layers never-slower
 
 A fresh value below (1 - tolerance) * baseline fails the check.  The
 default 20% tolerance absorbs CI-runner noise (shared cores, turbo
@@ -19,7 +21,7 @@ import argparse
 import json
 import sys
 
-GATED_KEYS = ("gemm_gflops_1t", "gemm_speedup_4t")
+GATED_KEYS = ("gemm_gflops_1t", "gemm_speedup_4t", "conv2d_fwd_speedup_4t")
 
 
 def main() -> int:

@@ -1,0 +1,179 @@
+// Tokenizer for nf_lint (lint.hpp).
+//
+// Lexes just enough C++ for the rules: identifiers, numbers, string/char
+// literals (with encoding prefixes and raw strings), single-character
+// punctuation, and a separate comment channel.  Preprocessor directives are
+// not special-cased — `#`, `pragma`, `include` come out as ordinary tokens,
+// which is exactly what the pragma-once and determinism rules want (a
+// banned `#include <unordered_map>` is caught at the include line).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nf_lint/lint.hpp"
+
+namespace neurfill::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+/// True when the identifier ending at position `i` (exclusive) is a string
+/// or character literal encoding prefix (L, u, U, u8, R, LR, uR, UR, u8R).
+bool is_literal_prefix(const std::string& s) {
+  return s == "L" || s == "u" || s == "U" || s == "u8" || s == "R" ||
+         s == "LR" || s == "uR" || s == "UR" || s == "u8R";
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source,
+                            std::vector<Comment>* comments) {
+  std::vector<Token> tokens;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k) {
+      if (source[i] == '\n') ++line;
+      ++i;
+    }
+  };
+
+  // Consumes a quoted literal starting at the opening quote; returns the
+  // inner text.  Handles backslash escapes; unterminated literals end at
+  // end-of-line (matching how a compiler would diagnose, good enough here).
+  auto read_quoted = [&](char quote) {
+    std::string inner;
+    advance(1);  // opening quote
+    while (i < n && source[i] != quote && source[i] != '\n') {
+      if (source[i] == '\\' && i + 1 < n) {
+        inner += source[i];
+        inner += source[i + 1];
+        advance(2);
+        continue;
+      }
+      inner += source[i];
+      advance(1);
+    }
+    if (i < n && source[i] == quote) advance(1);  // closing quote
+    return inner;
+  };
+
+  // Consumes a raw string literal starting at the opening '"' (the R prefix
+  // is already consumed); returns the inner text between the parentheses.
+  auto read_raw_string = [&]() {
+    advance(1);  // opening quote
+    std::string delim;
+    while (i < n && source[i] != '(') {
+      delim += source[i];
+      advance(1);
+    }
+    if (i < n) advance(1);  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string inner;
+    while (i < n && source.compare(i, closer.size(), closer) != 0) {
+      inner += source[i];
+      advance(1);
+    }
+    if (i < n) advance(closer.size());
+    return inner;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance(1);
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const int start_line = line;
+      advance(2);
+      std::string body;
+      while (i < n && source[i] != '\n') {
+        body += source[i];
+        advance(1);
+      }
+      if (comments) comments->push_back({body, start_line, start_line});
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      advance(2);
+      std::string body;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        body += source[i];
+        advance(1);
+      }
+      advance(2);  // closing */
+      if (comments) comments->push_back({body, start_line, line});
+      continue;
+    }
+    // Identifiers — possibly a literal prefix glued to a quote.
+    if (is_ident_start(c)) {
+      const int start_line = line;
+      std::string text;
+      while (i < n && is_ident_char(source[i])) {
+        text += source[i];
+        advance(1);
+      }
+      if (i < n && source[i] == '"' && is_literal_prefix(text)) {
+        const bool raw = text.back() == 'R';
+        const std::string inner = raw ? read_raw_string() : read_quoted('"');
+        tokens.push_back({TokKind::kString, inner, start_line});
+        continue;
+      }
+      if (i < n && source[i] == '\'' && is_literal_prefix(text)) {
+        tokens.push_back({TokKind::kChar, read_quoted('\''), start_line});
+        continue;
+      }
+      tokens.push_back({TokKind::kIdentifier, text, start_line});
+      continue;
+    }
+    // Numbers (a leading '.' followed by a digit is a float).
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(source[i + 1]))) {
+      const int start_line = line;
+      std::string text;
+      char prev = 0;
+      while (i < n) {
+        const char d = source[i];
+        const bool exponent_sign =
+            (d == '+' || d == '-') &&
+            (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P');
+        if (!(is_ident_char(d) || d == '.' || d == '\'' || exponent_sign))
+          break;
+        text += d;
+        prev = d;
+        advance(1);
+      }
+      tokens.push_back({TokKind::kNumber, text, start_line});
+      continue;
+    }
+    // String / char literals without a prefix.
+    if (c == '"') {
+      const int start_line = line;
+      tokens.push_back({TokKind::kString, read_quoted('"'), start_line});
+      continue;
+    }
+    if (c == '\'') {
+      const int start_line = line;
+      tokens.push_back({TokKind::kChar, read_quoted('\''), start_line});
+      continue;
+    }
+    // Everything else: one punctuation character per token.  Rules match
+    // multi-character operators ("::", "->") as short token sequences.
+    tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return tokens;
+}
+
+}  // namespace neurfill::lint

@@ -1,0 +1,117 @@
+#pragma once
+
+// nf_lint — project-invariant static analyzer (docs/static_analysis.md).
+//
+// A deliberately small, dependency-free analyzer: its own tokenizer over the
+// project's C++ sources (no libclang, so it builds and runs anywhere CI
+// does), a table-driven rule engine, and per-line / per-file suppression
+// comments.  The rules encode invariants the compiler cannot see — bitwise
+// determinism of the numeric subsystems, the Expected<T> error contract,
+// the fault-site catalog, trace-name hygiene — so violations fail the lint
+// CI job instead of waiting for a test to happen to hit them.
+//
+// Suppression syntax (checked by tests/test_lint.cpp):
+//   // nf-lint: allow(rule)            same line or the line directly above
+//   // nf-lint: allow(rule1, rule2)    several rules at once
+//   // nf-lint: allow-file(rule)       anywhere: whole file, one rule
+//
+// Exit-code convention (tools/nf_lint, PR 5 standard): 0 = clean,
+// 1 = findings, 2 = usage/configuration error.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace neurfill::lint {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords
+  kNumber,      ///< numeric literals (integer/float, any base)
+  kString,      ///< string literal; text holds the *inner* characters
+  kChar,        ///< character literal; text holds the inner characters
+  kPunct,       ///< a single punctuation character
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+/// One source comment (// or /* */), kept on a separate channel so rules see
+/// pure code while the suppression pass still reads annotations.
+struct Comment {
+  std::string text;  ///< comment body without the delimiters
+  int line = 0;      ///< 1-based line the comment starts on
+  int end_line = 0;  ///< 1-based line the comment ends on
+};
+
+/// Tokenizes C++ source.  Comments go to `comments` when non-null; string
+/// and char literals (including raw strings and encoding prefixes) become
+/// single tokens so rule patterns never fire on quoted text.
+std::vector<Token> tokenize(const std::string& source,
+                            std::vector<Comment>* comments);
+
+// ---------------------------------------------------------------------------
+// Engine
+
+/// One lexed translation unit or header, path-relative to the project root.
+struct SourceFile {
+  std::string rel_path;  ///< '/'-separated path relative to Options::root
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// One rule violation.
+struct Finding {
+  std::string rule;
+  std::string file;  ///< rel_path (or the catalog doc for stale entries)
+  int line = 0;
+  std::string message;
+};
+
+struct Options {
+  /// Project root; rel_paths and the fault catalog resolve against it.
+  std::string root = ".";
+  /// Files or directories to scan, relative to root (or absolute).  Empty
+  /// means the default tree: src/, tools/, tests/.  Directories recurse over
+  /// *.hpp / *.cpp; anything under a "lint_fixtures" or "build" directory is
+  /// skipped so the linter's own test corpus never pollutes a tree run.
+  std::vector<std::string> paths;
+  /// Rule names to run; empty means every registered rule.
+  std::vector<std::string> rules;
+  /// Fault-site catalog document, relative to root.
+  std::string catalog_path = "docs/robustness.md";
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string description;
+};
+
+/// The registered rules, in execution order.
+std::vector<RuleInfo> rule_infos();
+
+/// Runs the selected rules over the selected tree.  On a usage-level
+/// failure (unreadable root, unknown rule name) returns false and sets
+/// `*error`; findings are not usage failures.
+bool run_lint(const Options& options, Report* report, std::string* error);
+
+/// Machine-readable report for CI annotation (--json FILE).
+std::string report_to_json(const Report& report);
+
+/// Full CLI: parses argv, runs the lint, prints findings.  Returns the
+/// process exit code (0 clean / 1 findings / 2 usage).
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace neurfill::lint

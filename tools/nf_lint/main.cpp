@@ -1,0 +1,10 @@
+// nf_lint entry point.  All behavior lives in the nf_lint_core library so
+// tests can drive the CLI in-process (tests/test_lint.cpp).
+
+#include <iostream>
+
+#include "nf_lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  return neurfill::lint::run_cli(argc, argv, std::cout, std::cerr);
+}

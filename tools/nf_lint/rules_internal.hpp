@@ -1,0 +1,46 @@
+#pragma once
+
+// Shared internals between the nf_lint engine (file discovery, suppression,
+// output) and the rule implementations.  Adding a rule: write a
+// `void rule_x(const Project&, std::vector<Finding>&)` in rules.cpp and
+// append one entry to rule_table() — docs/static_analysis.md walks through
+// the process.
+
+#include <string>
+#include <vector>
+
+#include "nf_lint/lint.hpp"
+
+namespace neurfill::lint {
+
+/// One row of the fault-site catalog table in docs/robustness.md.
+struct CatalogEntry {
+  std::string site;
+  int line = 0;
+};
+
+/// Everything the rules see: the lexed tree plus cross-file context.
+struct Project {
+  std::string root;
+  std::vector<SourceFile> files;
+  std::string catalog_rel;             ///< rel path of the catalog document
+  bool catalog_found = false;          ///< catalog document parsed OK
+  std::vector<CatalogEntry> catalog;   ///< catalogued fault sites
+  /// True when the scan covers the default tree (src/, tools/, tests/).
+  /// Cross-file completeness checks (stale catalog entries) only make sense
+  /// then — linting one file must not report every absent site as stale.
+  bool full_scan = true;
+};
+
+using RuleFn = void (*)(const Project&, std::vector<Finding>&);
+
+struct RuleEntry {
+  const char* name;
+  const char* description;
+  RuleFn fn;
+};
+
+/// The registered rules, in execution order (rules.cpp).
+const std::vector<RuleEntry>& rule_table();
+
+}  // namespace neurfill::lint
