@@ -1,0 +1,152 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+#include "common/fault.hpp"
+
+namespace neurfill {
+
+namespace {
+
+std::string errno_text() {
+  // std::strerror shares a static buffer across threads; the error_code
+  // route is reentrant.
+  return std::error_code(errno, std::generic_category()).message();
+}
+
+Error io_error(const char* subsystem, const std::string& path,
+               const std::string& what) {
+  return Error(ErrorCode::kIo, subsystem, "'" + path + "': " + what);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  // Durability of the rename itself.  Best-effort: a directory that cannot
+  // be fsynced (e.g. some tmpfs variants) does not fail the commit.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// Writes the full buffer to an fd, fsyncs, closes.  Returns "" on success,
+/// an error description otherwise.  The io.short_write fault site drops the
+/// tail of the buffer and reports failure, modeling a full disk / torn write.
+std::string write_all_sync(int fd, const char* data, std::size_t n) {
+  std::size_t total = n;
+  if (NF_FAULT("io.short_write")) total = n / 2;
+  std::size_t off = 0;
+  while (off < total) {
+    const ssize_t w = ::write(fd, data + off, total - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return "write failed: " + errno_text();
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  if (total < n)
+    return "short write (injected): wrote " + std::to_string(total) + " of " +
+           std::to_string(n) + " bytes";
+  if (::fsync(fd) != 0) return "fsync failed: " + errno_text();
+  return std::string();
+}
+
+/// The shared tail of both entry points: rename the durable temp file over
+/// the target and fsync the directory.  The io.rename fault site models a
+/// crash between temp write and rename acknowledgment.
+[[nodiscard]] Expected<void> rename_into_place(const char* subsystem,
+                                               const std::string& tmp,
+                                               const std::string& path) {
+  if (NF_FAULT("io.rename")) {
+    ::unlink(tmp.c_str());
+    return io_error(subsystem, path,
+                    "rename from '" + tmp + "' failed: injected");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    ::unlink(tmp.c_str());
+    return io_error(subsystem, path, "rename from '" + tmp + "' failed: " + why);
+  }
+  fsync_parent_dir(path);
+  return Expected<void>();
+}
+
+}  // namespace
+
+[[nodiscard]] Expected<void> atomic_write_file(const std::string& path,
+                                               const char* data, std::size_t n,
+                                               const char* subsystem) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_error(subsystem, tmp, "open failed: " + errno_text());
+  const std::string write_err = write_all_sync(fd, data, n);
+  ::close(fd);
+  if (!write_err.empty()) {
+    ::unlink(tmp.c_str());
+    return io_error(subsystem, tmp, write_err);
+  }
+  return rename_into_place(subsystem, tmp, path);
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path, const char* subsystem)
+    : path_(std::move(path)), tmp_(path_ + ".tmp"), subsystem_(subsystem) {
+  os_.open(tmp_, std::ios::binary | std::ios::trunc);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    os_.close();
+    ::unlink(tmp_.c_str());
+  }
+}
+
+[[nodiscard]] Expected<void> AtomicFileWriter::commit() {
+  if (!os_.is_open())
+    return io_error(subsystem_, tmp_, "open failed: cannot create temp file");
+  os_.flush();
+  const bool stream_bad = !os_.good();
+  os_.close();
+  if (stream_bad) {
+    ::unlink(tmp_.c_str());
+    return io_error(subsystem_, tmp_, "stream write failed");
+  }
+  // Re-open by name to fsync: ofstream exposes no fd.  The io.short_write
+  // site models the torn write here by truncating the streamed temp file.
+  const int fd = ::open(tmp_.c_str(), O_WRONLY);
+  if (fd < 0) {
+    const std::string why = errno_text();
+    ::unlink(tmp_.c_str());
+    return io_error(subsystem_, tmp_, "reopen for fsync failed: " + why);
+  }
+  if (NF_FAULT("io.short_write")) {
+    const off_t size = ::lseek(fd, 0, SEEK_END);
+    const std::string what =
+        "short write (injected): wrote " + std::to_string(size / 2) + " of " +
+        std::to_string(size) + " bytes";
+    const int trunc_rc = ::ftruncate(fd, size / 2);
+    static_cast<void>(trunc_rc);
+    ::close(fd);
+    ::unlink(tmp_.c_str());
+    return io_error(subsystem_, tmp_, what);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  const std::string sync_err = synced ? std::string() : errno_text();
+  ::close(fd);
+  if (!synced) {
+    ::unlink(tmp_.c_str());
+    return io_error(subsystem_, tmp_, "fsync failed: " + sync_err);
+  }
+  committed_ = true;
+  return rename_into_place(subsystem_, tmp_, path_);
+}
+
+}  // namespace neurfill

@@ -1,0 +1,62 @@
+#pragma once
+
+// Atomic, crash-safe file replacement (docs/robustness.md).
+//
+// Two entry points share one durability protocol — write the complete new
+// content to `<path>.tmp`, fsync it, rename it over `path`, fsync the parent
+// directory — so a crash (or SIGKILL) at any instant leaves either the
+// complete old file or the complete new file, never a torn one:
+//
+//  * atomic_write_file()  — for content already assembled in memory (the
+//    NFCP checkpoint image).
+//  * AtomicFileWriter     — for content too large to assemble in memory
+//    (a full-chip GLF): stream into the temp file, then commit().
+//
+// Both honor the catalogued fault sites `io.short_write` (the temp image is
+// truncated and the commit fails; the old file stays intact) and `io.rename`
+// (the final rename fails; the temp file is removed, the old file stays
+// intact) — see the docs/robustness.md fault-site table.
+
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace neurfill {
+
+/// Atomically replaces `path` with the `n` bytes at `data`.  `subsystem`
+/// names the caller in the structured error (e.g. "common.checkpoint").
+[[nodiscard]] Expected<void> atomic_write_file(const std::string& path,
+                                               const char* data, std::size_t n,
+                                               const char* subsystem
+                                               = "common.io");
+
+/// Streaming variant: everything written to stream() lands in `<path>.tmp`;
+/// commit() makes it durable and renames it into place.  Destroying an
+/// uncommitted writer removes the temp file, so an abandoned write (an
+/// exception mid-stream) cannot leave debris next to the target.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path, const char* subsystem
+                            = "common.io");
+  ~AtomicFileWriter();
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// False when the temp file could not be opened; commit() reports why.
+  bool ok() const { return os_.good(); }
+  std::ostream& stream() { return os_; }
+
+  /// Flush + fsync + rename + directory fsync.  The writer is spent
+  /// afterwards: further stream() writes are a caller bug.
+  [[nodiscard]] Expected<void> commit();
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  const char* subsystem_;
+  std::ofstream os_;
+  bool committed_ = false;
+};
+
+}  // namespace neurfill

@@ -9,6 +9,7 @@
 #include <new>
 #include <system_error>
 
+#include "common/atomic_file.hpp"
 #include "common/check.hpp"
 #include "common/fault.hpp"
 
@@ -40,40 +41,6 @@ Error io_error(const std::string& path, const std::string& what) {
 Error corrupt(const std::string& path, const std::string& what) {
   return Error(ErrorCode::kCorrupt, "common.checkpoint",
                "'" + path + "': " + what);
-}
-
-/// Writes the full buffer to an fd, fsyncs, closes.  Returns "" on success,
-/// an error description otherwise.  The io.short_write fault site drops the
-/// tail of the buffer and reports failure, modeling a full disk / torn write.
-std::string write_all_sync(int fd, const char* data, std::size_t n) {
-  std::size_t total = n;
-  if (NF_FAULT("io.short_write")) total = n / 2;
-  std::size_t off = 0;
-  while (off < total) {
-    const ssize_t w = ::write(fd, data + off, total - off);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return "write failed: " + errno_text();
-    }
-    off += static_cast<std::size_t>(w);
-  }
-  if (total < n) return "short write (injected): wrote " +
-                        std::to_string(total) + " of " + std::to_string(n) +
-                        " bytes";
-  if (::fsync(fd) != 0) return "fsync failed: " + errno_text();
-  return std::string();
-}
-
-void fsync_parent_dir(const std::string& path) {
-  // Durability of the rename itself.  Best-effort: a directory that cannot
-  // be fsynced (e.g. some tmpfs variants) does not fail the commit.
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
 }
 
 }  // namespace
@@ -119,27 +86,10 @@ void CheckpointWriter::add_section(const std::string& name,
     image.raw(payload.data(), payload.size());
   }
   const std::vector<char> bytes = image.take();
-
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return io_error(tmp, "open failed: " + errno_text());
-  const std::string write_err = write_all_sync(fd, bytes.data(), bytes.size());
-  ::close(fd);
-  if (!write_err.empty()) {
-    ::unlink(tmp.c_str());
-    return io_error(tmp, write_err);
-  }
-  if (NF_FAULT("io.rename")) {
-    ::unlink(tmp.c_str());
-    return io_error(path, "rename from '" + tmp + "' failed: injected");
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    const std::string why = errno_text();
-    ::unlink(tmp.c_str());
-    return io_error(path, "rename from '" + tmp + "' failed: " + why);
-  }
-  fsync_parent_dir(path);
-  return Expected<void>();
+  // The shared crash-safe path (common/atomic_file.hpp) carries the
+  // io.short_write / io.rename fault sites.
+  return atomic_write_file(path, bytes.data(), bytes.size(),
+                           "common.checkpoint");
 }
 
 [[nodiscard]] Expected<CheckpointReader> CheckpointReader::open(const std::string& path) {

@@ -54,6 +54,37 @@ class Grid2D {
 
   void fill(T v) { data_.assign(data_.size(), v); }
 
+  /// Copies the `rows x cols` rectangle whose top-left corner is (i0, j0)
+  /// into a fresh grid.  The rectangle must lie fully inside this grid;
+  /// callers extracting a clipped halo at the chip boundary clamp the
+  /// ranges *before* calling (see fullchip::TileRegion).
+  Grid2D copy_region(std::size_t i0, std::size_t j0, std::size_t rows,
+                     std::size_t cols) const {
+    NF_CHECK(i0 + rows <= rows_, "copy_region: rows [%zu, %zu) exceed %zu",
+             i0, i0 + rows, rows_);
+    NF_CHECK(j0 + cols <= cols_, "copy_region: cols [%zu, %zu) exceed %zu",
+             j0, j0 + cols, cols_);
+    Grid2D out(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < cols; ++j)
+        out.data_[i * cols + j] = data_[(i0 + i) * cols_ + (j0 + j)];
+    return out;
+  }
+
+  /// Writes `src` into this grid with its top-left corner at (i0, j0).
+  /// The destination rectangle must lie fully inside this grid.
+  void paste_region(std::size_t i0, std::size_t j0, const Grid2D& src) {
+    NF_CHECK(i0 + src.rows_ <= rows_,
+             "paste_region: rows [%zu, %zu) exceed %zu", i0, i0 + src.rows_,
+             rows_);
+    NF_CHECK(j0 + src.cols_ <= cols_,
+             "paste_region: cols [%zu, %zu) exceed %zu", j0, j0 + src.cols_,
+             cols_);
+    for (std::size_t i = 0; i < src.rows_; ++i)
+      for (std::size_t j = 0; j < src.cols_; ++j)
+        data_[(i0 + i) * cols_ + (j0 + j)] = src.data_[i * src.cols_ + j];
+  }
+
   bool same_shape(const Grid2D& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }

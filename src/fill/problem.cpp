@@ -16,7 +16,14 @@ FillProblem::FillProblem(WindowExtraction ext, CmpSimulator simulator,
     throw std::invalid_argument("FillProblem: empty extraction");
 }
 
+void FillProblem::set_bounds_override(Box box) {
+  if (box.lo.size() != num_vars() || box.hi.size() != num_vars())
+    throw std::invalid_argument("set_bounds_override: size mismatch");
+  bounds_override_ = std::move(box);
+}
+
 Box FillProblem::bounds() const {
+  if (!bounds_override_.lo.empty()) return bounds_override_;
   Box b;
   b.lo.assign(num_vars(), 0.0);
   b.hi.reserve(num_vars());

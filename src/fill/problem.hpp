@@ -28,8 +28,15 @@ class FillProblem {
   const ScoreCoefficients& coefficients() const { return coeffs_; }
 
   std::size_t num_vars() const { return ext_.num_windows(); }
-  /// Bounds 0 <= x <= slack for every window (Eq. 5d).
+  /// Bounds 0 <= x <= slack for every window (Eq. 5d), unless overridden.
   Box bounds() const;
+
+  /// Replaces the slack-derived box with an explicit one (same size).  The
+  /// fullchip stitcher uses this to pin halo windows to the committed
+  /// neighbour solution (lo == hi) while core windows stay free; SQP clamps
+  /// every iterate (including the start) into the box, so pinned variables
+  /// hold their value exactly.
+  void set_bounds_override(Box box);
 
   VecD flatten(const std::vector<GridD>& x) const;
   std::vector<GridD> unflatten(const VecD& v) const;
@@ -54,6 +61,7 @@ class FillProblem {
   WindowExtraction ext_;
   CmpSimulator sim_;
   ScoreCoefficients coeffs_;
+  Box bounds_override_;  ///< empty = derive from slack
   mutable long sim_calls_ = 0;
 };
 

@@ -1,0 +1,56 @@
+#include "fullchip/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace neurfill::fullchip {
+
+TileGrid::TileGrid(std::size_t chip_rows, std::size_t chip_cols,
+                   int tile_windows, int halo_windows, double window_um)
+    : chip_rows_(chip_rows),
+      chip_cols_(chip_cols),
+      tile_windows_(tile_windows),
+      halo_windows_(halo_windows),
+      window_um_(window_um) {
+  NF_CHECK(chip_rows > 0 && chip_cols > 0,
+           "TileGrid: empty chip grid %zu x %zu", chip_rows, chip_cols);
+  NF_CHECK(tile_windows > 0, "TileGrid: tile_windows %d must be positive",
+           tile_windows);
+  NF_CHECK(halo_windows >= 0, "TileGrid: halo_windows %d must be >= 0",
+           halo_windows);
+  NF_CHECK(window_um > 0.0, "TileGrid: window_um %g must be positive",
+           window_um);
+  const std::size_t tw = static_cast<std::size_t>(tile_windows);
+  tile_rows_ = (chip_rows + tw - 1) / tw;
+  tile_cols_ = (chip_cols + tw - 1) / tw;
+}
+
+TileRegion TileGrid::tile(std::size_t ti, std::size_t tj) const {
+  NF_CHECK_BOUNDS(ti, tile_rows_);
+  NF_CHECK_BOUNDS(tj, tile_cols_);
+  const std::size_t tw = static_cast<std::size_t>(tile_windows_);
+  const std::size_t h = static_cast<std::size_t>(halo_windows_);
+  TileRegion r;
+  r.ti = ti;
+  r.tj = tj;
+  r.core_row0 = ti * tw;
+  r.core_row1 = std::min(chip_rows_, (ti + 1) * tw);
+  r.core_col0 = tj * tw;
+  r.core_col1 = std::min(chip_cols_, (tj + 1) * tw);
+  r.halo_row0 = r.core_row0 >= h ? r.core_row0 - h : 0;
+  r.halo_row1 = std::min(chip_rows_, r.core_row1 + h);
+  r.halo_col0 = r.core_col0 >= h ? r.core_col0 - h : 0;
+  r.halo_col1 = std::min(chip_cols_, r.core_col1 + h);
+  return r;
+}
+
+int auto_halo_windows(double char_length_um, double window_um) {
+  NF_CHECK(window_um > 0.0, "auto_halo_windows: window_um %g must be positive",
+           window_um);
+  const double span = 2.0 * std::max(char_length_um, 0.0);
+  return std::max(1, static_cast<int>(std::ceil(span / window_um)));
+}
+
+}  // namespace neurfill::fullchip

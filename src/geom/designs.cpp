@@ -75,13 +75,14 @@ void add_random_logic(Layer& layer, const Rect& block, double target_density,
   }
 }
 
-Layout make_base(const std::string& name, double chip_um, int num_layers) {
-  if (chip_um <= 0.0 || num_layers <= 0)
+Layout make_base(const std::string& name, double width_um, double height_um,
+                 int num_layers) {
+  if (width_um <= 0.0 || height_um <= 0.0 || num_layers <= 0)
     throw std::invalid_argument("design generator: bad chip size/layer count");
   Layout layout;
   layout.name = name;
-  layout.width_um = chip_um;
-  layout.height_um = chip_um;
+  layout.width_um = width_um;
+  layout.height_um = height_um;
   layout.layers.resize(static_cast<std::size_t>(num_layers));
   for (int l = 0; l < num_layers; ++l)
     layout.layers[static_cast<std::size_t>(l)].name = "m" + std::to_string(l + 1);
@@ -90,24 +91,31 @@ Layout make_base(const std::string& name, double chip_um, int num_layers) {
 
 }  // namespace
 
-Layout make_design_a(double chip_um, int num_layers, std::uint64_t seed) {
-  Layout layout = make_base("designA", chip_um, num_layers);
+Layout make_design_a(double width_um, double height_um, int num_layers,
+                     std::uint64_t seed) {
+  Layout layout = make_base("designA", width_um, height_um, num_layers);
   Rng rng(seed ^ 0xA0A0A0A0ull);
   // Test-chip: a grid of square calibration blocks.  Density ramps smoothly
   // from sparse to dense across the diagonal; ~12% of blocks are left empty.
-  const int nb = 8;
-  const double bs = chip_um / nb;
+  // On a rectangular die the block pitch follows the short side, so the
+  // column/row counts scale with each extent and blocks tile it exactly.
+  const double bs = std::min(width_um, height_um) / 8.0;
+  const int nbx = static_cast<int>(std::round(width_um / bs));
+  const int nby = static_cast<int>(std::round(height_um / bs));
+  const double bsx = width_um / nbx;
+  const double bsy = height_um / nby;
   for (int l = 0; l < num_layers; ++l) {
     Layer& layer = layout.layers[static_cast<std::size_t>(l)];
     const bool horiz = (l % 2 == 0);
     Rng lrng = rng.split();
-    for (int bi = 0; bi < nb; ++bi) {
-      for (int bj = 0; bj < nb; ++bj) {
+    for (int bi = 0; bi < nby; ++bi) {
+      for (int bj = 0; bj < nbx; ++bj) {
         if (lrng.bernoulli(0.12)) continue;  // empty calibration block
-        const Rect block(bj * bs + 4.0, bi * bs + 4.0, (bj + 1) * bs - 4.0,
-                         (bi + 1) * bs - 4.0);
+        const Rect block(bj * bsx + 4.0, bi * bsy + 4.0, (bj + 1) * bsx - 4.0,
+                         (bi + 1) * bsy - 4.0);
         // Ramp: duty from 0.10 to 0.70 along the diagonal plus jitter.
-        const double t = (bi + bj) / static_cast<double>(2 * (nb - 1));
+        const double t =
+            (bi + bj) / static_cast<double>((nbx - 1) + (nby - 1));
         const double duty =
             std::clamp(0.10 + 0.60 * t + lrng.uniform(-0.05, 0.05), 0.05, 0.8);
         const double pitch = lrng.uniform(20.0, 60.0);
@@ -118,12 +126,13 @@ Layout make_design_a(double chip_um, int num_layers, std::uint64_t seed) {
   return layout;
 }
 
-Layout make_design_b(double chip_um, int num_layers, std::uint64_t seed) {
-  Layout layout = make_base("designB", chip_um, num_layers);
+Layout make_design_b(double width_um, double height_um, int num_layers,
+                     std::uint64_t seed) {
+  Layout layout = make_base("designB", width_um, height_um, num_layers);
   Rng rng(seed ^ 0xB1B1B1B1ull);
   // FPGA fabric: dense logic tiles in a periodic array, thin sparse routing
   // channels between them, and a sparse IO ring around the edge.
-  const double ring = chip_um * 0.05;
+  const double ring = std::min(width_um, height_um) * 0.05;
   const double tile = 420.0;
   const double channel = 120.0;
   const double period = tile + channel;
@@ -132,8 +141,8 @@ Layout make_design_b(double chip_um, int num_layers, std::uint64_t seed) {
     const bool horiz = (l % 2 == 0);
     Rng lrng = rng.split();
     // Logic tiles.
-    for (double y = ring; y + tile <= chip_um - ring; y += period) {
-      for (double x = ring; x + tile <= chip_um - ring; x += period) {
+    for (double y = ring; y + tile <= height_um - ring; y += period) {
+      for (double x = ring; x + tile <= width_um - ring; x += period) {
         const Rect block(x, y, x + tile, y + tile);
         const double duty = std::clamp(0.55 + lrng.uniform(-0.06, 0.06), 0.1, 0.8);
         add_line_array(layer, block, lrng.uniform(25.0, 45.0), duty, horiz, lrng,
@@ -141,32 +150,35 @@ Layout make_design_b(double chip_um, int num_layers, std::uint64_t seed) {
       }
     }
     // Routing channels: sparse long lines spanning the fabric.
-    for (double y = ring + tile; y + channel <= chip_um - ring; y += period) {
-      const Rect ch(ring, y, chip_um - ring, y + channel);
+    for (double y = ring + tile; y + channel <= height_um - ring; y += period) {
+      const Rect ch(ring, y, width_um - ring, y + channel);
       add_line_array(layer, ch, 60.0, 0.15, /*horizontal=*/true, lrng, 0.3);
     }
-    for (double x = ring + tile; x + channel <= chip_um - ring; x += period) {
-      const Rect ch(x, ring, x + channel, chip_um - ring);
+    for (double x = ring + tile; x + channel <= width_um - ring; x += period) {
+      const Rect ch(x, ring, x + channel, height_um - ring);
       add_line_array(layer, ch, 60.0, 0.15, /*horizontal=*/false, lrng, 0.3);
     }
     // IO ring: very sparse pads.
-    add_random_logic(layer, Rect(0, 0, chip_um, ring), 0.08, 50.0, lrng);
-    add_random_logic(layer, Rect(0, chip_um - ring, chip_um, chip_um), 0.08,
-                     50.0, lrng);
+    add_random_logic(layer, Rect(0, 0, width_um, ring), 0.08, 50.0, lrng);
+    add_random_logic(layer, Rect(0, height_um - ring, width_um, height_um),
+                     0.08, 50.0, lrng);
   }
   return layout;
 }
 
-Layout make_design_c(double chip_um, int num_layers, std::uint64_t seed) {
-  Layout layout = make_base("designC", chip_um, num_layers);
+Layout make_design_c(double width_um, double height_um, int num_layers,
+                     std::uint64_t seed) {
+  Layout layout = make_base("designC", width_um, height_um, num_layers);
   Rng rng(seed ^ 0xC2C2C2C2ull);
-  // CPU-like floorplan with fixed macro fractions of the die.
-  const double W = chip_um;
-  const Rect datapath(0.05 * W, 0.45 * W, 0.55 * W, 0.95 * W);   // dense
-  const Rect icache(0.60 * W, 0.55 * W, 0.95 * W, 0.95 * W);     // regular
-  const Rect dcache(0.60 * W, 0.10 * W, 0.95 * W, 0.50 * W);     // regular
-  const Rect control(0.05 * W, 0.10 * W, 0.55 * W, 0.40 * W);    // random
-  const Rect analog(0.0, 0.0, 0.35 * W, 0.08 * W);               // near-empty
+  // CPU-like floorplan with fixed macro fractions of the die; fractions are
+  // of each axis, so the floorplan stretches with a rectangular die.
+  const double W = width_um;
+  const double H = height_um;
+  const Rect datapath(0.05 * W, 0.45 * H, 0.55 * W, 0.95 * H);   // dense
+  const Rect icache(0.60 * W, 0.55 * H, 0.95 * W, 0.95 * H);     // regular
+  const Rect dcache(0.60 * W, 0.10 * H, 0.95 * W, 0.50 * H);     // regular
+  const Rect control(0.05 * W, 0.10 * H, 0.55 * W, 0.40 * H);    // random
+  const Rect analog(0.0, 0.0, 0.35 * W, 0.08 * H);               // near-empty
   for (int l = 0; l < num_layers; ++l) {
     Layer& layer = layout.layers[static_cast<std::size_t>(l)];
     const bool horiz = (l % 2 == 0);
@@ -179,27 +191,45 @@ Layout make_design_c(double chip_um, int num_layers, std::uint64_t seed) {
     add_random_logic(layer, analog, 0.05, 60.0, lrng);
     // Top-level routing over the whole die keeps inter-macro regions from
     // being perfectly empty.
-    add_line_array(layer, Rect(0, 0, W, W), 400.0, 0.04, horiz, lrng, 0.5);
+    add_line_array(layer, Rect(0, 0, W, H), 400.0, 0.04, horiz, lrng, 0.5);
   }
   return layout;
 }
 
-Layout make_design(char which, int windows, double window_um,
-                   std::uint64_t seed) {
-  const double chip = windows * window_um;
+Layout make_design_a(double chip_um, int num_layers, std::uint64_t seed) {
+  return make_design_a(chip_um, chip_um, num_layers, seed);
+}
+
+Layout make_design_b(double chip_um, int num_layers, std::uint64_t seed) {
+  return make_design_b(chip_um, chip_um, num_layers, seed);
+}
+
+Layout make_design_c(double chip_um, int num_layers, std::uint64_t seed) {
+  return make_design_c(chip_um, chip_um, num_layers, seed);
+}
+
+Layout make_design_rect(char which, int windows_x, int windows_y,
+                        double window_um, std::uint64_t seed) {
+  const double w = windows_x * window_um;
+  const double h = windows_y * window_um;
   switch (which) {
     case 'a':
     case 'A':
-      return make_design_a(chip, 3, seed);
+      return make_design_a(w, h, 3, seed);
     case 'b':
     case 'B':
-      return make_design_b(chip, 3, seed);
+      return make_design_b(w, h, 3, seed);
     case 'c':
     case 'C':
-      return make_design_c(chip, 3, seed);
+      return make_design_c(w, h, 3, seed);
     default:
       throw std::invalid_argument("make_design: unknown design id");
   }
+}
+
+Layout make_design(char which, int windows, double window_um,
+                   std::uint64_t seed) {
+  return make_design_rect(which, windows, windows, window_um, seed);
 }
 
 }  // namespace neurfill

@@ -18,9 +18,17 @@ namespace neurfill {
 ///  * Design C — RISC-V CPU: heterogeneous macros (dense datapath, regular
 ///    cache arrays, random-logic control, nearly-empty analog/IO corners).
 ///
-/// All generators are deterministic given the seed.  `chip_um` is the square
-/// die edge; `num_layers` metal layers are produced with alternating
-/// preferred routing direction.
+/// All generators are deterministic given the seed.  `num_layers` metal
+/// layers are produced with alternating preferred routing direction.  The
+/// rectangular forms take the die extents directly; the `chip_um` forms are
+/// the square convenience (width == height == chip_um) and produce exactly
+/// the same layout as the rectangular form with equal extents.
+Layout make_design_a(double width_um, double height_um, int num_layers,
+                     std::uint64_t seed);
+Layout make_design_b(double width_um, double height_um, int num_layers,
+                     std::uint64_t seed);
+Layout make_design_c(double width_um, double height_um, int num_layers,
+                     std::uint64_t seed);
 Layout make_design_a(double chip_um, int num_layers, std::uint64_t seed);
 Layout make_design_b(double chip_um, int num_layers, std::uint64_t seed);
 Layout make_design_c(double chip_um, int num_layers, std::uint64_t seed);
@@ -29,5 +37,10 @@ Layout make_design_c(double chip_um, int num_layers, std::uint64_t seed);
 /// `windows` x `windows` filling windows of `window_um` each.
 Layout make_design(char which, int windows = 64, double window_um = 100.0,
                    std::uint64_t seed = 1);
+
+/// Paper-scale rectangular variant (`nf_gen --windows WxH`): a die of
+/// `windows_x` x `windows_y` filling windows.
+Layout make_design_rect(char which, int windows_x, int windows_y,
+                        double window_um = 100.0, std::uint64_t seed = 1);
 
 }  // namespace neurfill

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_file.hpp"
+
 namespace neurfill {
 
 namespace {
@@ -67,9 +69,15 @@ void write_glf(std::ostream& os, const Layout& layout) {
 }
 
 void write_glf_file(const std::string& path, const Layout& layout) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("GLF: cannot open for write: " + path);
-  write_glf(os, layout);
+  // Crash-safe: stream into <path>.tmp, fsync, rename.  A SIGKILL mid-write
+  // leaves the previous file intact instead of a truncated GLF.
+  AtomicFileWriter writer(path, "geom.glf");
+  if (!writer.ok())
+    throw std::runtime_error("GLF: cannot open for write: " + path);
+  write_glf(writer.stream(), layout);
+  Expected<void> committed = writer.commit();
+  if (!committed)
+    throw std::runtime_error("GLF: " + committed.error().to_string());
 }
 
 Layout read_glf(std::istream& is) {

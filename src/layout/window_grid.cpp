@@ -145,44 +145,49 @@ std::size_t insert_dummies(Layout& layout, const WindowExtraction& ext,
   if (min_edge_um <= 0.0 || min_edge_um > ext.window_um / 3.0)
     throw std::invalid_argument("insert_dummies: bad minimum dummy edge");
   std::size_t inserted = 0;
-  const double wa = ext.window_area_um2();
-  const double pitch = ext.window_um / 3.0;  // 3x3 tile sites per window
-  // A tile must leave some spacing inside its site.
-  const double max_edge = pitch * 0.94;
   for (std::size_t l = 0; l < ext.num_layers(); ++l) {
     if (!x[l].same_shape(ext.layers[l].slack))
       throw std::invalid_argument("insert_dummies: grid shape mismatch");
     auto& dummies = layout.layers[l].dummies;
-    for (std::size_t i = 0; i < ext.rows; ++i) {
-      for (std::size_t j = 0; j < ext.cols; ++j) {
-        const double amount = std::clamp(x[l](i, j), 0.0, 1.0) * wa;
-        if (amount < min_edge_um * min_edge_um) continue;
-        // Use as few tiles as possible while respecting the max edge; edge
-        // then realizes the exact area.
-        std::size_t count = 9;
-        for (std::size_t c = 1; c <= 9; ++c) {
-          const double e = std::sqrt(amount / static_cast<double>(c));
-          if (e <= max_edge) {
-            count = c;
-            break;
-          }
-        }
-        double edge = std::sqrt(amount / static_cast<double>(count));
-        edge = std::min(edge, max_edge);  // saturated windows under-realize
-        for (std::size_t t = 0; t < count; ++t) {
-          const std::size_t ti = t / 3, tj = t % 3;
-          const double cx = static_cast<double>(j) * ext.window_um +
-                            (static_cast<double>(tj) + 0.5) * pitch;
-          const double cy = static_cast<double>(i) * ext.window_um +
-                            (static_cast<double>(ti) + 0.5) * pitch;
-          dummies.emplace_back(cx - edge / 2, cy - edge / 2, cx + edge / 2,
-                               cy + edge / 2);
-          ++inserted;
-        }
-      }
-    }
+    for (std::size_t i = 0; i < ext.rows; ++i)
+      for (std::size_t j = 0; j < ext.cols; ++j)
+        inserted += append_window_dummies(dummies, i, j, ext.window_um,
+                                          x[l](i, j), min_edge_um);
   }
   return inserted;
+}
+
+std::size_t append_window_dummies(std::vector<Rect>& out, std::size_t i,
+                                  std::size_t j, double window_um,
+                                  double amount_frac, double min_edge_um) {
+  const double wa = window_um * window_um;
+  const double pitch = window_um / 3.0;  // 3x3 tile sites per window
+  // A tile must leave some spacing inside its site.
+  const double max_edge = pitch * 0.94;
+  const double amount = std::clamp(amount_frac, 0.0, 1.0) * wa;
+  if (amount < min_edge_um * min_edge_um) return 0;
+  // Use as few tiles as possible while respecting the max edge; edge
+  // then realizes the exact area.
+  std::size_t count = 9;
+  for (std::size_t c = 1; c <= 9; ++c) {
+    const double e = std::sqrt(amount / static_cast<double>(c));
+    if (e <= max_edge) {
+      count = c;
+      break;
+    }
+  }
+  double edge = std::sqrt(amount / static_cast<double>(count));
+  edge = std::min(edge, max_edge);  // saturated windows under-realize
+  for (std::size_t t = 0; t < count; ++t) {
+    const std::size_t ti = t / 3, tj = t % 3;
+    const double cx = static_cast<double>(j) * window_um +
+                      (static_cast<double>(tj) + 0.5) * pitch;
+    const double cy = static_cast<double>(i) * window_um +
+                      (static_cast<double>(ti) + 0.5) * pitch;
+    out.emplace_back(cx - edge / 2, cy - edge / 2, cx + edge / 2,
+                     cy + edge / 2);
+  }
+  return count;
 }
 
 }  // namespace neurfill

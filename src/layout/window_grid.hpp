@@ -74,4 +74,15 @@ std::size_t insert_dummies(Layout& layout, const WindowExtraction& ext,
                            const std::vector<GridD>& x,
                            double min_edge_um = 4.0);
 
+/// The per-window realization kernel insert_dummies is built on, exposed so
+/// the fullchip streaming writer emits exactly the same dummy geometry
+/// window by window without materializing a full-chip Layout.  Appends the
+/// (at most 3x3) square tiles realizing fill fraction `amount_frac` of
+/// window (i, j) to `out` and returns how many were appended.  Window
+/// indices are in whatever grid the caller addresses — coordinates come out
+/// as (j, i) * window_um plus the in-window site offsets.
+std::size_t append_window_dummies(std::vector<Rect>& out, std::size_t i,
+                                  std::size_t j, double window_um,
+                                  double amount_frac, double min_edge_um = 4.0);
+
 }  // namespace neurfill

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Tiled crash-resume acceptance test (docs/fullchip.md): SIGKILL a tiled
+# nf_fill run once the first tile record lands in the store, relaunch with
+# --resume, and require the final full-chip GLF to be byte-identical to an
+# uninterrupted run at the same seed/threads.
+#
+# Usage: fullchip_resume_kill_test.sh <nf_gen> <nf_fill> [workdir]
+set -u
+
+NF_GEN="${1:?usage: fullchip_resume_kill_test.sh <nf_gen> <nf_fill> [workdir]}"
+NF_FILL="${2:?usage: fullchip_resume_kill_test.sh <nf_gen> <nf_fill> [workdir]}"
+WORK="${3:-$(mktemp -d)}"
+mkdir -p "$WORK"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# A rectangular multi-tile fixture: 18x12 windows over 3x2 tiles of 6.
+"$NF_GEN" a "$WORK/in.glf" --windows 18x12 --seed 5 >/dev/null 2>&1 \
+  || fail "nf_gen could not write the fixture layout"
+
+COMMON_ARGS=(--method lin --tiled --tile-windows 6 --threads 2)
+
+# Reference: one uninterrupted tiled run.
+"$NF_FILL" "$WORK/in.glf" "$WORK/ref.glf" "${COMMON_ARGS[@]}" \
+  --tile-store "$WORK/ref.tiles" >/dev/null 2>&1 \
+  || fail "reference tiled run failed"
+
+# Victim: same run, SIGKILLed as soon as the first durable tile record
+# exists (i.e. the tile sweep is genuinely mid-flight).
+rm -rf "$WORK/kill.tiles" "$WORK/kill.glf"
+"$NF_FILL" "$WORK/in.glf" "$WORK/kill.glf" "${COMMON_ARGS[@]}" \
+  --tile-store "$WORK/kill.tiles" >/dev/null 2>&1 &
+VICTIM=$!
+# Poll while the victim lives; boundedness comes from the CTest TIMEOUT.
+while kill -0 "$VICTIM" 2>/dev/null; do
+  if ls "$WORK/kill.tiles"/tile_*.nfcp >/dev/null 2>&1; then break; fi
+  sleep 0.02
+done
+kill -9 "$VICTIM" 2>/dev/null
+wait "$VICTIM" 2>/dev/null
+KILL_RC=$?
+
+[ -d "$WORK/kill.tiles" ] || fail "no tile store was created before the kill"
+if [ "$KILL_RC" -ne 137 ]; then
+  echo "note: victim finished (rc=$KILL_RC) before SIGKILL landed" >&2
+fi
+
+# Resume: completed tiles load from the store, the rest re-solve.
+"$NF_FILL" "$WORK/in.glf" "$WORK/kill.glf" "${COMMON_ARGS[@]}" \
+  --tile-store "$WORK/kill.tiles" --resume >/dev/null 2>&1 \
+  || fail "tiled resume run failed"
+
+cmp -s "$WORK/ref.glf" "$WORK/kill.glf" \
+  || fail "resumed tiled fill differs from the uninterrupted run"
+
+echo "PASS: resumed tiled fill is byte-identical to the uninterrupted run"
+exit 0

@@ -146,6 +146,56 @@ TEST(InsertDummies, ValidatesArguments) {
   EXPECT_THROW(insert_dummies(l, ext, wrong_shape), std::invalid_argument);
 }
 
+TEST(Grid2DRegion, CopyExtractsExactValues) {
+  GridD g(4, 5, 0.0);
+  for (std::size_t i = 0; i < g.rows(); ++i)
+    for (std::size_t j = 0; j < g.cols(); ++j)
+      g(i, j) = static_cast<double>(10 * i + j);
+  const GridD sub = g.copy_region(1, 2, 2, 3);
+  ASSERT_EQ(sub.rows(), 2u);
+  ASSERT_EQ(sub.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(sub(i, j), g(1 + i, 2 + j));
+}
+
+TEST(Grid2DRegion, PasteRoundTripsAndLeavesRestUntouched) {
+  GridD g(4, 5, -1.0);
+  GridD patch(2, 2, 0.0);
+  patch(0, 0) = 1.0;
+  patch(0, 1) = 2.0;
+  patch(1, 0) = 3.0;
+  patch(1, 1) = 4.0;
+  g.paste_region(2, 3, patch);
+  EXPECT_DOUBLE_EQ(g(2, 3), 1.0);
+  EXPECT_DOUBLE_EQ(g(3, 4), 4.0);
+  EXPECT_DOUBLE_EQ(g(1, 3), -1.0);
+  EXPECT_DOUBLE_EQ(g(2, 2), -1.0);
+  const GridD back = g.copy_region(2, 3, 2, 2);
+  for (std::size_t k = 0; k < patch.size(); ++k)
+    EXPECT_DOUBLE_EQ(back[k], patch[k]);
+}
+
+TEST(Grid2DRegion, ClippedEdgeTileShapesWork) {
+  // The fullchip tiler produces short edge tiles: a region flush against
+  // the last row/column must copy and paste cleanly.
+  GridD g(7, 9, 0.5);
+  const GridD edge = g.copy_region(5, 7, 2, 2);  // touches both far edges
+  EXPECT_EQ(edge.rows(), 2u);
+  g.paste_region(5, 7, edge);
+  const GridD row = g.copy_region(6, 0, 1, 9);  // full last row
+  EXPECT_EQ(row.cols(), 9u);
+}
+
+TEST(Grid2DRegionDeathTest, BoundsViolationsAbort) {
+  GridD g(3, 3, 0.0);
+  EXPECT_DEATH(g.copy_region(2, 0, 2, 1), "copy_region");
+  EXPECT_DEATH(g.copy_region(0, 3, 1, 1), "copy_region");
+  const GridD patch(2, 2, 0.0);
+  EXPECT_DEATH(g.paste_region(2, 0, patch), "paste_region");
+  EXPECT_DEATH(g.paste_region(0, 2, patch), "paste_region");
+}
+
 TEST(WindowExtraction, RejectsBadOptions) {
   const Layout l = single_rect_layout(Rect(0, 0, 10, 10));
   ExtractOptions opt;

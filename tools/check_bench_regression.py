@@ -1,59 +1,84 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate: compare a fresh bench_runtime_scaling JSON summary
-against the committed baseline and fail on meaningful regressions.
+"""Perf-smoke gate: compare fresh bench JSON summaries against the
+committed baseline and fail on meaningful regressions.
 
-Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.20]
+Usage: check_bench_regression.py BASELINE.json FRESH.json [FRESH2.json ...]
+           [--tolerance 0.20]
 
-Gated keys (higher is better):
+Multiple fresh files are merged (later files win on key collisions), so the
+kernel sweep (bench_runtime_scaling) and the full-chip smoke
+(bench_fullchip) can each write their own summary.
+
+Gated keys, higher is better:
   gemm_gflops_1t         -- single-thread packed-GEMM throughput
   gemm_speedup_4t        -- 4-thread scaling of the same kernel
   conv2d_fwd_speedup_4t  -- 4-thread conv2d forward: the serial-region
                             threshold keeps small layers never-slower
 
-A fresh value below (1 - tolerance) * baseline fails the check.  The
-default 20% tolerance absorbs CI-runner noise (shared cores, turbo
-variance); real regressions from kernel or scheduler changes are far
-larger than that.  Keys missing from either file fail loudly rather than
-silently passing.
+Gated keys, lower is better:
+  fullchip_tile_ms        -- mean per-tile solve cost of the tiled driver
+  fullchip_stitch_passes  -- stitch refinement passes executed (a jump
+                             means the halo/stitch logic stopped converging)
+
+A higher-is-better value below (1 - tolerance) * baseline fails; a
+lower-is-better value above (1 + tolerance) * baseline fails.  The default
+20% tolerance absorbs CI-runner noise (shared cores, turbo variance); real
+regressions from kernel or scheduler changes are far larger than that.
+Keys missing from the baseline or from every fresh file fail loudly rather
+than silently passing.
 """
 
 import argparse
 import json
 import sys
 
-GATED_KEYS = ("gemm_gflops_1t", "gemm_speedup_4t", "conv2d_fwd_speedup_4t")
+GATED_KEYS_HIGHER = ("gemm_gflops_1t", "gemm_speedup_4t",
+                     "conv2d_fwd_speedup_4t")
+GATED_KEYS_LOWER = ("fullchip_tile_ms", "fullchip_stitch_passes")
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
-    ap.add_argument("fresh")
+    ap.add_argument("fresh", nargs="+")
     ap.add_argument("--tolerance", type=float, default=0.20,
-                    help="allowed fractional drop vs baseline (default 0.20)")
+                    help="allowed fractional drift vs baseline (default 0.20)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
         baseline = json.load(f)
-    with open(args.fresh) as f:
-        fresh = json.load(f)
+    fresh = {}
+    for path in args.fresh:
+        with open(path) as f:
+            fresh.update(json.load(f))
 
     failures = []
-    for key in GATED_KEYS:
+    gated = [(key, True) for key in GATED_KEYS_HIGHER] + \
+            [(key, False) for key in GATED_KEYS_LOWER]
+    for key, higher_is_better in gated:
         if key not in baseline:
             failures.append(f"{key}: missing from baseline {args.baseline}")
             continue
         if key not in fresh:
-            failures.append(f"{key}: missing from fresh run {args.fresh}")
+            failures.append(
+                f"{key}: missing from fresh run(s) {', '.join(args.fresh)}")
             continue
         base, got = float(baseline[key]), float(fresh[key])
-        floor = (1.0 - args.tolerance) * base
-        status = "ok" if got >= floor else "REGRESSION"
+        if higher_is_better:
+            bound = (1.0 - args.tolerance) * base
+            ok = got >= bound
+            relation = "floor"
+        else:
+            bound = (1.0 + args.tolerance) * base
+            ok = got <= bound
+            relation = "ceiling"
+        status = "ok" if ok else "REGRESSION"
         print(f"{key}: baseline {base:.3f}  fresh {got:.3f}  "
-              f"floor {floor:.3f}  {status}")
-        if got < floor:
+              f"{relation} {bound:.3f}  {status}")
+        if not ok:
             failures.append(
-                f"{key}: {got:.3f} < {floor:.3f} "
-                f"({args.tolerance:.0%} below baseline {base:.3f})")
+                f"{key}: {got:.3f} vs {relation} {bound:.3f} "
+                f"({args.tolerance:.0%} band around baseline {base:.3f})")
 
     if failures:
         print("\nperf smoke FAILED:", file=sys.stderr)

@@ -11,7 +11,10 @@
 // final snapshot and exits 130.  Exit codes: 0 success, 1 runtime/input
 // failure (structured one-line error, no stack trace), 2 usage error.
 
+#include <sys/stat.h>
+
 #include <atomic>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
@@ -22,6 +25,7 @@
 #include "common/error.hpp"
 #include "fill/neurfill.hpp"
 #include "fill/report.hpp"
+#include "fullchip/driver.hpp"
 #include "geom/glf_io.hpp"
 #include "layout/fill_insertion.hpp"
 #include "runtime/parallel.hpp"
@@ -67,6 +71,15 @@ struct RunFlags {
   std::string snapshot_path;
   int snapshot_every = 1;
   bool resume = false;
+};
+
+struct TiledFlags {
+  bool tiled = false;
+  int tile_windows = 16;
+  int halo_windows = -1;  ///< negative = derive from planarization length
+  double stitch_tol = 0.02;
+  int stitch_passes = 2;
+  std::string store_dir;  ///< empty = out.glf + ".tiles"
 };
 
 int run(const std::string& in_path, const std::string& out_path,
@@ -135,6 +148,93 @@ int run(const std::string& in_path, const std::string& out_path,
   return 0;
 }
 
+/// Resolves the surrogate the tile solves will load: the given prefix when
+/// it exists, else a reduced surrogate quick-trained on tile (0,0)'s halo
+/// region and saved inside the tile store, so every concurrent tile solve
+/// can load its own instance from disk.
+std::string prepare_tiled_surrogate(const std::string& prefix,
+                                    const fullchip::FullChipOptions& fopt,
+                                    const GlfRegionIndex& index) {
+  Expected<std::shared_ptr<CmpSurrogate>> loaded = load_surrogate(prefix);
+  if (loaded.ok()) return prefix;
+  if (loaded.error().code != ErrorCode::kNotFound)
+    throw ErrorException(loaded.error());
+
+  const double w = fopt.extract.window_um;
+  const std::size_t rows =
+      static_cast<std::size_t>(std::ceil(index.height_um() / w));
+  const std::size_t cols =
+      static_cast<std::size_t>(std::ceil(index.width_um() / w));
+  const int halo =
+      fopt.halo_windows >= 0
+          ? fopt.halo_windows
+          : fullchip::auto_halo_windows(fopt.process.char_length_um, w);
+  const fullchip::TileGrid grid(rows, cols, fopt.tile_windows, halo, w);
+  const Layout local =
+      fullchip::load_tile_layout(index, grid.tile(0, 0), w);
+  const WindowExtraction ext = extract_windows(local, fopt.extract);
+  CmpProcessParams params = fopt.process;
+  params.window_um = w;
+  const CmpSimulator sim(params);
+  auto surrogate = obtain_surrogate(prefix, ext, sim);
+
+  ::mkdir(fopt.store_dir.c_str(), 0755);  // store.open would create it later
+  const std::string trained = fopt.store_dir + "/surrogate";
+  Expected<void> saved = save_surrogate(*surrogate, trained);
+  if (!saved.ok()) throw ErrorException(saved.error());
+  return trained;
+}
+
+int run_tiled(const std::string& in_path, const std::string& out_path,
+              const std::string& method, const std::string& surrogate_prefix,
+              const ExtractOptions& eopt, const RunFlags& flags,
+              const TiledFlags& tiled) {
+  // Index, never parse: the full chip is only ever touched one tile region
+  // at a time.  Buckets of a few windows keep region queries sharp without
+  // inflating the index.
+  const GlfRegionIndex index =
+      GlfRegionIndex::build(in_path, 4.0 * eopt.window_um);
+
+  fullchip::FullChipOptions fopt;
+  fopt.method = method;
+  fopt.extract = eopt;
+  fopt.tile_windows = tiled.tile_windows;
+  fopt.halo_windows = tiled.halo_windows;
+  fopt.stitch_tol = tiled.stitch_tol;
+  fopt.max_stitch_passes = tiled.stitch_passes;
+  fopt.store_dir =
+      tiled.store_dir.empty() ? out_path + ".tiles" : tiled.store_dir;
+  fopt.resume = flags.resume;
+  fopt.deadline = flags.deadline_s > 0.0
+                      ? Deadline::after_seconds(flags.deadline_s)
+                      : Deadline();
+  fopt.interrupt = &g_interrupt;
+  if (method == "pkb" || method == "mm") {
+    const std::string prefix =
+        prepare_tiled_surrogate(surrogate_prefix, fopt, index);
+    fopt.surrogate_factory =
+        [prefix]() -> std::shared_ptr<const CmpSurrogate> {
+      Expected<std::shared_ptr<CmpSurrogate>> s = load_surrogate(prefix);
+      if (!s.ok()) throw ErrorException(s.error());
+      return std::move(*s);
+    };
+  }
+
+  const fullchip::FullChipResult result = fullchip::fullchip_fill(index, fopt);
+  const std::size_t dummies = fullchip::write_fullchip_result(
+      index, out_path, result, eopt.window_um);
+  std::fprintf(stderr,
+               "%s-tiled: %zu tiles (%zu solved, %zu loaded), %d stitch "
+               "pass(es), seam %.4f; inserted %zu dummies in %.1fs "
+               "(%ld evaluations)%s%s\n",
+               method.c_str(), result.tiles_total, result.tiles_solved,
+               result.tiles_loaded, result.stitch_passes + 1,
+               result.final_seam, dummies, result.runtime_s,
+               result.evaluations, result.timed_out ? " [timed-out]" : "",
+               result.degraded ? " [degraded]" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,6 +243,7 @@ int main(int argc, char** argv) {
   std::string method = "pkb";
   std::string surrogate_prefix = "data/unet_cmp";
   RunFlags flags;
+  TiledFlags tiled;
   ExtractOptions eopt;
   double window_um = eopt.window_um;
   CommonToolOptions common;
@@ -177,6 +278,30 @@ int main(int argc, char** argv) {
                   "continue from --snapshot PATH; the resumed run's fill is "
                   "bitwise identical to an uninterrupted one",
                   &flags.resume);
+  parser.add_flag("--tiled",
+                  "out-of-core full-chip mode: solve halo tiles through the "
+                  "pool and stitch them (docs/fullchip.md)",
+                  &tiled.tiled);
+  parser.add_int("--tile-windows", "N",
+                 "tile core edge in windows (default 16)",
+                 &tiled.tile_windows);
+  parser.add_int("--halo-windows", "H",
+                 "halo ring width in windows (default: derived from the "
+                 "planarization length)",
+                 &tiled.halo_windows);
+  parser.add_double("--stitch-tol", "T",
+                    "stop stitching when the worst cross-tile seam falls "
+                    "under T (default 0.02)",
+                    &tiled.stitch_tol);
+  parser.add_int("--stitch-passes", "N",
+                 "max refinement passes after the initial tile pass "
+                 "(default 2)",
+                 &tiled.stitch_passes);
+  parser.add_string("--tile-store", "DIR",
+                    "spill directory for solved tiles (default: "
+                    "out.glf + \".tiles\"); with --resume, completed tiles "
+                    "are loaded instead of re-solved",
+                    &tiled.store_dir);
   add_common_options(parser, &common);
   switch (parser.parse(argc, argv, std::cout, std::cerr)) {
     case ArgParser::Result::kHelp:
@@ -187,7 +312,28 @@ int main(int argc, char** argv) {
       break;
   }
   if (!apply_common_options(common, std::cerr)) return 2;
-  if (flags.resume && flags.snapshot_path.empty()) {
+  if (tiled.tiled) {
+    if (method != "lin" && method != "pkb" && method != "mm") {
+      std::fprintf(stderr,
+                   "nf_fill: --tiled supports lin, pkb, mm (method '%s' "
+                   "needs the monolithic path)\n",
+                   method.c_str());
+      return 2;
+    }
+    if (flags.report || flags.drc || !flags.snapshot_path.empty()) {
+      std::fprintf(stderr,
+                   "nf_fill: --tiled is incompatible with --report/--drc/"
+                   "--snapshot (tile snapshots live in the tile store)\n");
+      return 2;
+    }
+    if (tiled.tile_windows < 1 || tiled.stitch_passes < 0 ||
+        !(tiled.stitch_tol > 0.0)) {
+      std::fprintf(stderr,
+                   "nf_fill: --tile-windows must be >= 1, --stitch-passes "
+                   ">= 0, --stitch-tol > 0\n");
+      return 2;
+    }
+  } else if (flags.resume && flags.snapshot_path.empty()) {
     std::fprintf(stderr, "nf_fill: --resume requires --snapshot PATH\n");
     return 2;
   }
@@ -205,7 +351,10 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   try {
-    rc = run(in_path, out_path, method, surrogate_prefix, eopt, flags);
+    rc = tiled.tiled ? run_tiled(in_path, out_path, method, surrogate_prefix,
+                                 eopt, flags, tiled)
+                     : run(in_path, out_path, method, surrogate_prefix, eopt,
+                           flags);
   } catch (const ErrorException& e) {
     if (e.err.code == ErrorCode::kInterrupted) {
       std::fprintf(stderr, "nf_fill: %s\n", e.err.message.c_str());

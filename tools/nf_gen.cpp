@@ -16,7 +16,7 @@ using namespace neurfill;
 int main(int argc, char** argv) {
   std::string design;
   std::string out;
-  int windows = 32;
+  std::string windows_spec = "32";
   std::uint64_t seed = 1;
   CommonToolOptions common;
 
@@ -25,8 +25,10 @@ int main(int argc, char** argv) {
                    "GLF file.");
   parser.add_positional("a|b|c", "which design family to generate", &design);
   parser.add_positional("out.glf", "output GLF path", &out);
-  parser.add_int("--windows", "N", "design size in windows per side "
-                 "(default 32)", &windows);
+  parser.add_string("--windows", "N|WxH",
+                    "design size in windows: N for an NxN die, or WxH for a "
+                    "rectangular paper-scale die, e.g. 256x256 (default 32)",
+                    &windows_spec);
   parser.add_uint64("--seed", "S", "random seed (default 1)", &seed);
   add_common_options(parser, &common);
   switch (parser.parse(argc, argv, std::cout, std::cerr)) {
@@ -42,11 +44,31 @@ int main(int argc, char** argv) {
                  design.c_str());
     return 2;
   }
+  int windows_x = 0, windows_y = 0;
+  {
+    char extra = 0;
+    const int fields = std::sscanf(windows_spec.c_str(), "%dx%d%c",
+                                   &windows_x, &windows_y, &extra);
+    if (fields == 1) {
+      windows_y = windows_x;  // plain N: square die
+    } else if (fields != 2) {
+      std::fprintf(stderr,
+                   "nf_gen: bad --windows '%s' (expected N or WxH, e.g. 32 "
+                   "or 256x256)\n",
+                   windows_spec.c_str());
+      return 2;
+    }
+    if (windows_x <= 0 || windows_y <= 0) {
+      std::fprintf(stderr, "nf_gen: --windows dimensions must be positive\n");
+      return 2;
+    }
+  }
   if (!apply_common_options(common, std::cerr)) return 2;
 
   int rc = 0;
   try {
-    const Layout layout = make_design(design[0], windows, 100.0, seed);
+    const Layout layout =
+        make_design_rect(design[0], windows_x, windows_y, 100.0, seed);
     write_glf_file(out, layout);
     std::fprintf(stderr, "wrote %s: %zu wires over %zu layers (%zu bytes)\n",
                  out.c_str(), layout.total_wire_count(), layout.num_layers(),

@@ -81,7 +81,8 @@ void add(std::vector<Finding>& out, const char* rule, const SourceFile& f,
 bool numeric_scope(const std::string& rel) {
   static const char* kPrefixes[] = {"src/cmp/",  "src/nn/",     "src/opt/",
                                     "src/fill/", "src/surrogate/",
-                                    "src/geom/", "src/layout/"};
+                                    "src/geom/", "src/layout/",
+                                    "src/fullchip/"};
   for (const char* p : kPrefixes)
     if (starts_with(rel, p)) return true;
   return starts_with(rel, "src/common/fft");
