@@ -1,0 +1,50 @@
+#pragma once
+
+#include "nn/backend/backend.hpp"
+
+namespace neurfill::nn {
+
+/// Reference CPU implementation of the Backend contract: the BLIS-style
+/// packed GEMM (cpu_gemm.cpp), im2col convolution with the serial-region
+/// small-layer scheduling, and the deterministic elementwise / reduction /
+/// normalization kernels that used to live in ops_*.cpp.  All scratch is
+/// grow-only and thread_local, so concurrent dispatch from different
+/// threads is safe and steady-state calls allocate nothing.
+///
+/// The fused conv2d_gn_act_fwd block additionally packs the GEMM right-hand
+/// side straight from the input tensor (gemm_internal.hpp), skipping the
+/// im2col materialization entirely; its results stay bitwise identical to
+/// the unfused kernel chain because the packed values and every
+/// accumulation order are unchanged (docs/inference.md).
+class CpuBackend final : public Backend {
+ public:
+  const char* name() const override { return "cpu"; }
+
+  void gemm(GemmKind kind, int M, int N, int K, const float* A, const float* B,
+            float* C, bool accumulate) override;
+  void conv2d_fwd(const Conv2dGeom& g, const float* x, const float* w,
+                  const float* bias, float* y) override;
+  void conv2d_bwd(const Conv2dGeom& g, const float* x, const float* w,
+                  const float* gy, float* gx, float* gw, float* gb) override;
+  void unary_map(UnaryKind op, float p, const float* x, float* y,
+                 std::int64_t n) override;
+  void binary_map(BinaryKind op, const float* a, const float* b, float* y,
+                  std::int64_t n) override;
+  double reduce_sum(const float* x, std::int64_t n) override;
+  void group_norm_fwd(const GroupNormGeom& g, const float* x,
+                      const float* gamma, const float* beta, float* y,
+                      double* mean_out, double* istd_out) override;
+  void maxpool2x2_fwd(std::int64_t planes, int height, int width,
+                      const float* x, float* y, std::int64_t* argmax) override;
+  void upsample2x_fwd(std::int64_t planes, int height, int width,
+                      const float* x, float* y) override;
+  void concat_channels_fwd(int batch, int channels_a, int channels_b,
+                           std::int64_t plane, const float* a, const float* b,
+                           float* y) override;
+  void conv2d_gn_act_fwd(const Conv2dGeom& g, int groups, float eps,
+                         ActKind act, float slope, const float* x,
+                         const float* w, const float* bias, const float* gamma,
+                         const float* beta, float* y) override;
+};
+
+}  // namespace neurfill::nn

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/aligned.hpp"
+#include "nn/backend/gemm_internal.hpp"
 #include "common/check.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
@@ -52,8 +53,13 @@ namespace {
 constexpr int kMr = 6;
 constexpr int kNr = 16;
 constexpr int kKc = 256;
+static_assert(kKc == kGemmKc,
+              "gemm_internal.hpp advertises the K-slab depth to the direct "
+              "convolution kernel");
 constexpr int kMc = 96;
 static_assert(kMc % kMr == 0, "row tiles must hold whole A slivers");
+static_assert(kNr == kGemmNr,
+              "gemm_internal.hpp advertises the packed sliver width");
 
 /// Sustained packed-kernel throughput in FLOP/ns, measured single-threaded
 /// by bench_runtime_scaling on the baseline machine; used only to convert
@@ -199,9 +205,14 @@ void micro_kernel(int kc, const float* __restrict__ ap,
   }
 }
 
-void gemm_driver(const char* name, Op aop, Op bop, int M, int N, int K,
-                 const float* A, const float* B, float* C, bool accumulate) {
-  check_gemm_args(name, M, N, K, A, B, C);
+/// The driver proper, generic over how B slivers are produced: the three
+/// public transpose variants pack from a materialized B, gemm_packed_b
+/// forwards a caller gather.  Everything after packing is identical, so all
+/// entries share one decomposition and one bitwise-determinism argument.
+template <typename PackB>
+void gemm_driver_impl(int M, int N, int K, const float* A,
+                      const PackB& pack_b_fn, float* C, bool accumulate,
+                      Op aop) {
   NF_TRACE_SPAN("nn.gemm");
   NF_COUNTER_ADD("nn.gemm_flops", gemm_flops(M, N, K));
   if (M <= 0 || N <= 0) return;
@@ -226,10 +237,10 @@ void gemm_driver(const char* name, Op aop, Op bop, int M, int N, int K,
     runtime::parallel_for(
         runtime::grain_for_cost(sliver_ns, static_cast<std::size_t>(n_slivers)),
         static_cast<std::size_t>(n_slivers),
-        [=](std::size_t s0, std::size_t s1) {
+        [&](std::size_t s0, std::size_t s1) {
           for (std::size_t s = s0; s < s1; ++s)
-            pack_b_sliver(bop, B, K, N, static_cast<int>(s),
-                          bp + s * static_cast<std::size_t>(K) * kNr);
+            pack_b_fn(static_cast<int>(s),
+                      bp + s * static_cast<std::size_t>(K) * kNr);
         });
   }
 
@@ -275,7 +286,29 @@ void gemm_driver(const char* name, Op aop, Op bop, int M, int N, int K,
       });
 }
 
+void gemm_driver(const char* name, Op aop, Op bop, int M, int N, int K,
+                 const float* A, const float* B, float* C, bool accumulate) {
+  check_gemm_args(name, M, N, K, A, B, C);
+  gemm_driver_impl(
+      M, N, K, A,
+      [&](int s, float* dst) { pack_b_sliver(bop, B, K, N, s, dst); }, C,
+      accumulate, aop);
+}
+
 }  // namespace
+
+void gemm_packed_b(int M, int N, int K, const float* A,
+                   const GemmPackBFn& pack_b, float* C, bool accumulate) {
+  NF_CHECK(M >= 0 && N >= 0 && K >= 0,
+           "gemm_packed_b: negative dimension M=%d N=%d K=%d", M, N, K);
+  if (M > 0 && N > 0) {
+    NF_CHECK(C != nullptr, "gemm_packed_b: null C with M=%d N=%d", M, N);
+    if (K > 0)
+      NF_CHECK(A != nullptr && pack_b != nullptr,
+               "gemm_packed_b: null input operand");
+  }
+  gemm_driver_impl(M, N, K, A, pack_b, C, accumulate, Op::kNone);
+}
 
 void gemm_nn(int M, int N, int K, const float* A, const float* B, float* C,
              bool accumulate) {

@@ -2,6 +2,13 @@
 
 namespace neurfill::nn {
 
+/// IMPLEMENTATION-INTERNAL.  These free functions are the CpuBackend's
+/// kernels (src/nn/backend/cpu_gemm.cpp); everything outside src/nn must
+/// reach them through the Backend interface (nn/backend/backend.hpp) —
+/// `backend().gemm(...)` — so alternative backends can interpose.  The
+/// declarations stay here only for the backend implementation and the
+/// kernel benches/tests.
+///
 /// Single-precision GEMM kernels used by conv2d/linear.  Row-major
 /// storage.  C (MxN) += A op * B op; `accumulate=false` overwrites C.
 /// All three variants share one cache-blocked, register-tiled micro-kernel:

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/backend/backend.hpp"
+#include "nn/tensor.hpp"
+#include "nn/unet.hpp"
+
+// Tape-free inference engine (docs/inference.md).  An InferenceSession
+// compiles a UNet into a static, topologically ordered op graph once —
+// fused conv+groupnorm+activation blocks, pool/upsample/concat nodes, and
+// a liveness-planned arena of reused activation buffers — then executes
+// forward passes with zero steady-state allocation.  Results are bitwise
+// identical to the autograd module evaluation at any thread count (pinned
+// by tests/test_inference.cpp), because every kernel reproduces the same
+// accumulation orders through the same compute backend.
+//
+// This directory is lint-enforced tape-free: nf_lint's infer-no-autograd
+// rule forbids the tape API surface here, so the engine can never silently
+// regress into building autograd state.
+
+namespace neurfill::nn {
+
+struct InferenceOptions {
+  /// Reuse activation buffers once their last consumer has executed
+  /// (liveness-planned arena).  Off gives every value a private block —
+  /// the aliasing-free reference the arena planner is tested against.
+  bool reuse_buffers = true;
+  /// Execute conv blocks through the fused conv+groupnorm+activation
+  /// kernel.  Off runs the unfused backend kernel chain in place — the
+  /// fusion-free reference path.
+  bool fuse = true;
+};
+
+class InferenceSession {
+ public:
+  /// Compiles `net` for inputs of spatial extent height x width (each must
+  /// be positive and divisible by 2^depth).  Parameter storage is shared
+  /// with (and kept alive independently of) `net`; the session reflects
+  /// the weight values current at each run() call.
+  InferenceSession(const UNet& net, int height, int width,
+                   InferenceOptions options = {});
+
+  /// One batched NCHW pass: `input` is [batch, in_channels, H, W],
+  /// `output` is [batch, out_channels, H, W], both caller-owned and
+  /// non-overlapping.  Thread-safe (per-thread arena) and deterministic:
+  /// the result is bitwise identical at any thread count, and a batch-B
+  /// call equals B batch-1 calls sample for sample.  Steady state performs
+  /// no allocation: the arena is a grow-only thread_local buffer.
+  void run(const float* input, float* output, int batch = 1) const;
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int height() const { return height_; }
+  int width() const { return width_; }
+  /// Arena footprint per batch sample, in floats (introspection/tests).
+  std::size_t arena_floats_per_sample() const { return arena_floats_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct ValueSpec {
+    int channels = 0;
+    int height = 0;
+    int width = 0;
+    bool external = false;    ///< the session input, not arena-backed
+    std::size_t offset = 0;   ///< per-sample float offset into the arena
+  };
+
+  struct ConvBlockSpec {
+    Conv2dGeom geom;            ///< batch filled in at run time
+    const float* weight = nullptr;
+    const float* bias = nullptr;
+    const float* gamma = nullptr;
+    const float* beta = nullptr;
+    int groups = 0;             ///< 0: no normalization
+    float eps = 0.0f;
+    ActKind act = ActKind::kNone;
+    float slope = 0.0f;
+  };
+
+  struct Node {
+    enum class Kind { kConvBlock, kMaxPool, kUpsample, kConcat };
+    Kind kind = Kind::kConvBlock;
+    int in0 = -1;
+    int in1 = -1;  ///< kConcat only (second operand)
+    int out = -1;
+    ConvBlockSpec conv;  ///< kConvBlock only
+  };
+
+  int add_value(int channels, int height, int width);
+  int add_conv_block(const void* conv_module, const void* norm_module,
+                     ActKind act, int in_id);
+  void plan_arena(bool reuse);
+  float* value_ptr(int vid, float* arena, int batch) const;
+
+  std::vector<ValueSpec> values_;
+  std::vector<Node> nodes_;
+  std::vector<Tensor> keep_;  ///< shares ownership of the parameter storage
+  std::size_t arena_floats_ = 0;
+  int out_value_ = -1;
+  int in_channels_ = 0;
+  int out_channels_ = 0;
+  int height_ = 0;
+  int width_ = 0;
+  bool fuse_ = true;
+};
+
+}  // namespace neurfill::nn

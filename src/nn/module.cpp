@@ -14,6 +14,17 @@ std::vector<std::pair<std::string, Tensor>> Module::named_parameters() const {
   return out;
 }
 
+std::vector<std::pair<std::string, const Module*>> Module::named_modules()
+    const {
+  std::vector<std::pair<std::string, const Module*>> out;
+  for (const auto& [name, child] : children_) {
+    out.emplace_back(name, child.get());
+    for (const auto& [cname, sub] : child->named_modules())
+      out.emplace_back(name + "." + cname, sub);
+  }
+  return out;
+}
+
 std::vector<Tensor> Module::parameters() const {
   std::vector<Tensor> out;
   for (auto& [name, t] : named_parameters()) out.push_back(t);

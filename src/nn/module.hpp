@@ -28,6 +28,11 @@ class Module {
   std::int64_t parameter_count() const;
   void zero_grad();
 
+  /// All submodules (recursively, excluding `this`), depth first, with
+  /// dotted path names ("enc0.conv1").  Graph compilers (src/nn/infer) walk
+  /// this to reconstruct the architecture without invoking the tape.
+  std::vector<std::pair<std::string, const Module*>> named_modules() const;
+
  protected:
   Tensor register_parameter(const std::string& name, Tensor t);
   void register_module(const std::string& name, std::shared_ptr<Module> m);
@@ -44,6 +49,13 @@ class Conv2d : public Module {
          int padding, Rng& rng);
   Tensor forward(const Tensor& x) override;
 
+  /// Hyperparameter / parameter access for graph compilation.  weight() is
+  /// [O, C, k, k]; bias() is [O].
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+  int stride() const { return stride_; }
+  int padding() const { return padding_; }
+
  private:
   Tensor weight_, bias_;
   int stride_, padding_;
@@ -54,6 +66,10 @@ class GroupNorm : public Module {
  public:
   GroupNorm(int channels, int groups);
   Tensor forward(const Tensor& x) override;
+
+  const Tensor& gamma() const { return gamma_; }
+  const Tensor& beta() const { return beta_; }
+  int groups() const { return groups_; }
 
  private:
   Tensor gamma_, beta_;

@@ -4,6 +4,15 @@
 
 namespace neurfill::nn {
 
+// Autograd tensor ops.  These are the TRAINING-PATH entry points: every op
+// allocates its output tensor, records a tape closure, and dispatches its
+// arithmetic through the active compute backend (nn/backend/backend.hpp).
+// Inference-only callers should not build networks out of these —
+// nn/infer/session.hpp compiles the same arithmetic into a static graph
+// with fused kernels and a planned arena, and is the supported fast path
+// (docs/inference.md).  Direct kernel entry points (nn/gemm.hpp) are
+// implementation-internal to the CPU backend.
+
 /// Elementwise binary ops with numpy-style broadcasting (dims aligned from
 /// the right; each pair must match or one must be 1).
 Tensor add(const Tensor& a, const Tensor& b);

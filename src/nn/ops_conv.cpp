@@ -1,115 +1,38 @@
 #include <cmath>
-#include <cstring>
-#include <optional>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
-#include "common/aligned.hpp"
 #include "common/check.hpp"
-#include "nn/gemm.hpp"
+#include "nn/backend/backend.hpp"
 #include "nn/ops.hpp"
-#include "obs/trace.hpp"
-#include "runtime/parallel.hpp"
-#include "runtime/thread_pool.hpp"
+
+// Structured ops (matmul/linear/conv2d/pool/upsample/group_norm).  This
+// layer owns shape validation and the autograd tape; every kernel — forward
+// and backward — dispatches through the active compute backend
+// (nn/backend/backend.hpp), so the arithmetic here is whatever the backend
+// guarantees (the default CpuBackend: bitwise deterministic at any thread
+// count, docs/runtime.md).
 
 namespace neurfill::nn {
 
 namespace {
 
-/// Convolutions whose per-sample unfold matrix (C*kh*kw rows x Hout*Wout
-/// columns) is at or below this many elements run entirely inside a runtime
-/// SerialRegion — im2col/col2im, the packed GEMM, and the bias loops all
-/// degrade to inline blocks.  Same treatment as the contact solver's
-/// kSerialSolveCells (PR 4): a UNet-encoder-sized layer (16ch 64x64, k3 —
-/// the bench shape) splits each sub-loop into blocks of a few hundred
-/// microseconds, and at 4 threads the per-loop fork/join handshakes cost
-/// more than the parallelism saves (conv2d_fwd_speedup_4t was 0.82 in the
-/// old BENCH_runtime.json).  The primitives are bitwise-deterministic, so
-/// forcing serial execution changes scheduling only, never results.
-constexpr std::size_t kSerialConvUnfoldElems = 1u << 20;
-
-/// Output extent / unfold-geometry agreement shared by im2col and col2im.
-/// The callers derive (Hout, Wout) from (H, W, kernel, stride, pad); a
-/// mismatch here means the GEMM that follows would read or scatter past the
-/// unfolded buffer.
-void check_unfold_geometry(const char* name, int H, int W, int kh, int kw,
-                           int stride, int pad, int Hout, int Wout) {
-  NF_CHECK(stride >= 1, "%s: stride %d", name, stride);
-  NF_CHECK(pad >= 0, "%s: negative padding %d", name, pad);
-  NF_CHECK((H + 2 * pad - kh) / stride + 1 == Hout &&
-               (W + 2 * pad - kw) / stride + 1 == Wout,
-           "%s: output %dx%d disagrees with input %dx%d kernel %dx%d "
-           "stride %d pad %d",
-           name, Hout, Wout, H, W, kh, kw, stride, pad);
-}
-
-/// im2col: unfold (C,H,W) into a (C*kh*kw, Hout*Wout) matrix for kernel
-/// (kh,kw), stride s, symmetric zero padding p.
-void im2col(const float* x, int C, int H, int W, int kh, int kw, int stride,
-            int pad, int Hout, int Wout, float* col) {
-  check_unfold_geometry("im2col", H, W, kh, kw, stride, pad, Hout, Wout);
-  const int cols = Hout * Wout;
-  // Each unfolded row (c, ki, kj) writes a disjoint `cols`-wide slice, so
-  // the plane loop parallelizes directly; one plane costs ~1.5 ns per
-  // output element (predicated copy), so the grain comes from the cost
-  // model and small unfolds run inline.
-  const std::size_t planes = static_cast<std::size_t>(C * kh * kw);
-  runtime::parallel_for(
-      runtime::grain_for_cost(1.5 * static_cast<double>(cols), planes), planes,
-      [=](std::size_t p0, std::size_t p1) {
-        for (std::size_t p = p0; p < p1; ++p) {
-          const int c = static_cast<int>(p) / (kh * kw);
-          const int ki = (static_cast<int>(p) / kw) % kh;
-          const int kj = static_cast<int>(p) % kw;
-          float* dst = col + p * static_cast<std::size_t>(cols);
-          for (int oi = 0; oi < Hout; ++oi) {
-            const int ii = oi * stride + ki - pad;
-            if (ii < 0 || ii >= H) {
-              std::memset(dst + oi * Wout, 0,
-                          sizeof(float) * static_cast<std::size_t>(Wout));
-              continue;
-            }
-            const float* src = x + (c * H + ii) * W;
-            for (int oj = 0; oj < Wout; ++oj) {
-              const int jj = oj * stride + kj - pad;
-              dst[oi * Wout + oj] = (jj >= 0 && jj < W) ? src[jj] : 0.0f;
-            }
-          }
-        }
-      });
-}
-
-/// col2im: adjoint of im2col; accumulates into x.
-void col2im(const float* col, int C, int H, int W, int kh, int kw, int stride,
-            int pad, int Hout, int Wout, float* x) {
-  check_unfold_geometry("col2im", H, W, kh, kw, stride, pad, Hout, Wout);
-  const int cols = Hout * Wout;
-  // The (ki, kj) scatters of one channel overlap each other but never cross
-  // channels, so the accumulation parallelizes over c only; within a
-  // channel the scatter order is the fixed serial one.  One channel costs
-  // ~2 ns per (kernel tap x output element) accumulate.
-  const double chan_cost_ns = 2.0 * static_cast<double>(kh * kw) *
-                              static_cast<double>(cols);
-  runtime::parallel_for(
-      runtime::grain_for_cost(chan_cost_ns, static_cast<std::size_t>(C)),
-      static_cast<std::size_t>(C), [=](std::size_t c0, std::size_t c1) {
-  for (int c = static_cast<int>(c0); c < static_cast<int>(c1); ++c) {
-    for (int ki = 0; ki < kh; ++ki) {
-      for (int kj = 0; kj < kw; ++kj) {
-        const float* src = col + ((c * kh + ki) * kw + kj) * cols;
-        for (int oi = 0; oi < Hout; ++oi) {
-          const int ii = oi * stride + ki - pad;
-          if (ii < 0 || ii >= H) continue;
-          float* dst = x + (c * H + ii) * W;
-          for (int oj = 0; oj < Wout; ++oj) {
-            const int jj = oj * stride + kj - pad;
-            if (jj >= 0 && jj < W) dst[jj] += src[oi * Wout + oj];
-          }
-        }
-      }
-    }
-  }
-  });
+Conv2dGeom make_conv_geom(int N, int C, int H, int W, int O, int kh, int kw,
+                          int stride, int padding, int Hout, int Wout) {
+  Conv2dGeom g;
+  g.batch = N;
+  g.in_channels = C;
+  g.height = H;
+  g.width = W;
+  g.out_channels = O;
+  g.kernel_h = kh;
+  g.kernel_w = kw;
+  g.stride = stride;
+  g.padding = padding;
+  g.out_height = Hout;
+  g.out_width = Wout;
+  return g;
 }
 
 }  // namespace
@@ -119,13 +42,14 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("matmul: need (M,K)x(K,N)");
   const int M = a.dim(0), K = a.dim(1), N = b.dim(1);
   Tensor out({M, N});
-  gemm_nn(M, N, K, a.data(), b.data(), out.data(), false);
+  backend().gemm(GemmKind::kNN, M, N, K, a.data(), b.data(), out.data(),
+                 false);
   Tensor::attach_backward(out, {a, b}, [a, b, out = out.impl().get(), M, N, K]() mutable {
     const float* go = out->grad.data();
     if (a.requires_grad())  // dA = dOut (MxN) * B^T (NxK)
-      gemm_nt(M, K, N, go, b.data(), a.grad(), true);
+      backend().gemm(GemmKind::kNT, M, K, N, go, b.data(), a.grad(), true);
     if (b.requires_grad())  // dB = A^T (KxM) * dOut (MxN)
-      gemm_tn(K, N, M, a.data(), go, b.grad(), true);
+      backend().gemm(GemmKind::kTN, K, N, M, a.data(), go, b.grad(), true);
   });
   return out;
 }
@@ -137,7 +61,8 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   if (b.defined() && (b.ndim() != 1 || b.dim(0) != O))
     throw std::invalid_argument("linear: bias shape mismatch");
   Tensor out({N, O});
-  gemm_nt(N, O, K, x.data(), w.data(), out.data(), false);
+  backend().gemm(GemmKind::kNT, N, O, K, x.data(), w.data(), out.data(),
+                 false);
   if (b.defined()) {
     float* po = out.data();
     for (int n = 0; n < N; ++n)
@@ -148,9 +73,9 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   Tensor::attach_backward(out, inputs, [x, w, b, out = out.impl().get(), N, K, O]() mutable {
     const float* go = out->grad.data();
     if (x.requires_grad())  // dX = dOut (N,O) * W (O,K)
-      gemm_nn(N, K, O, go, w.data(), x.grad(), true);
+      backend().gemm(GemmKind::kNN, N, K, O, go, w.data(), x.grad(), true);
     if (w.requires_grad())  // dW = dOut^T (O,N) * X (N,K)
-      gemm_tn(O, K, N, go, x.data(), w.grad(), true);
+      backend().gemm(GemmKind::kTN, O, K, N, go, x.data(), w.grad(), true);
     if (b.defined() && b.requires_grad()) {
       float* gb = b.grad();
       for (int n = 0; n < N; ++n)
@@ -176,7 +101,6 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   if (bias.defined() && (bias.ndim() != 1 || bias.dim(0) != O))
     throw std::invalid_argument("conv2d: bias shape mismatch");
 
-  NF_TRACE_SPAN("nn.conv2d");
   Tensor out({N, O, Hout, Wout});
   const int K = C * kh * kw;
   const int cols = Hout * Wout;
@@ -188,88 +112,20 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   NF_CHECK(out.numel() == static_cast<std::int64_t>(N) * O * cols,
            "conv2d: output numel %lld != N*O*HoutWout = %d*%d*%d",
            static_cast<long long>(out.numel()), N, O, cols);
-  // Persistent unfold scratch: the (K, cols) im2col matrix is rebuilt for
-  // every batch element of every conv in the network, so it lives in a
-  // grow-only thread-local aligned buffer instead of a per-call vector —
-  // zero allocations in steady state, and 64-byte alignment feeds the
-  // packed GEMM full cache lines.
-  static thread_local AlignedBuffer<float> tls_col;
-  const std::size_t unfold_elems = static_cast<std::size_t>(K) * cols;
-  float* col = tls_col.ensure(unfold_elems);
-  // Small layers fork no jobs at all (see kSerialConvUnfoldElems above).
-  std::optional<runtime::ThreadPool::SerialRegion> serial;
-  if (unfold_elems <= kSerialConvUnfoldElems) serial.emplace();
-  const std::size_t bias_grain = runtime::grain_for_cost(
-      1.0 * static_cast<double>(cols), static_cast<std::size_t>(O));
-  for (int n = 0; n < N; ++n) {
-    im2col(x.data() + static_cast<std::int64_t>(n) * C * H * W, C, H, W, kh,
-           kw, stride, padding, Hout, Wout, col);
-    float* po = out.data() + static_cast<std::int64_t>(n) * O * cols;
-    gemm_nn(O, cols, K, weight.data(), col, po, false);
-    if (bias.defined()) {
-      const float* pb = bias.data();
-      runtime::parallel_for(bias_grain, static_cast<std::size_t>(O),
-                            [=](std::size_t o0, std::size_t o1) {
-                              for (std::size_t o = o0; o < o1; ++o)
-                                for (int i = 0; i < cols; ++i)
-                                  po[o * static_cast<std::size_t>(cols) + i] +=
-                                      pb[o];
-                            });
-    }
-  }
+  const Conv2dGeom geom =
+      make_conv_geom(N, C, H, W, O, kh, kw, stride, padding, Hout, Wout);
+  backend().conv2d_fwd(geom, x.data(), weight.data(),
+                       bias.defined() ? bias.data() : nullptr, out.data());
 
   std::vector<Tensor> inputs{x, weight};
   if (bias.defined()) inputs.push_back(bias);
   Tensor::attach_backward(
-      out, inputs,
-      [x, weight, bias, out = out.impl().get(), N, C, H, W, O, kh, kw, stride, padding, Hout,
-       Wout, K, cols]() mutable {
-        NF_TRACE_SPAN("nn.conv2d_backward");
-        const float* go = out->grad.data();
-        // Same persistent-scratch scheme as the forward pass; separate
-        // buffers because dcol is consumed (col2im) while colbuf is still
-        // live for the weight gradient.
-        static thread_local AlignedBuffer<float> tls_colbuf;
-        static thread_local AlignedBuffer<float> tls_dcol;
-        const std::size_t bwd_unfold_elems =
-            static_cast<std::size_t>(K) * cols;
-        float* colbuf = tls_colbuf.ensure(bwd_unfold_elems);
-        float* dcol = x.requires_grad() ? tls_dcol.ensure(bwd_unfold_elems)
-                                        : nullptr;
-        // Same serial threshold as the forward pass: the backward unfolds
-        // and GEMMs are the same shapes, plus one col2im scatter.
-        std::optional<runtime::ThreadPool::SerialRegion> bwd_serial;
-        if (bwd_unfold_elems <= kSerialConvUnfoldElems) bwd_serial.emplace();
-        const std::size_t gb_grain = runtime::grain_for_cost(
-            1.0 * static_cast<double>(cols), static_cast<std::size_t>(O));
-        for (int n = 0; n < N; ++n) {
-          const float* gout = go + static_cast<std::int64_t>(n) * O * cols;
-          // The unfolded input is recomputed rather than cached: it is the
-          // largest intermediate and recomputation is one im2col pass.
-          if (weight.requires_grad() || x.requires_grad())
-            im2col(x.data() + static_cast<std::int64_t>(n) * C * H * W, C, H,
-                   W, kh, kw, stride, padding, Hout, Wout, colbuf);
-          if (weight.requires_grad())  // dW += dOut (O,cols) * col^T (cols,K)
-            gemm_nt(O, K, cols, gout, colbuf, weight.grad(), true);
-          if (x.requires_grad()) {  // dcol = W^T (K,O) * dOut (O,cols)
-            gemm_tn(K, cols, O, weight.data(), gout, dcol, false);
-            col2im(dcol, C, H, W, kh, kw, stride, padding, Hout, Wout,
-                   x.grad() + static_cast<std::int64_t>(n) * C * H * W);
-          }
-          if (bias.defined() && bias.requires_grad()) {
-            float* gb = bias.grad();
-            runtime::parallel_for(
-                gb_grain, static_cast<std::size_t>(O),
-                [=](std::size_t o0, std::size_t o1) {
-                  for (std::size_t o = o0; o < o1; ++o) {
-                    float acc = gb[o];
-                    for (int i = 0; i < cols; ++i)
-                      acc += gout[o * static_cast<std::size_t>(cols) + i];
-                    gb[o] = acc;
-                  }
-                });
-          }
-        }
+      out, inputs, [x, weight, bias, out = out.impl().get(), geom]() mutable {
+        backend().conv2d_bwd(
+            geom, x.data(), weight.data(), out->grad.data(),
+            x.requires_grad() ? x.grad() : nullptr,
+            weight.requires_grad() ? weight.grad() : nullptr,
+            (bias.defined() && bias.requires_grad()) ? bias.grad() : nullptr);
       });
   return out;
 }
@@ -283,30 +139,8 @@ Tensor maxpool2x2(const Tensor& x) {
   Tensor out({N, C, Ho, Wo});
   auto indices = std::make_shared<std::vector<std::int64_t>>(
       static_cast<std::size_t>(out.numel()));
-  const float* px = x.data();
-  float* po = out.data();
-  std::int64_t o = 0;
-  for (int nc = 0; nc < N * C; ++nc) {
-    const float* plane = px + static_cast<std::int64_t>(nc) * H * W;
-    for (int i = 0; i < Ho; ++i) {
-      for (int j = 0; j < Wo; ++j) {
-        const std::int64_t base = static_cast<std::int64_t>(2 * i) * W + 2 * j;
-        std::int64_t best = base;
-        float bv = plane[base];
-        for (const std::int64_t cand :
-             {base + 1, base + W, base + W + 1}) {
-          if (plane[cand] > bv) {
-            bv = plane[cand];
-            best = cand;
-          }
-        }
-        po[o] = bv;
-        (*indices)[static_cast<std::size_t>(o)] =
-            static_cast<std::int64_t>(nc) * H * W + best;
-        ++o;
-      }
-    }
-  }
+  backend().maxpool2x2_fwd(static_cast<std::int64_t>(N) * C, H, W, x.data(),
+                           out.data(), indices->data());
   Tensor::attach_backward(out, {x}, [x, out = out.impl().get(), indices]() mutable {
     const float* go = out->grad.data();
     float* gx = x.grad();
@@ -321,22 +155,8 @@ Tensor upsample_nearest2x(const Tensor& x) {
     throw std::invalid_argument("upsample_nearest2x: need 4-D input");
   const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
   Tensor out({N, C, 2 * H, 2 * W});
-  const float* px = x.data();
-  float* po = out.data();
-  for (int nc = 0; nc < N * C; ++nc) {
-    const float* sp = px + static_cast<std::int64_t>(nc) * H * W;
-    float* dp = po + static_cast<std::int64_t>(nc) * 4 * H * W;
-    for (int i = 0; i < H; ++i) {
-      for (int j = 0; j < W; ++j) {
-        const float v = sp[i * W + j];
-        const std::int64_t b = static_cast<std::int64_t>(2 * i) * 2 * W + 2 * j;
-        dp[b] = v;
-        dp[b + 1] = v;
-        dp[b + 2 * W] = v;
-        dp[b + 2 * W + 1] = v;
-      }
-    }
-  }
+  backend().upsample2x_fwd(static_cast<std::int64_t>(N) * C, H, W, x.data(),
+                           out.data());
   Tensor::attach_backward(out, {x}, [x, out = out.impl().get(), N, C, H, W]() mutable {
     const float* go = out->grad.data();
     float* gx = x.grad();
@@ -369,36 +189,15 @@ Tensor group_norm(const Tensor& x, int groups, const Tensor& gamma,
       static_cast<std::size_t>(N) * groups);
   auto istd_v = std::make_shared<std::vector<double>>(
       static_cast<std::size_t>(N) * groups);
-  const float* px = x.data();
-  float* po = out.data();
-  for (int n = 0; n < N; ++n) {
-    for (int g = 0; g < groups; ++g) {
-      const float* base = px + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
-      double m = 0.0;
-      for (std::int64_t i = 0; i < gsize; ++i) m += static_cast<double>(base[i]);
-      m /= static_cast<double>(gsize);
-      double v = 0.0;
-      for (std::int64_t i = 0; i < gsize; ++i) {
-        const double d = static_cast<double>(base[i]) - m;
-        v += d * d;
-      }
-      v /= static_cast<double>(gsize);
-      const double istd = 1.0 / std::sqrt(v + static_cast<double>(eps));
-      (*mean_v)[static_cast<std::size_t>(n * groups + g)] = m;
-      (*istd_v)[static_cast<std::size_t>(n * groups + g)] = istd;
-      float* ob = po + (static_cast<std::int64_t>(n) * C + g * cpg) * H * W;
-      for (int c = 0; c < cpg; ++c) {
-        const float gm = gamma.data()[g * cpg + c];
-        const float bt = beta.data()[g * cpg + c];
-        const float* sb = base + static_cast<std::int64_t>(c) * H * W;
-        float* db = ob + static_cast<std::int64_t>(c) * H * W;
-        for (int i = 0; i < H * W; ++i)
-          db[i] =
-              static_cast<float>((static_cast<double>(sb[i]) - m) * istd) * gm +
-              bt;
-      }
-    }
-  }
+  GroupNormGeom geom;
+  geom.batch = N;
+  geom.channels = C;
+  geom.height = H;
+  geom.width = W;
+  geom.groups = groups;
+  geom.eps = eps;
+  backend().group_norm_fwd(geom, x.data(), gamma.data(), beta.data(),
+                           out.data(), mean_v->data(), istd_v->data());
   Tensor::attach_backward(
       out, {x, gamma, beta},
       [x, gamma, beta, out = out.impl().get(), N, C, H, W, groups, cpg, gsize, mean_v,

@@ -4,8 +4,14 @@
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "nn/backend/backend.hpp"
 #include "nn/ops.hpp"
 #include "runtime/parallel.hpp"
+
+// Elementwise ops and reductions.  Forward arithmetic dispatches through
+// the active compute backend (nn/backend/backend.hpp); this layer keeps the
+// shape/broadcast logic and the autograd gradient loops, whose per-element
+// derivative formulas stay local lambdas.
 
 namespace neurfill::nn {
 
@@ -77,21 +83,15 @@ BroadcastPlan make_plan(const Tensor& a, const Tensor& b) {
   return p;
 }
 
-/// Generic broadcasting binary op.  `f(x, y)` computes the value; `dfa` and
-/// `dfb` compute d out / d a and d out / d b at (x, y).
+/// Generic broadcasting binary op.  `kind` selects the backend map for the
+/// same-shape fast path; `f(x, y)` computes the value in the broadcast
+/// fallback; `dfa` and `dfb` compute d out / d a and d out / d b at (x, y).
 template <typename F, typename DFA, typename DFB>
-Tensor binary_op(const Tensor& a, const Tensor& b, F f, DFA dfa, DFB dfb) {
+Tensor binary_op(const Tensor& a, const Tensor& b, BinaryKind kind, F f,
+                 DFA dfa, DFB dfb) {
   if (same_shape(a, b)) {  // fast path: flat loops, no index math
     Tensor out(a.shape());
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    const std::int64_t n = a.numel();
-    runtime::parallel_for(elem_grain(n), static_cast<std::size_t>(n),
-                          [=](std::size_t i0, std::size_t i1) {
-                            for (std::size_t i = i0; i < i1; ++i)
-                              po[i] = f(pa[i], pb[i]);
-                          });
+    backend().binary_map(kind, a.data(), b.data(), out.data(), a.numel());
     Tensor::attach_backward(out, {a, b}, [a, b, out = out.impl().get(), dfa, dfb]() mutable {
       const float* ga_src = out->grad.data();
       const float* pa2 = a.data();
@@ -160,19 +160,13 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, DFA dfa, DFB dfb) {
   return out;
 }
 
-/// Generic elementwise unary op; derivative expressed in terms of input x
-/// and output y.
-template <typename F, typename DF>
-Tensor unary_op(const Tensor& a, F f, DF df) {
+/// Generic elementwise unary op; forward via the backend map (`p` is the
+/// UnaryKind parameter), derivative expressed in terms of input x and
+/// output y.
+template <typename DF>
+Tensor unary_op(const Tensor& a, UnaryKind kind, float p, DF df) {
   Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
-  const std::int64_t n = a.numel();
-  runtime::parallel_for(elem_grain(n), static_cast<std::size_t>(n),
-                        [=](std::size_t i0, std::size_t i1) {
-                          for (std::size_t i = i0; i < i1; ++i)
-                            po[i] = f(pa[i]);
-                        });
+  backend().unary_map(kind, p, a.data(), out.data(), a.numel());
   Tensor::attach_backward(out, {a}, [a, out = out.impl().get(), df]() mutable {
     const float* go = out->grad.data();
     const float* pa2 = a.data();
@@ -192,133 +186,103 @@ Tensor unary_op(const Tensor& a, F f, DF df) {
 
 Tensor add(const Tensor& a, const Tensor& b) {
   return binary_op(
-      a, b, [](float x, float y) { return x + y; },
+      a, b, BinaryKind::kAdd, [](float x, float y) { return x + y; },
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   return binary_op(
-      a, b, [](float x, float y) { return x - y; },
+      a, b, BinaryKind::kSub, [](float x, float y) { return x - y; },
       [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   return binary_op(
-      a, b, [](float x, float y) { return x * y; },
+      a, b, BinaryKind::kMul, [](float x, float y) { return x * y; },
       [](float, float y) { return y; }, [](float x, float) { return x; });
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
   return binary_op(
-      a, b, [](float x, float y) { return x / y; },
+      a, b, BinaryKind::kDiv, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
       [](float x, float y) { return -x / (y * y); });
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
-  return unary_op(
-      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+  return unary_op(a, UnaryKind::kAddScalar, s,
+                  [](float, float) { return 1.0f; });
 }
 
 Tensor mul_scalar(const Tensor& a, float s) {
-  return unary_op(
-      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+  return unary_op(a, UnaryKind::kMulScalar, s,
+                  [s](float, float) { return s; });
 }
 
 Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
 
 Tensor relu(const Tensor& a) {
-  return unary_op(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+  return unary_op(a, UnaryKind::kRelu, 0.0f,
+                  [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor leaky_relu(const Tensor& a, float slope) {
-  return unary_op(
-      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
-      [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
+  return unary_op(a, UnaryKind::kLeakyRelu, slope, [slope](float x, float) {
+    return x > 0.0f ? 1.0f : slope;
+  });
 }
 
 Tensor sigmoid(const Tensor& a) {
-  return unary_op(
-      a,
-      [](float x) {
-        // Numerically stable logistic.
-        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                         : std::exp(x) / (1.0f + std::exp(x));
-      },
-      [](float, float y) { return y * (1.0f - y); });
+  return unary_op(a, UnaryKind::kSigmoid, 0.0f,
+                  [](float, float y) { return y * (1.0f - y); });
 }
 
 Tensor tanh_op(const Tensor& a) {
-  return unary_op(
-      a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
+  return unary_op(a, UnaryKind::kTanh, 0.0f,
+                  [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor exp_op(const Tensor& a) {
-  return unary_op(
-      a, [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
+  return unary_op(a, UnaryKind::kExp, 0.0f,
+                  [](float, float y) { return y; });
 }
 
 Tensor log_op(const Tensor& a) {
-  return unary_op(
-      a, [](float x) { return std::log(x); },
-      [](float x, float) { return 1.0f / x; });
+  return unary_op(a, UnaryKind::kLog, 0.0f,
+                  [](float x, float) { return 1.0f / x; });
 }
 
 Tensor abs_op(const Tensor& a) {
-  return unary_op(
-      a, [](float x) { return std::fabs(x); },
-      [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+  return unary_op(a, UnaryKind::kAbs, 0.0f, [](float x, float) {
+    return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+  });
 }
 
 Tensor sqrt_op(const Tensor& a) {
-  return unary_op(
-      a, [](float x) { return std::sqrt(x); },
-      [](float, float y) { return 0.5f / y; });
+  return unary_op(a, UnaryKind::kSqrt, 0.0f,
+                  [](float, float y) { return 0.5f / y; });
 }
 
 Tensor square(const Tensor& a) {
-  return unary_op(
-      a, [](float x) { return x * x; },
-      [](float x, float) { return 2.0f * x; });
+  return unary_op(a, UnaryKind::kSquare, 0.0f,
+                  [](float x, float) { return 2.0f * x; });
 }
 
 Tensor softplus(const Tensor& a, float eta) {
   if (eta <= 0.0f) throw std::invalid_argument("softplus: eta must be > 0");
-  return unary_op(
-      a,
-      [eta](float x) {
-        const float z = eta * x;
-        // log(1+e^z)/eta, stable for large |z|.
-        return z > 20.0f ? x : (z < -20.0f ? std::exp(z) / eta
-                                           : std::log1p(std::exp(z)) / eta);
-      },
-      [eta](float x, float) {
-        const float z = eta * x;
-        return z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
-                         : std::exp(z) / (1.0f + std::exp(z));
-      });
+  return unary_op(a, UnaryKind::kSoftplus, eta, [eta](float x, float) {
+    const float z = eta * x;
+    return z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                     : std::exp(z) / (1.0f + std::exp(z));
+  });
 }
 
 Tensor sum(const Tensor& a) {
   Tensor out({1});
-  const float* pa = a.data();
-  const std::int64_t n = a.numel();
-  // Deterministic blocked reduction: the per-block partials are combined in
-  // block order, so the value is bitwise identical at every thread count.
-  const double acc = runtime::parallel_reduce(
-      elem_grain(n), static_cast<std::size_t>(n), 0.0,
-      [=](std::size_t i0, std::size_t i1) {
-        double s = 0.0;
-        for (std::size_t i = i0; i < i1; ++i)
-          s += static_cast<double>(pa[i]);
-        return s;
-      },
-      [](double x, double y) { return x + y; });
-  out.data()[0] = static_cast<float>(acc);
+  // Deterministic blocked reduction (Backend::reduce_sum): partials are
+  // combined in block order, so the value is bitwise identical at every
+  // thread count.
+  out.data()[0] = static_cast<float>(backend().reduce_sum(a.data(), a.numel()));
   Tensor::attach_backward(out, {a}, [a, out = out.impl().get()]() mutable {
     const float g = out->grad[0];
     float* ga = a.grad();
@@ -408,12 +372,8 @@ Tensor concat_channels(const Tensor& a, const Tensor& b) {
             W = a.dim(3);
   Tensor out({N, Ca + Cb, H, W});
   const std::int64_t plane = static_cast<std::int64_t>(H) * W;
-  for (int n = 0; n < N; ++n) {
-    std::copy(a.data() + n * Ca * plane, a.data() + (n + 1) * Ca * plane,
-              out.data() + n * (Ca + Cb) * plane);
-    std::copy(b.data() + n * Cb * plane, b.data() + (n + 1) * Cb * plane,
-              out.data() + (n * (Ca + Cb) + Ca) * plane);
-  }
+  backend().concat_channels_fwd(N, Ca, Cb, plane, a.data(), b.data(),
+                                out.data());
   Tensor::attach_backward(out, {a, b}, [a, b, out = out.impl().get(), N, Ca, Cb, plane]() mutable {
     const float* go = out->grad.data();
     for (int n = 0; n < N; ++n) {

@@ -6,8 +6,10 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "nn/backend/backend.hpp"
 #include "nn/ops.hpp"
 #include "nn/serialize.hpp"
+#include "surrogate/infer.hpp"
 
 namespace neurfill {
 
@@ -136,7 +138,14 @@ CmpNetwork::CmpNetwork(std::shared_ptr<const CmpSurrogate> surrogate,
   if (!surrogate_) throw std::invalid_argument("CmpNetwork: null surrogate");
   const int divisor = 1 << surrogate_->config().unet.depth;
   static_ = build_static_features(ext, surrogate_->config().features, divisor);
+  // Graph-compile the UNet once for this extraction's padded plane; every
+  // no-gradient evaluate()/predict_heights() then runs tape-free.
+  if (surrogate_->fast_inference_enabled())
+    fast_ = std::make_unique<SurrogateInference>(
+        *surrogate_, static_[0].padded_rows, static_[0].padded_cols);
 }
+
+CmpNetwork::~CmpNetwork() = default;
 
 nn::Tensor CmpNetwork::make_fill_tensor(const GridD& x,
                                         bool requires_grad) const {
@@ -154,6 +163,10 @@ CmpNetwork::Eval CmpNetwork::evaluate(const std::vector<GridD>& x,
   using nn::Tensor;
   if (x.size() != static_.size())
     throw std::invalid_argument("CmpNetwork::evaluate: layer count mismatch");
+  // Value-only evaluations (the SQP line search, quality probes) take the
+  // tape-free fast path; its result is bitwise identical to this autograd
+  // pipeline, so mixing the two inside one optimization is safe.
+  if (!with_grad && fast_) return evaluate_fast(x);
 
   std::vector<Tensor> fills;
   fills.reserve(x.size());
@@ -254,8 +267,168 @@ void CmpNetwork::set_calibration(const MetricCalibration& sigma,
   cal_ol_ = outliers;
 }
 
+namespace {
+
+/// Pads a fill grid into a flat padded plane (zeros outside the valid
+/// region — the same layout make_fill_tensor produces).
+void fill_to_plane(const GridD& x, std::size_t rows, std::size_t cols, int pc,
+                   std::vector<float>& plane) {
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      plane[i * static_cast<std::size_t>(pc) + j] =
+          static_cast<float>(x(i, j));
+}
+
+/// Crops a padded flat plane back to rows x cols (crop_to_grid on floats).
+GridD crop_plane(const std::vector<float>& plane, std::size_t rows,
+                 std::size_t cols, int pc) {
+  GridD g(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      g(i, j) = plane[i * static_cast<std::size_t>(pc) + j];
+  return g;
+}
+
+}  // namespace
+
+CmpNetwork::Eval CmpNetwork::evaluate_fast(const std::vector<GridD>& x) const {
+  // Flat-plane mirror of the autograd objective pipeline above.  Every
+  // chained multiply-add is either a backend kernel call or split into
+  // single-operation statements, so no re-association or fused
+  // multiply-add can change the rounding relative to the op-by-op autograd
+  // evaluation (tests/test_inference.cpp pins the bitwise equality).
+  const int pr = static_[0].padded_rows, pc = static_[0].padded_cols;
+  const std::size_t n = static_cast<std::size_t>(pr) * pc;
+  const std::int64_t n64 = static_cast<std::int64_t>(n);
+  nn::Backend& be = nn::backend();
+
+  std::vector<std::vector<float>> fills(x.size());
+  std::vector<const float*> fill_ptrs;
+  fill_ptrs.reserve(x.size());
+  for (std::size_t l = 0; l < x.size(); ++l) {
+    fills[l].assign(n, 0.0f);
+    fill_to_plane(x[l], rows_, cols_, pc, fills[l]);
+    fill_ptrs.push_back(fills[l].data());
+  }
+  std::vector<std::vector<float>> heights;
+  fast_->predict_heights(static_, fill_ptrs, heights);
+
+  std::vector<float> mask(n, 0.0f);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      mask[i * static_cast<std::size_t>(pc) + j] = 1.0f;
+  const float count = static_cast<float>(rows_ * cols_);
+  const float inv_count = 1.0f / count;
+  const float inv_rows = 1.0f / static_cast<float>(rows_);
+  const float eta = static_cast<float>(surrogate_->config().outlier_eta);
+
+  float sigma_total = 0.0f, sigma_star_total = 0.0f, ol_total = 0.0f;
+  std::vector<float> hm(n), work(n);
+  std::vector<float> col(static_cast<std::size_t>(pc));
+  for (const std::vector<float>& height : heights) {
+    const float* h = height.data();
+    be.binary_map(nn::BinaryKind::kMul, h, mask.data(), hm.data(), n64);
+    const float mean_h =
+        static_cast<float>(be.reduce_sum(hm.data(), n64)) * inv_count;
+    // var = sum(((h - mean) * mask)^2) / count
+    for (std::size_t i = 0; i < n; ++i) work[i] = h[i] - mean_h;
+    be.binary_map(nn::BinaryKind::kMul, work.data(), mask.data(), work.data(),
+                  n64);
+    be.unary_map(nn::UnaryKind::kSquare, 0.0f, work.data(), work.data(), n64);
+    const float var =
+        static_cast<float>(be.reduce_sum(work.data(), n64)) * inv_count;
+    sigma_total = sigma_total + var;
+    // Line deviation: per-column mean over the valid rows (sum_axis is a
+    // serial double accumulation per column, in row order).
+    for (int j = 0; j < pc; ++j) {
+      double acc = 0.0;
+      for (int i = 0; i < pr; ++i)
+        acc += static_cast<double>(
+            hm[static_cast<std::size_t>(i) * pc + static_cast<std::size_t>(j)]);
+      col[static_cast<std::size_t>(j)] = static_cast<float>(acc) * inv_rows;
+    }
+    for (int i = 0; i < pr; ++i)
+      for (int j = 0; j < pc; ++j) {
+        const std::size_t k =
+            static_cast<std::size_t>(i) * pc + static_cast<std::size_t>(j);
+        work[k] = h[k] - col[static_cast<std::size_t>(j)];
+      }
+    be.binary_map(nn::BinaryKind::kMul, work.data(), mask.data(), work.data(),
+                  n64);
+    be.unary_map(nn::UnaryKind::kAbs, 0.0f, work.data(), work.data(), n64);
+    sigma_star_total =
+        sigma_star_total + static_cast<float>(be.reduce_sum(work.data(), n64));
+    // Outliers: smooth max(0, H - (mean + 3*sigma_l)).
+    const float var_eps = var + 1e-6f;
+    const float sig_l = std::sqrt(var_eps);
+    const float three_sig = sig_l * 3.0f;
+    const float threshold = mean_h + three_sig;
+    for (std::size_t i = 0; i < n; ++i) work[i] = h[i] - threshold;
+    be.unary_map(nn::UnaryKind::kSoftplus, eta, work.data(), work.data(), n64);
+    be.binary_map(nn::BinaryKind::kMul, work.data(), mask.data(), work.data(),
+                  n64);
+    ol_total = ol_total + static_cast<float>(be.reduce_sum(work.data(), n64));
+  }
+
+  const auto apply_cal = [](float t, const MetricCalibration& c) {
+    if (c.a == 0.0 && c.b == 1.0) return t;
+    const float shifted = t + 1e-6f;
+    const float log_t = std::log(shifted);
+    const float scaled = log_t * static_cast<float>(c.b);
+    const float biased = scaled + static_cast<float>(c.a);
+    return std::exp(biased);
+  };
+  sigma_total = apply_cal(sigma_total, cal_sigma_);
+  sigma_star_total = apply_cal(sigma_star_total, cal_sigma_star_);
+  ol_total = apply_cal(ol_total, cal_ol_);
+
+  const auto score_term = [](float t, double alpha, double beta) {
+    const float scale = -1.0f / static_cast<float>(beta);
+    const float scaled = t * scale;
+    const float shifted = scaled + 1.0f;
+    const float clipped = shifted > 0.0f ? shifted : 0.0f;
+    return clipped * static_cast<float>(alpha);
+  };
+  const float term_sigma =
+      score_term(sigma_total, coeffs_.alpha_sigma, coeffs_.beta_sigma);
+  const float term_star = score_term(sigma_star_total, coeffs_.alpha_sigma_star,
+                                     coeffs_.beta_sigma_star);
+  const float term_ol = score_term(ol_total, coeffs_.alpha_ol, coeffs_.beta_ol);
+  const float tail = term_star + term_ol;  // add(term_star, term_ol)
+  const float s_plan = term_sigma + tail;
+
+  Eval out;
+  out.s_plan = s_plan;
+  out.sigma = sigma_total;
+  out.sigma_star = sigma_star_total;
+  out.outliers = ol_total;
+  out.heights.reserve(heights.size());
+  for (const std::vector<float>& height : heights)
+    out.heights.push_back(crop_plane(height, rows_, cols_, pc));
+  return out;
+}
+
 std::vector<GridD> CmpNetwork::predict_heights(
     const std::vector<GridD>& x) const {
+  if (fast_) {
+    const int pc = static_[0].padded_cols;
+    const std::size_t n = static_cast<std::size_t>(static_[0].padded_rows) * pc;
+    std::vector<std::vector<float>> fills(x.size());
+    std::vector<const float*> fill_ptrs;
+    fill_ptrs.reserve(x.size());
+    for (std::size_t l = 0; l < x.size(); ++l) {
+      fills[l].assign(n, 0.0f);
+      fill_to_plane(x[l], rows_, cols_, pc, fills[l]);
+      fill_ptrs.push_back(fills[l].data());
+    }
+    std::vector<std::vector<float>> heights;
+    fast_->predict_heights(static_, fill_ptrs, heights);
+    std::vector<GridD> out;
+    out.reserve(heights.size());
+    for (const std::vector<float>& h : heights)
+      out.push_back(crop_plane(h, rows_, cols_, pc));
+    return out;
+  }
   std::vector<nn::Tensor> fills;
   fills.reserve(x.size());
   for (const GridD& g : x) fills.push_back(make_fill_tensor(g, false));

@@ -12,6 +12,8 @@
 
 namespace neurfill {
 
+class SurrogateInference;  // surrogate/infer.hpp (tape-free fast path)
+
 /// Configuration of the trained surrogate artifact.
 struct SurrogateConfig {
   nn::UNetConfig unet;  ///< in_channels must equal FeatureConstants::kInChannels
@@ -63,9 +65,19 @@ class CmpSurrogate {
   /// planes from simulator labels.
   nn::Tensor incoming_from_height(const nn::Tensor& height_ang) const;
 
+  /// Whether no-gradient consumers (CmpNetwork's evaluate/predict paths,
+  /// surrogate accuracy eval, the tools) should run through the
+  /// graph-compiled InferenceSession fast path (docs/inference.md) instead
+  /// of the autograd tape.  On by default; the tools' --no-fast-inference
+  /// flag clears it.  Both paths produce bitwise-identical results — this
+  /// switch exists for diagnosis and benchmarking, not accuracy.
+  void set_fast_inference(bool enabled) { fast_inference_ = enabled; }
+  bool fast_inference_enabled() const { return fast_inference_; }
+
  private:
   SurrogateConfig config_;
   std::shared_ptr<nn::UNet> unet_;
+  bool fast_inference_ = true;
 };
 
 /// Saves/loads the surrogate as <path>.meta (text config) + <path>.weights
@@ -87,6 +99,7 @@ class CmpNetwork {
  public:
   CmpNetwork(std::shared_ptr<const CmpSurrogate> surrogate,
              const WindowExtraction& ext, ScoreCoefficients coeffs);
+  ~CmpNetwork();  // out-of-line: SurrogateInference is incomplete here
 
   struct Eval {
     double s_plan = 0.0;
@@ -129,12 +142,18 @@ class CmpNetwork {
 
  private:
   nn::Tensor make_fill_tensor(const GridD& x, bool requires_grad) const;
+  /// Tape-free evaluate: SurrogateInference heights + flat-plane objective
+  /// arithmetic replicating the autograd metric pipeline float-op-by-
+  /// float-op; bitwise equal to the autograd value (the SQP line search
+  /// mixes the two paths, so "within tolerance" would not be enough).
+  Eval evaluate_fast(const std::vector<GridD>& x) const;
 
   std::shared_ptr<const CmpSurrogate> surrogate_;
   std::vector<StaticLayerFeatures> static_;
   ScoreCoefficients coeffs_;
   std::size_t rows_ = 0, cols_ = 0;
   MetricCalibration cal_sigma_, cal_sigma_star_, cal_ol_;
+  std::unique_ptr<SurrogateInference> fast_;  ///< null when disabled
 };
 
 }  // namespace neurfill

@@ -2,9 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "surrogate/infer.hpp"
+
 namespace neurfill {
+
+namespace {
+
+/// Predicted padded height planes for one sample, through the tape-free
+/// InferenceSession when the surrogate allows it (the default) or the
+/// autograd module path otherwise (--no-fast-inference diagnosis).  Both
+/// produce bitwise-identical planes.
+std::vector<std::vector<float>> predict_sample_heights(
+    const CmpSurrogate& surrogate, SurrogateInference* fast,
+    const std::vector<StaticLayerFeatures>& feats,
+    const std::vector<std::vector<float>>& fill_planes) {
+  std::vector<std::vector<float>> pred;
+  if (fast != nullptr) {
+    std::vector<const float*> fill_ptrs;
+    fill_ptrs.reserve(fill_planes.size());
+    for (const auto& p : fill_planes) fill_ptrs.push_back(p.data());
+    fast->predict_heights(feats, fill_ptrs, pred);
+    return pred;
+  }
+  const int pr = feats[0].padded_rows, pc = feats[0].padded_cols;
+  std::vector<nn::Tensor> fills;
+  fills.reserve(fill_planes.size());
+  for (const auto& p : fill_planes)
+    fills.push_back(nn::Tensor::from_data({1, 1, pr, pc}, p));
+  const auto tensors = surrogate.forward_heights(feats, fills);
+  pred.reserve(tensors.size());
+  for (const auto& t : tensors)
+    pred.emplace_back(t.data(), t.data() + t.numel());
+  return pred;
+}
+
+}  // namespace
 
 AccuracyReport evaluate_surrogate_accuracy(const CmpSurrogate& surrogate,
                                            TrainingDataGenerator& datagen,
@@ -26,21 +61,25 @@ AccuracyReport evaluate_surrogate_accuracy(const CmpSurrogate& surrogate,
   std::size_t total_count = 0;
 
   const int divisor = 1 << surrogate.config().unet.depth;
+  std::unique_ptr<SurrogateInference> fast;  // compiled on the first sample
   for (int s = 0; s < num_samples; ++s) {
     const TrainingSample sample = datagen.generate(grid_rows, grid_cols);
     const auto feats =
         build_static_features(sample.ext, surrogate.config().features, divisor);
-    std::vector<nn::Tensor> fills;
+    if (surrogate.fast_inference_enabled() && !fast)
+      fast = std::make_unique<SurrogateInference>(
+          surrogate, feats[0].padded_rows, feats[0].padded_cols);
+    std::vector<std::vector<float>> fill_planes(sample.fill.size());
     for (std::size_t l = 0; l < sample.fill.size(); ++l) {
       const int pr = feats[l].padded_rows, pc = feats[l].padded_cols;
-      std::vector<float> data(static_cast<std::size_t>(pr) * pc, 0.0f);
+      fill_planes[l].assign(static_cast<std::size_t>(pr) * pc, 0.0f);
       for (std::size_t i = 0; i < grid_rows; ++i)
         for (std::size_t j = 0; j < grid_cols; ++j)
-          data[i * static_cast<std::size_t>(pc) + j] =
+          fill_planes[l][i * static_cast<std::size_t>(pc) + j] =
               static_cast<float>(sample.fill[l](i, j));
-      fills.push_back(nn::Tensor::from_data({1, 1, pr, pc}, std::move(data)));
     }
-    const auto pred = surrogate.forward_heights(feats, fills);
+    const std::vector<std::vector<float>> pred =
+        predict_sample_heights(surrogate, fast.get(), feats, fill_planes);
 
     // The surrogate predicts centered topography, so compare against the
     // centered simulator profile.  Reference magnitude: the simulated
@@ -62,11 +101,11 @@ AccuracyReport evaluate_surrogate_accuracy(const CmpSurrogate& surrogate,
     const double ref = std::max(hi - lo, 1e-9);
 
     for (std::size_t l = 0; l < L; ++l) {
-      const GridD hp = crop_to_grid(pred[l], static_cast<int>(grid_rows),
-                                    static_cast<int>(grid_cols));
+      const std::size_t pc = static_cast<std::size_t>(feats[l].padded_cols);
       for (std::size_t i = 0; i < grid_rows; ++i) {
         for (std::size_t j = 0; j < grid_cols; ++j) {
-          const double e = std::fabs(hp(i, j) - centered[l](i, j)) / ref;
+          const double hp = pred[l][i * pc + j];
+          const double e = std::fabs(hp - centered[l](i, j)) / ref;
           window_err(i, j) += e;
           total_err += e;
           ++total_count;

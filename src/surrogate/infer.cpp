@@ -1,0 +1,124 @@
+#include "surrogate/infer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/aligned.hpp"
+#include "common/check.hpp"
+#include "nn/backend/backend.hpp"
+
+namespace neurfill {
+
+SurrogateInference::SurrogateInference(const CmpSurrogate& surrogate,
+                                       int padded_rows, int padded_cols)
+    : features_(surrogate.config().features),
+      topo_transfer_(surrogate.config().topo_transfer),
+      session_(surrogate.unet(), padded_rows, padded_cols),
+      rows_(padded_rows),
+      cols_(padded_cols) {
+  if (surrogate.config().unet.in_channels != FeatureConstants::kInChannels)
+    throw std::invalid_argument(
+        "SurrogateInference: UNet in_channels must match the feature planes");
+}
+
+void SurrogateInference::predict_heights(
+    const std::vector<StaticLayerFeatures>& layers,
+    const std::vector<const float*>& fills,
+    std::vector<std::vector<float>>& heights) const {
+  if (layers.empty() || layers.size() != fills.size())
+    throw std::invalid_argument("predict_heights: layer/fill mismatch");
+  const std::size_t n =
+      static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  const std::int64_t n64 = static_cast<std::int64_t>(n);
+  // mean() multiplies the blocked-double sum by a float reciprocal; keep
+  // the identical two-step rounding.
+  const float inv_n = 1.0f / static_cast<float>(n64);
+  const auto& fc = features_;
+  const float dperim = static_cast<float>(4.0 * fc.window_um * fc.window_um /
+                                          fc.dummy_edge_um /
+                                          fc.perimeter_norm);
+  const float wdum = static_cast<float>(
+      fc.dummy_edge_um / (fc.dummy_edge_um + fc.width_ref_um));
+  const float height_scale = static_cast<float>(fc.height_scale);
+  const float height_offset = static_cast<float>(fc.height_offset);
+  const float chain_k =
+      static_cast<float>(topo_transfer_ / fc.height_scale);
+
+  // Grow-only per-thread scratch: the 7-channel input plane, the network
+  // output, the chained incoming plane, and one temporary.
+  static thread_local AlignedBuffer<float> tls_scratch;
+  float* scratch = tls_scratch.ensure((FeatureConstants::kInChannels + 3) * n);
+  float* input = scratch;
+  float* h_norm = scratch + FeatureConstants::kInChannels * n;
+  float* incoming = h_norm + n;
+  float* tmp = incoming + n;
+  std::memset(incoming, 0, n * sizeof(float));  // bottom layer sees a plane
+
+  heights.resize(layers.size());  // re-used capacity on repeated calls
+  nn::Backend& be = nn::backend();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const StaticLayerFeatures& layer = layers[l];
+    NF_CHECK(layer.padded_rows == rows_ && layer.padded_cols == cols_,
+             "SurrogateInference: layer %zu padded to %dx%d, session compiled "
+             "for %dx%d",
+             l, layer.padded_rows, layer.padded_cols, rows_, cols_);
+    const float* fill = fills[l];
+
+    // Extraction layer (assemble_layer_input), channel by channel.  Chained
+    // elementwise steps go through the backend maps with materialized
+    // intermediates — the same kernels, in the same order, as the autograd
+    // ops, so each plane is rounded identically (no re-association or
+    // fused-multiply-add differences between the two paths).
+    float* density = input;
+    float* perim = input + n;
+    float* width = input + 2 * n;
+    float* chan_incoming = input + 3 * n;
+    float* chan_slack = input + 4 * n;
+    float* global_plane = input + 5 * n;
+    float* pressure = input + 6 * n;
+    // density = rho + fill
+    be.binary_map(nn::BinaryKind::kAdd, layer.wire_density.data(), fill,
+                  density, n64);
+    // perim = perim0 + fill * dperim
+    be.unary_map(nn::UnaryKind::kMulScalar, dperim, fill, perim, n64);
+    be.binary_map(nn::BinaryKind::kAdd, layer.perimeter.data(), perim, perim,
+                  n64);
+    // width = (wnum0 + fill * wdum) / (density + 1e-3)
+    be.unary_map(nn::UnaryKind::kMulScalar, wdum, fill, width, n64);
+    be.binary_map(nn::BinaryKind::kAdd, layer.width_blend_num.data(), width,
+                  width, n64);
+    be.unary_map(nn::UnaryKind::kAddScalar, 1e-3f, density, tmp, n64);
+    be.binary_map(nn::BinaryKind::kDiv, width, tmp, width, n64);
+    std::memcpy(chan_incoming, incoming, n * sizeof(float));
+    std::memcpy(chan_slack, layer.slack.data(), n * sizeof(float));
+    // Global mean density, broadcast (ones * mean is exactly the mean).
+    const float global_mean =
+        static_cast<float>(be.reduce_sum(density, n64)) * inv_n;
+    for (std::size_t i = 0; i < n; ++i) global_plane[i] = global_mean;
+    for (std::size_t i = 0; i < n; ++i) pressure[i] = 1.0f;
+
+    session_.run(input, h_norm, /*batch=*/1);
+
+    // Hard-center, denormalize to Angstrom (forward_heights' arithmetic).
+    std::vector<float>& h_ang = heights[l];
+    h_ang.resize(n);
+    const float mean_h =
+        static_cast<float>(be.reduce_sum(h_norm, n64)) * inv_n;
+    for (std::size_t i = 0; i < n; ++i) h_ang[i] = h_norm[i] - mean_h;
+    be.unary_map(nn::UnaryKind::kMulScalar, height_scale, h_ang.data(),
+                 h_ang.data(), n64);
+    be.unary_map(nn::UnaryKind::kAddScalar, height_offset, h_ang.data(),
+                 h_ang.data(), n64);
+
+    // Chain: incoming_{l+1} = (h_ang - mean(h_ang)) * topo_transfer/scale.
+    if (l + 1 < layers.size()) {
+      const float mean_ang =
+          static_cast<float>(be.reduce_sum(h_ang.data(), n64)) * inv_n;
+      for (std::size_t i = 0; i < n; ++i) incoming[i] = h_ang[i] - mean_ang;
+      be.unary_map(nn::UnaryKind::kMulScalar, chain_k, incoming, incoming,
+                   n64);
+    }
+  }
+}
+
+}  // namespace neurfill

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/infer/session.hpp"
+#include "surrogate/cmp_network.hpp"
+#include "surrogate/features.hpp"
+
+namespace neurfill {
+
+/// Tape-free surrogate evaluation: CmpSurrogate::forward_heights without
+/// the autograd tensors.  The extraction-layer arithmetic (density /
+/// perimeter / width / global-mean planes) runs as backend elementwise
+/// kernels over flat planes, and the UNet runs through a graph-compiled
+/// nn::InferenceSession, so a forward pass allocates nothing in steady
+/// state and returns heights bitwise identical to the autograd path
+/// (pinned by tests/test_inference.cpp — every float operation replicates
+/// the op-by-op rounding of assemble_layer_input / forward_heights).
+///
+/// One instance is bound to one padded plane size; CmpNetwork builds one
+/// per extraction, tools build one per chip (or per tile).
+class SurrogateInference {
+ public:
+  /// Compiles the surrogate's UNet for padded_rows x padded_cols planes
+  /// (must be divisible by 2^depth).  Holds shared ownership of the
+  /// parameter storage; weight updates are reflected on the next call.
+  SurrogateInference(const CmpSurrogate& surrogate, int padded_rows,
+                     int padded_cols);
+
+  int padded_rows() const { return rows_; }
+  int padded_cols() const { return cols_; }
+
+  /// Per-layer post-CMP heights in Angstrom, chained through the incoming
+  /// topography like the simulator's layer loop.  `fills[l]` is the padded
+  /// fill plane (padded_rows x padded_cols, row-major); `heights` is
+  /// resized to one plane per layer.  Equivalent to forward_heights with
+  /// no incoming override.
+  void predict_heights(const std::vector<StaticLayerFeatures>& layers,
+                       const std::vector<const float*>& fills,
+                       std::vector<std::vector<float>>& heights) const;
+
+  /// The compiled UNet (batched NCHW entry point for tools and tests).
+  const nn::InferenceSession& session() const { return session_; }
+
+ private:
+  FeatureConstants features_;
+  double topo_transfer_ = 0.8;
+  nn::InferenceSession session_;
+  int rows_ = 0, cols_ = 0;
+};
+
+}  // namespace neurfill

@@ -1,0 +1,10 @@
+// The backend primitives carry the bitwise-determinism contract directly
+// (src/nn/backend/ is named in the determinism rule's scope, not just
+// inherited from src/nn/): ambient entropy in a kernel must be flagged.
+
+void kernel_entry() {
+  int jitter = rand();               // LINT[determinism]
+  std::unordered_set<int> seen;      // LINT[determinism]
+  (void)jitter;
+  (void)seen;
+}

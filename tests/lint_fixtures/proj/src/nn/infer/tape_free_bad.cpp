@@ -1,0 +1,20 @@
+// Autograd tape API leaking into the tape-free inference subsystem
+// (src/nn/infer/): every marked line must be flagged, every unmarked line
+// must not.  Mentioning the forward/backward relationship in comments is
+// fine — comments are not tokenized.
+
+void infer_entry(FakeNet& net, FakeTensor& x) {
+  auto y = net.forward(x);           // LINT[infer-no-autograd]
+  y.backward();                      // LINT[infer-no-autograd]
+  float* g = x.grad();               // LINT[infer-no-autograd]
+  bool rg = x.requires_grad();       // LINT[infer-no-autograd]
+  TensorImpl* impl = nullptr;        // LINT[infer-no-autograd]
+  net.run(x);          // the session entry point itself: fine
+  forwarding(net);     // distinct identifier, exact matches only
+  float gradient = 0;  // distinct identifier, exact matches only
+  (void)y;
+  (void)g;
+  (void)rg;
+  (void)impl;
+  (void)gradient;
+}

@@ -1,0 +1,302 @@
+// Tests for the tape-free inference engine (docs/inference.md): the
+// InferenceSession must match the autograd module evaluation bitwise —
+// fused or unfused, arena-reused or private-buffered, batched or looped,
+// at any thread count — because the fill optimizer mixes both paths
+// mid-line-search and relies on exact value equality.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geom/designs.hpp"
+#include "nn/backend/backend.hpp"
+#include "nn/infer/session.hpp"
+#include "nn/tensor.hpp"
+#include "nn/unet.hpp"
+#include "runtime/parallel.hpp"
+#include "surrogate/cmp_network.hpp"
+
+namespace neurfill {
+namespace {
+
+using nn::InferenceOptions;
+using nn::InferenceSession;
+using nn::Tensor;
+using nn::UNet;
+using nn::UNetConfig;
+
+::testing::AssertionResult bitwise_equal(const float* a, const float* b,
+                                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t ua = 0, ub = 0;
+    std::memcpy(&ua, a + i, sizeof(float));
+    std::memcpy(&ub, b + i, sizeof(float));
+    if (ua != ub)
+      return ::testing::AssertionFailure()
+             << "float mismatch at index " << i << ": " << a[i] << " vs "
+             << b[i] << " (bits 0x" << std::hex << ua << " vs 0x" << ub << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<float> random_input(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+UNetConfig small_config(bool group_norm) {
+  UNetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.out_channels = 1;
+  cfg.base_channels = 8;
+  cfg.depth = 2;
+  cfg.use_group_norm = group_norm;
+  return cfg;
+}
+
+/// Autograd reference: the plain module forward on a batch-1 input.
+std::vector<float> module_forward(UNet& net, const std::vector<float>& input,
+                                  int c, int h, int w) {
+  const Tensor x = Tensor::from_data({1, c, h, w}, input);
+  const Tensor y = net.forward(x);
+  return std::vector<float>(y.data(), y.data() + y.numel());
+}
+
+TEST(InferenceSession, MatchesModuleBitwiseWithGroupNorm) {
+  Rng rng(11);
+  UNet net(small_config(true), rng);
+  const int H = 16, W = 16;
+  const InferenceSession session(net, H, W);
+  EXPECT_EQ(session.in_channels(), 3);
+  EXPECT_EQ(session.out_channels(), 1);
+
+  const auto input = random_input(3u * H * W, 101);
+  const auto ref = module_forward(net, input, 3, H, W);
+  std::vector<float> out(static_cast<std::size_t>(H) * W);
+  session.run(input.data(), out.data());
+  EXPECT_TRUE(bitwise_equal(out.data(), ref.data(), out.size()));
+}
+
+TEST(InferenceSession, MatchesModuleBitwiseWithoutGroupNorm) {
+  Rng rng(12);
+  UNet net(small_config(false), rng);
+  const int H = 24, W = 16;
+  const InferenceSession session(net, H, W);
+
+  const auto input = random_input(3u * H * W, 102);
+  const auto ref = module_forward(net, input, 3, H, W);
+  std::vector<float> out(static_cast<std::size_t>(H) * W);
+  session.run(input.data(), out.data());
+  EXPECT_TRUE(bitwise_equal(out.data(), ref.data(), out.size()));
+}
+
+TEST(InferenceSession, RealWeightsMatchModuleWithinTolerance) {
+  // Acceptance gate: on the shipped pre-trained artifact the compiled
+  // session must match the module path within 1e-4 relative — and in fact
+  // matches bitwise, which the optimizer's mixed-path line search needs.
+  auto loaded = load_surrogate(NF_REPO_ROOT "/data/unet_cmp");
+  ASSERT_TRUE(loaded.ok()) << "missing data/unet_cmp.{meta,weights}";
+  UNet& net = (*loaded)->unet();
+  const UNetConfig& cfg = net.config();
+  const int div = 1 << cfg.depth;
+  const int H = 4 * div, W = 4 * div;
+  const InferenceSession session(net, H, W);
+
+  const auto input =
+      random_input(static_cast<std::size_t>(cfg.in_channels) * H * W, 103);
+  const auto ref = module_forward(net, input, cfg.in_channels, H, W);
+  std::vector<float> out(ref.size());
+  session.run(input.data(), out.data());
+
+  float max_rel = 0.0f;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const float denom = std::max(std::fabs(ref[i]), 1e-6f);
+    max_rel = std::max(max_rel, std::fabs(out[i] - ref[i]) / denom);
+  }
+  EXPECT_LE(max_rel, 1e-4f);
+  EXPECT_TRUE(bitwise_equal(out.data(), ref.data(), out.size()));
+}
+
+TEST(InferenceSession, ArenaReuseMatchesPrivateBuffers) {
+  // Aliasing safety: the liveness-planned arena must never hand a buffer
+  // to a consumer while a live producer still owns it.  The reference is
+  // the same graph with every value in a private block.
+  Rng rng(13);
+  UNet net(small_config(true), rng);
+  const int H = 16, W = 16;
+  InferenceOptions reuse, priv;
+  priv.reuse_buffers = false;
+  const InferenceSession fast(net, H, W, reuse);
+  const InferenceSession safe(net, H, W, priv);
+  EXPECT_LT(fast.arena_floats_per_sample(), safe.arena_floats_per_sample());
+
+  const auto input = random_input(3u * H * W, 104);
+  std::vector<float> a(static_cast<std::size_t>(H) * W), b(a.size());
+  fast.run(input.data(), a.data());
+  safe.run(input.data(), b.data());
+  EXPECT_TRUE(bitwise_equal(a.data(), b.data(), a.size()));
+}
+
+TEST(InferenceSession, FusedMatchesUnfused) {
+  Rng rng(14);
+  UNet net(small_config(true), rng);
+  const int H = 16, W = 16;
+  InferenceOptions unfused;
+  unfused.fuse = false;
+  const InferenceSession fused(net, H, W);
+  const InferenceSession chain(net, H, W, unfused);
+
+  const auto input = random_input(3u * H * W, 105);
+  std::vector<float> a(static_cast<std::size_t>(H) * W), b(a.size());
+  fused.run(input.data(), a.data());
+  chain.run(input.data(), b.data());
+  EXPECT_TRUE(bitwise_equal(a.data(), b.data(), a.size()));
+}
+
+TEST(InferenceSession, BatchMatchesLoopedSingles) {
+  Rng rng(15);
+  UNet net(small_config(true), rng);
+  const int H = 16, W = 16, B = 3;
+  const std::size_t in_plane = 3u * H * W;
+  const std::size_t out_plane = static_cast<std::size_t>(H) * W;
+  const InferenceSession session(net, H, W);
+
+  const auto input = random_input(B * in_plane, 106);
+  std::vector<float> batched(B * out_plane);
+  session.run(input.data(), batched.data(), B);
+
+  std::vector<float> looped(B * out_plane);
+  for (int s = 0; s < B; ++s)
+    session.run(input.data() + s * in_plane, looped.data() + s * out_plane);
+  EXPECT_TRUE(bitwise_equal(batched.data(), looped.data(), batched.size()));
+}
+
+TEST(InferenceSession, BitwiseDeterministicAcrossThreadCounts) {
+  Rng rng(16);
+  UNet net(small_config(true), rng);
+  const int H = 32, W = 32;
+  const InferenceSession session(net, H, W);
+  const auto input = random_input(3u * H * W, 107);
+
+  std::vector<float> ref(static_cast<std::size_t>(H) * W);
+  runtime::set_thread_count(1);
+  session.run(input.data(), ref.data());
+  for (const int threads : {2, 8}) {
+    runtime::set_thread_count(threads);
+    std::vector<float> out(ref.size());
+    session.run(input.data(), out.data());
+    EXPECT_TRUE(bitwise_equal(out.data(), ref.data(), out.size()))
+        << "thread count " << threads;
+  }
+  runtime::set_thread_count(0);  // restore the environment default
+}
+
+TEST(Backend, Conv1x1FastPathMatchesNaive) {
+  // padding==0 && stride==1 1x1 convs skip im2col and feed the input
+  // directly to the GEMM; the result must still be a correct convolution.
+  const int B = 2, Ci = 5, Co = 3, H = 7, W = 9;
+  const auto x = random_input(static_cast<std::size_t>(B) * Ci * H * W, 108);
+  const auto w = random_input(static_cast<std::size_t>(Co) * Ci, 109);
+  const auto bias = random_input(Co, 110);
+
+  nn::Conv2dGeom g;
+  g.batch = B;
+  g.in_channels = Ci;
+  g.height = H;
+  g.width = W;
+  g.out_channels = Co;
+  g.kernel_h = 1;
+  g.kernel_w = 1;
+  g.stride = 1;
+  g.padding = 0;
+  g.out_height = H;
+  g.out_width = W;
+  std::vector<float> y(static_cast<std::size_t>(B) * Co * H * W);
+  nn::backend().conv2d_fwd(g, x.data(), w.data(), bias.data(), y.data());
+
+  for (int b = 0; b < B; ++b) {
+    for (int co = 0; co < Co; ++co) {
+      for (int p = 0; p < H * W; ++p) {
+        double acc = bias[static_cast<std::size_t>(co)];
+        for (int ci = 0; ci < Ci; ++ci)
+          acc += static_cast<double>(w[static_cast<std::size_t>(co) * Ci + ci]) *
+                 static_cast<double>(
+                     x[(static_cast<std::size_t>(b) * Ci + ci) * H * W + p]);
+        const float got =
+            y[(static_cast<std::size_t>(b) * Co + co) * H * W + p];
+        ASSERT_NEAR(got, acc, 1e-4) << "b=" << b << " co=" << co << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(CmpNetworkFast, EvaluateMatchesModulePathBitwise) {
+  // The surrogate fast path and the autograd path must agree exactly on
+  // the no-grad objective: the SQP line search evaluates trials through
+  // the fast path and then re-evaluates the accepted trial with gradients
+  // through the module path, assuming both see the same value.
+  const Layout layout = make_design('a', 8, 100.0, 3);
+  const WindowExtraction ext = extract_windows(layout);
+  SurrogateConfig cfg;
+  cfg.unet.base_channels = 4;
+  cfg.unet.depth = 2;
+  auto fast_s = std::make_shared<CmpSurrogate>(cfg, 7);
+  auto slow_s = std::make_shared<CmpSurrogate>(cfg, 7);  // same weights
+  slow_s->set_fast_inference(false);
+  ASSERT_TRUE(fast_s->fast_inference_enabled());
+  ASSERT_FALSE(slow_s->fast_inference_enabled());
+
+  ScoreCoefficients coeffs;
+  coeffs.beta_sigma = 1000.0;
+  coeffs.beta_sigma_star = 1e5;
+  coeffs.beta_ol = 100.0;
+  CmpNetwork fast_net(fast_s, ext, coeffs);
+  CmpNetwork slow_net(slow_s, ext, coeffs);
+
+  std::vector<GridD> x(3, GridD(8, 8, 0.0));
+  Rng rng(17);
+  for (auto& g : x)
+    for (auto& v : g) v = rng.uniform(0.0, 0.3);
+
+  const auto ef = fast_net.evaluate(x, false);
+  const auto es = slow_net.evaluate(x, false);
+  EXPECT_EQ(ef.s_plan, es.s_plan);
+  EXPECT_EQ(ef.sigma, es.sigma);
+  EXPECT_EQ(ef.sigma_star, es.sigma_star);
+  EXPECT_EQ(ef.outliers, es.outliers);
+  ASSERT_EQ(ef.heights.size(), es.heights.size());
+  for (std::size_t l = 0; l < ef.heights.size(); ++l)
+    for (std::size_t i = 0; i < ef.heights[l].rows(); ++i)
+      for (std::size_t j = 0; j < ef.heights[l].cols(); ++j)
+        EXPECT_EQ(ef.heights[l](i, j), es.heights[l](i, j));
+
+  // predict_heights routes through the same fast path.
+  const auto hf = fast_net.predict_heights(x);
+  const auto hs = slow_net.predict_heights(x);
+  ASSERT_EQ(hf.size(), hs.size());
+  for (std::size_t l = 0; l < hf.size(); ++l)
+    for (std::size_t i = 0; i < hf[l].rows(); ++i)
+      for (std::size_t j = 0; j < hf[l].cols(); ++j)
+        EXPECT_EQ(hf[l](i, j), hs[l](i, j));
+
+  // With gradients requested both networks take the module path.
+  const auto gf = fast_net.evaluate(x, true);
+  const auto gs = slow_net.evaluate(x, true);
+  EXPECT_EQ(gf.s_plan, gs.s_plan);
+  EXPECT_EQ(gf.s_plan, ef.s_plan);  // mixed-path consistency
+  ASSERT_EQ(gf.grad.size(), gs.grad.size());
+  for (std::size_t l = 0; l < gf.grad.size(); ++l)
+    for (std::size_t i = 0; i < gf.grad[l].rows(); ++i)
+      for (std::size_t j = 0; j < gf.grad[l].cols(); ++j)
+        EXPECT_EQ(gf.grad[l](i, j), gs.grad[l](i, j));
+}
+
+}  // namespace
+}  // namespace neurfill

@@ -14,11 +14,16 @@ Gated keys, higher is better:
   gemm_speedup_4t        -- 4-thread scaling of the same kernel
   conv2d_fwd_speedup_4t  -- 4-thread conv2d forward: the serial-region
                             threshold keeps small layers never-slower
+  infer_vs_autograd_speedup -- InferenceSession UNet forward vs the autograd
+                            module path, single thread (the redesign's
+                            acceptance floor is 2x; the gate keeps it there)
 
 Gated keys, lower is better:
   fullchip_tile_ms        -- mean per-tile solve cost of the tiled driver
   fullchip_stitch_passes  -- stitch refinement passes executed (a jump
                              means the halo/stitch logic stopped converging)
+  unet_infer_ms_1t        -- absolute single-thread latency of the compiled
+                             inference session on the bench shape
 
 A higher-is-better value below (1 - tolerance) * baseline fails; a
 lower-is-better value above (1 + tolerance) * baseline fails.  The default
@@ -33,8 +38,9 @@ import json
 import sys
 
 GATED_KEYS_HIGHER = ("gemm_gflops_1t", "gemm_speedup_4t",
-                     "conv2d_fwd_speedup_4t")
-GATED_KEYS_LOWER = ("fullchip_tile_ms", "fullchip_stitch_passes")
+                     "conv2d_fwd_speedup_4t", "infer_vs_autograd_speedup")
+GATED_KEYS_LOWER = ("fullchip_tile_ms", "fullchip_stitch_passes",
+                    "unet_infer_ms_1t")
 
 
 def main() -> int:

@@ -79,7 +79,12 @@ void add(std::vector<Finding>& out, const char* rule, const SourceFile& f,
 // the sanctioned homes for the exceptions.
 
 bool numeric_scope(const std::string& rel) {
+  // src/nn/backend and src/nn/infer are subsumed by src/nn/, but they are
+  // named explicitly: the backend primitives and the compiled inference
+  // session carry the bitwise-at-any-thread-count contract directly
+  // (docs/inference.md), and the scope list is the place that says so.
   static const char* kPrefixes[] = {"src/cmp/",  "src/nn/",     "src/opt/",
+                                    "src/nn/backend/", "src/nn/infer/",
                                     "src/fill/", "src/surrogate/",
                                     "src/geom/", "src/layout/",
                                     "src/fullchip/"};
@@ -125,6 +130,40 @@ void rule_determinism(const Project& proj, std::vector<Finding>& out) {
               "raw 'std::" + t[i].text +
                   "' in a numeric subsystem bypasses the deterministic "
                   "runtime pool; use runtime::parallel_for/parallel_reduce");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: infer-no-autograd
+//
+// src/nn/infer is the tape-free inference fast path: a compiled graph that
+// re-derives everything it needs from Module weights at build time and then
+// runs pure Backend primitives.  Any autograd API appearing there — the
+// tape-building Module::forward, TensorImpl, or the grad accessors —
+// reintroduces per-op allocation and tape state behind the session's back,
+// which is exactly the cost the subsystem exists to remove.  The rule bans
+// the identifiers outright (comments are not tokenized, so prose may still
+// explain the relationship to the autograd path).
+
+void rule_infer_no_autograd(const Project& proj, std::vector<Finding>& out) {
+  static const char* kBanned[] = {
+      "forward",        "backward",  "backward_fn", "requires_grad",
+      "set_requires_grad", "grad",   "grad_vector", "has_grad",
+      "ensure_grad",    "zero_grad", "TensorImpl"};
+  for (const SourceFile& f : proj.files) {
+    if (!starts_with(f.rel_path, "src/nn/infer/")) continue;
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!any_id(t[i])) continue;
+      for (const char* name : kBanned) {
+        if (t[i].text == name) {
+          add(out, "infer-no-autograd", f, t[i].line,
+              "'" + t[i].text +
+                  "' is autograd tape API; src/nn/infer is the tape-free "
+                  "fast path — go through the Backend primitives instead");
         }
       }
     }
@@ -587,6 +626,10 @@ const std::vector<RuleEntry>& rule_table() {
        "nf::Expected-returning functions must be [[nodiscard]] and their "
        "results must not be silently dropped",
        &rule_expected_discard},
+      {"infer-no-autograd",
+       "src/nn/infer must stay free of autograd tape APIs "
+       "(Module::forward, TensorImpl, grad accessors)",
+       &rule_infer_no_autograd},
       {"fault-catalog",
        "NF_FAULT(\"site\") literals and the docs/robustness.md catalog must "
        "match exactly, in both directions",

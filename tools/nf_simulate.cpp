@@ -3,6 +3,10 @@
 //
 // Run `nf_simulate --help` for the full flag list.
 // CSV columns: layer,row,col,height_A,dishing_A,erosion_A,step_A
+//
+// `--surrogate PREFIX` swaps the physical simulator for the pre-trained
+// neural surrogate (heights only; dishing/erosion/step columns are 0) —
+// the fast way to sanity-check a trained artifact against a known layout.
 
 #include <cstdio>
 #include <fstream>
@@ -11,14 +15,68 @@
 
 #include "cmp/simulator.hpp"
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "fill/metrics.hpp"
+#include "fill/score_coeffs.hpp"
 #include "geom/glf_io.hpp"
 #include "layout/window_grid.hpp"
 #include "runtime/parallel.hpp"
+#include "surrogate/cmp_network.hpp"
 
 using namespace neurfill;
 
 namespace {
+
+/// Streams per-layer height grids as the standard CSV (the non-height
+/// columns are zero when the producer does not model them).
+void write_heights_csv(std::ostream& os, const std::vector<GridD>& heights) {
+  os << "layer,row,col,height_A,dishing_A,erosion_A,step_A\n";
+  for (std::size_t l = 0; l < heights.size(); ++l) {
+    const GridD& h = heights[l];
+    for (std::size_t i = 0; i < h.rows(); ++i)
+      for (std::size_t j = 0; j < h.cols(); ++j)
+        os << l << ',' << i << ',' << j << ',' << h(i, j) << ",0,0,0\n";
+  }
+}
+
+int run_surrogate(const std::string& path, const std::string& out_path,
+                  const ExtractOptions& eopt,
+                  const std::string& surrogate_prefix,
+                  bool no_fast_inference) {
+  const Layout layout = read_glf_file(path);
+  const WindowExtraction ext = extract_windows(layout, eopt);
+  Expected<std::shared_ptr<CmpSurrogate>> loaded =
+      load_surrogate(surrogate_prefix);
+  if (!loaded.ok()) throw ErrorException(loaded.error());
+  (*loaded)->set_fast_inference(!no_fast_inference);
+  const CmpNetwork network(std::move(*loaded), ext, ScoreCoefficients{});
+
+  // Heights of the unfilled design (zero fill everywhere) — the surrogate
+  // analogue of sim.simulate(ext, {}).
+  const std::vector<GridD> zero_fill(ext.num_layers(),
+                                     GridD(ext.rows, ext.cols, 0.0));
+  const std::vector<GridD> heights = network.predict_heights(zero_fill);
+
+  std::ofstream file;
+  std::ostream* os = &std::cout;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    os = &file;
+  }
+  write_heights_csv(*os, heights);
+
+  const PlanarityMetrics m = compute_planarity(heights);
+  std::fprintf(stderr,
+               "surrogate-predicted %zu layers, %zux%zu windows: dH=%.1fA "
+               "sigma=%.1fA^2 sigma*=%.1fA outliers=%.2fA\n",
+               heights.size(), ext.rows, ext.cols, m.delta_h, m.sigma,
+               m.sigma_star, m.outliers);
+  return 0;
+}
 
 int run(const std::string& path, const std::string& out_path,
         const ExtractOptions& eopt, const CmpProcessParams& params,
@@ -74,6 +132,8 @@ int main(int argc, char** argv) {
   std::string path;
   std::string out_path;
   std::string pressure_model = "asperity";
+  std::string surrogate_prefix;
+  bool no_fast_inference = false;
   double deadline_s = 0.0;
   ExtractOptions eopt;
   double window_um = eopt.window_um;
@@ -89,6 +149,16 @@ int main(int argc, char** argv) {
                     &out_path);
   parser.add_choice("--pressure-model", {"asperity", "elastic"},
                     "pad pressure model (default asperity)", &pressure_model);
+  parser.add_string("--surrogate", "PREFIX",
+                    "predict heights with the pre-trained neural surrogate "
+                    "at PREFIX instead of simulating (dishing/erosion/step "
+                    "columns are 0)",
+                    &surrogate_prefix);
+  parser.add_flag("--no-fast-inference",
+                  "with --surrogate: use the autograd module path instead "
+                  "of the compiled inference session (slower, "
+                  "bitwise-identical; for diagnosis)",
+                  &no_fast_inference);
   parser.add_double("--deadline-s", "SEC",
                     "wall-clock budget for the simulation; expiry is a "
                     "structured error, exit 1 (default: none)",
@@ -113,7 +183,13 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   try {
-    rc = run(path, out_path, eopt, params, deadline_s);
+    rc = surrogate_prefix.empty()
+             ? run(path, out_path, eopt, params, deadline_s)
+             : run_surrogate(path, out_path, eopt, surrogate_prefix,
+                             no_fast_inference);
+  } catch (const ErrorException& e) {
+    std::fprintf(stderr, "error: %s\n", e.err.to_string().c_str());
+    rc = 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
