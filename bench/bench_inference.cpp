@@ -2,9 +2,15 @@
 // compiled InferenceSession vs the autograd module path, on the surrogate's
 // production shape (7 input channels, base 8, depth 3, 64x64 windows).
 //
+// Also sweeps batched session runs (B = 1, 4, 16 printed; B = 8 gated):
+// one run() call carries all B candidate samples, so per-call dispatch,
+// GEMM panel packing, and epilogue setup amortize across the batch.  The
+// gated key is per-sample latency at the fill loop's batch size.
+//
 // Emits a one-line JSON summary; --json FILE writes the same object for CI
-// (tools/check_bench_regression.py gates unet_infer_ms_1t and
-// infer_vs_autograd_speedup — the redesign's acceptance is >= 2x).
+// (tools/check_bench_regression.py gates unet_infer_ms_1t,
+// infer_vs_autograd_speedup — the redesign's acceptance is >= 2x — and
+// unet_infer_b8_ms_per_sample, which must stay below batch-1 latency).
 
 #include <algorithm>
 #include <cstdio>
@@ -83,9 +89,38 @@ int main(int argc, char** argv) {
   }
   runtime::set_thread_count(0);
 
+  // Batched sweep: one compiled session planned for the largest batch, fed
+  // with B copies of the same sample so every size reuses warm buffers.
+  constexpr int kBatches[] = {1, 4, 8, 16};
+  constexpr int kMaxBatch = 16;
+  nn::InferenceOptions bopts;
+  bopts.max_batch = kMaxBatch;
+  const nn::InferenceSession bsession(net, kHeight, kWidth, bopts);
+  std::vector<float> binput(input.size() * kMaxBatch);
+  for (int b = 0; b < kMaxBatch; ++b)
+    std::copy(input.begin(), input.end(),
+              binput.begin() + static_cast<std::ptrdiff_t>(b) *
+                                   static_cast<std::ptrdiff_t>(input.size()));
+  std::vector<float> boutput(output.size() * kMaxBatch);
+  double batch_ms[std::size(kBatches)] = {};
+  for (std::size_t bi = 0; bi < std::size(kBatches); ++bi) {
+    const int B = kBatches[bi];
+    runtime::set_thread_count(1);
+    bsession.run(binput.data(), boutput.data(), B);  // warm-up at this size
+    std::vector<double> bs(kReps);
+    for (int r = 0; r < kReps; ++r) {
+      Timer t;
+      bsession.run(binput.data(), boutput.data(), B);
+      bs[static_cast<std::size_t>(r)] = t.elapsed_seconds();
+    }
+    batch_ms[bi] = best_ms(bs) / B;
+  }
+  runtime::set_thread_count(0);
+
   const double auto_ms = best_ms(auto_s);
   const double infer_ms = best_ms(infer_s);
   const double speedup = auto_ms / infer_ms;
+  const double b8_ms = batch_ms[2];
   std::printf("=== UNet forward %dch base%d depth%d %dx%d, 1 thread ===\n",
               cfg.in_channels, cfg.base_channels, cfg.depth, kHeight, kWidth);
   std::printf("autograd module path: %8.3f ms\n", auto_ms);
@@ -94,13 +129,17 @@ int main(int argc, char** argv) {
               "arena %zu KiB)\n",
               speedup, session.node_count(),
               session.arena_floats_per_sample() * sizeof(float) / 1024);
+  for (std::size_t bi = 0; bi < std::size(kBatches); ++bi)
+    std::printf("batched run B=%-2d:     %8.3f ms/sample\n", kBatches[bi],
+                batch_ms[bi]);
 
   char json[512];
   std::snprintf(json, sizeof(json),
                 "{\"bench\":\"inference\",\"unet_autograd_ms_1t\":%.3f,"
                 "\"unet_infer_ms_1t\":%.3f,"
-                "\"infer_vs_autograd_speedup\":%.3f}",
-                auto_ms, infer_ms, speedup);
+                "\"infer_vs_autograd_speedup\":%.3f,"
+                "\"unet_infer_b8_ms_per_sample\":%.3f}",
+                auto_ms, infer_ms, speedup, b8_ms);
   std::printf("\nJSON: %s\n", json);
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");

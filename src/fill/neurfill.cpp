@@ -67,16 +67,43 @@ ObjectiveFn make_network_objective(const FillProblem& problem,
   };
 }
 
+BatchObjectiveFn make_network_batch_objective(const FillProblem& problem,
+                                              const CmpNetwork& network,
+                                              long* eval_counter) {
+  return [&problem, &network,
+          eval_counter](const std::vector<VecD>& vs) -> std::vector<double> {
+    if (eval_counter) *eval_counter += static_cast<long>(vs.size());
+    std::vector<std::vector<GridD>> xs;
+    xs.reserve(vs.size());
+    for (const VecD& v : vs) xs.push_back(problem.unflatten(v));
+    const std::vector<CmpNetwork::Eval> nets = network.evaluate_batch(xs);
+    std::vector<double> out(vs.size());
+    for (std::size_t b = 0; b < vs.size(); ++b) {
+      const PdScore pd = pd_score_and_gradient(problem.extraction(), xs[b],
+                                               problem.coefficients());
+      out[b] = -(nets[b].s_plan + pd.s_pd);
+    }
+    return out;
+  };
+}
+
 namespace {
 
-/// Network-based quality callback for starting-point generation.
-double network_quality(const FillProblem& problem, const CmpNetwork& network,
-                       const std::vector<GridD>& x, long* eval_counter) {
-  if (eval_counter) ++*eval_counter;
-  const CmpNetwork::Eval net = network.evaluate(x, false);
-  const PdScore pd =
-      pd_score_and_gradient(problem.extraction(), x, problem.coefficients());
-  return net.s_plan + pd.s_pd;
+/// Batched network quality (maximization) for starting-point generation:
+/// per candidate, S_plan + S_PD — the values network-objective callers
+/// negate — via one evaluate_batch call.
+std::vector<double> network_batch_quality(
+    const FillProblem& problem, const CmpNetwork& network,
+    const std::vector<std::vector<GridD>>& xs, long* eval_counter) {
+  if (eval_counter) *eval_counter += static_cast<long>(xs.size());
+  const std::vector<CmpNetwork::Eval> nets = network.evaluate_batch(xs);
+  std::vector<double> q(xs.size());
+  for (std::size_t b = 0; b < xs.size(); ++b) {
+    const PdScore pd = pd_score_and_gradient(problem.extraction(), xs[b],
+                                             problem.coefficients());
+    q[b] = nets[b].s_plan + pd.s_pd;
+  }
+  return q;
 }
 
 void persist_snapshot(const FillSnapshot& snap, const std::string& path) {
@@ -232,10 +259,13 @@ FillRunResult neurfill_pkb(const FillProblem& problem,
     starts = resumed.starts;
     evals = resumed.evaluations;
   } else {
-    const std::vector<GridD> start = pkb_starting_point(
+    // All `pkb_steps` sweep candidates are judged in one batched network
+    // evaluation; the chosen start (and the evaluation count) is identical
+    // to the serial sweep.
+    const std::vector<GridD> start = pkb_starting_point_batched(
         problem.extraction(),
-        [&](const std::vector<GridD>& x) {
-          return network_quality(problem, network, x, &evals);
+        [&](const std::vector<std::vector<GridD>>& xs) {
+          return network_batch_quality(problem, network, xs, &evals);
         },
         options.pkb_steps);
     starts.push_back(problem.flatten(start));
@@ -286,6 +316,18 @@ FillRunResult neurfill_mm(const FillProblem& problem, const CmpNetwork& network,
     nmmso_opt.deadline = options.deadline;
     nmmso_opt.interrupt = options.interrupt;
     Nmmso nmmso(explore, problem.bounds(), nmmso_opt);
+    // Each iteration's move batch runs as one batched network evaluation
+    // (negated to match `explore`'s maximization sign); out-of-batch
+    // evaluations (midpoints, hive-offs, immigrants) stay scalar.  Values
+    // are bitwise identical either way, so the located modes don't change.
+    const BatchObjectiveFn batch_obj =
+        make_network_batch_objective(problem, network, nullptr);
+    nmmso.set_batch_objective(
+        [batch_obj](const std::vector<VecD>& xs) -> std::vector<double> {
+          std::vector<double> v = batch_obj(xs);
+          for (double& q : v) q = -q;
+          return v;
+        });
     const std::vector<Mode> modes = nmmso.run();
     evals += nmmso.evaluations_used();
     explore_timed_out = nmmso.timed_out();
@@ -298,10 +340,10 @@ FillRunResult neurfill_mm(const FillProblem& problem, const CmpNetwork& network,
       if (static_cast<int>(starts.size()) >= options.mm_starts) break;
       starts.push_back(m.x);
     }
-    const std::vector<GridD> pkb = pkb_starting_point(
+    const std::vector<GridD> pkb = pkb_starting_point_batched(
         problem.extraction(),
-        [&](const std::vector<GridD>& x) {
-          return network_quality(problem, network, x, &evals);
+        [&](const std::vector<std::vector<GridD>>& xs) {
+          return network_batch_quality(problem, network, xs, &evals);
         },
         options.pkb_steps);
     starts.push_back(problem.flatten(pkb));

@@ -61,6 +61,16 @@ ObjectiveFn make_network_objective(const FillProblem& problem,
                                    const CmpNetwork& network,
                                    long* eval_counter = nullptr);
 
+/// Batched, value-only counterpart of make_network_objective: all B
+/// candidate points go through one CmpNetwork::evaluate_batch call (one
+/// batched UNet forward per layer) plus per-candidate analytic PD scores.
+/// Returns exactly the values the scalar objective would for the same
+/// points — NMMSO installs this via set_batch_objective and mixes it with
+/// scalar calls.  `eval_counter` advances by B per call.
+BatchObjectiveFn make_network_batch_objective(const FillProblem& problem,
+                                              const CmpNetwork& network,
+                                              long* eval_counter = nullptr);
+
 /// NeurFill (PKB): prior-knowledge-based starting point (judged by the
 /// network's quality) followed by SQP with backward-propagation gradients.
 FillRunResult neurfill_pkb(const FillProblem& problem,

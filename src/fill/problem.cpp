@@ -161,15 +161,15 @@ std::vector<GridD> target_density_fill(const WindowExtraction& ext,
   return x;
 }
 
-std::vector<GridD> pkb_starting_point(
-    const WindowExtraction& ext,
-    const std::function<double(const std::vector<GridD>&)>& quality,
-    int steps) {
-  if (steps < 2) throw std::invalid_argument("pkb_starting_point: steps < 2");
+namespace {
+
+/// Feasible target-density range per layer: from the mean density (no fill
+/// below it changes anything) to the max achievable density.
+void pkb_density_range(const WindowExtraction& ext, std::vector<double>& lo,
+                       std::vector<double>& hi) {
   const std::size_t L = ext.num_layers();
-  // Feasible target-density range per layer: from the mean density (no fill
-  // below it changes nothing) to the max achievable density.
-  std::vector<double> lo(L, 1.0), hi(L, 0.0);
+  lo.assign(L, 1.0);
+  hi.assign(L, 0.0);
   for (std::size_t l = 0; l < L; ++l) {
     const auto& d = ext.layers[l];
     double mean_rho = 0.0;
@@ -180,16 +180,36 @@ std::vector<GridD> pkb_starting_point(
     }
     lo[l] = mean_rho / static_cast<double>(d.slack.size());
   }
-  // Linear search: the same td step index is applied to all layers (the
-  // paper searches each layer's td by a linear sweep; the coupled sweep
-  // keeps the search O(steps) simulations instead of steps^L).
+}
+
+/// The step-s candidate of the coupled linear sweep: the same td step index
+/// is applied to all layers (the paper searches each layer's td by a linear
+/// sweep; the coupled sweep keeps the search O(steps) simulations instead
+/// of steps^L).
+std::vector<GridD> pkb_candidate(const WindowExtraction& ext,
+                                 const std::vector<double>& lo,
+                                 const std::vector<double>& hi, int s,
+                                 int steps) {
+  const double t = static_cast<double>(s) / static_cast<double>(steps - 1);
+  std::vector<double> td(lo.size());
+  for (std::size_t l = 0; l < td.size(); ++l)
+    td[l] = lo[l] + t * (hi[l] - lo[l]);
+  return target_density_fill(ext, td);
+}
+
+}  // namespace
+
+std::vector<GridD> pkb_starting_point(
+    const WindowExtraction& ext,
+    const std::function<double(const std::vector<GridD>&)>& quality,
+    int steps) {
+  if (steps < 2) throw std::invalid_argument("pkb_starting_point: steps < 2");
+  std::vector<double> lo, hi;
+  pkb_density_range(ext, lo, hi);
   double best_q = -1e300;
   std::vector<GridD> best;
   for (int s = 0; s < steps; ++s) {
-    const double t = static_cast<double>(s) / static_cast<double>(steps - 1);
-    std::vector<double> td(L);
-    for (std::size_t l = 0; l < L; ++l) td[l] = lo[l] + t * (hi[l] - lo[l]);
-    std::vector<GridD> x = target_density_fill(ext, td);
+    std::vector<GridD> x = pkb_candidate(ext, lo, hi, s, steps);
     const double q = quality(x);
     if (q > best_q) {
       best_q = q;
@@ -197,6 +217,36 @@ std::vector<GridD> pkb_starting_point(
     }
   }
   return best;
+}
+
+std::vector<GridD> pkb_starting_point_batched(
+    const WindowExtraction& ext,
+    const std::function<
+        std::vector<double>(const std::vector<std::vector<GridD>>&)>&
+        quality_batch,
+    int steps) {
+  if (steps < 2)
+    throw std::invalid_argument("pkb_starting_point_batched: steps < 2");
+  std::vector<double> lo, hi;
+  pkb_density_range(ext, lo, hi);
+  std::vector<std::vector<GridD>> candidates;
+  candidates.reserve(static_cast<std::size_t>(steps));
+  for (int s = 0; s < steps; ++s)
+    candidates.push_back(pkb_candidate(ext, lo, hi, s, steps));
+  const std::vector<double> q = quality_batch(candidates);
+  if (q.size() != candidates.size())
+    throw std::invalid_argument(
+        "pkb_starting_point_batched: quality count mismatch");
+  // Same selection rule as the serial sweep: first strictly-better wins.
+  double best_q = -1e300;
+  std::size_t best = 0;
+  for (std::size_t s = 0; s < q.size(); ++s) {
+    if (q[s] > best_q) {
+      best_q = q[s];
+      best = s;
+    }
+  }
+  return std::move(candidates[best]);
 }
 
 }  // namespace neurfill

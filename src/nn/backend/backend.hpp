@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 // The compute-backend seam of src/nn (docs/inference.md).  Every primitive
@@ -161,6 +162,33 @@ class Backend {
                                  const float* w, const float* bias,
                                  const float* gamma, const float* beta,
                                  float* y) = 0;
+
+  /// Floats of the backend-opaque pre-packed panel conv_weight_pack builds
+  /// for the constant filter tensor of conv2d_gn_act_fwd, or 0 when the
+  /// backend has no packed form for this geometry (callers then skip
+  /// prepacking).  A panel is valid only for the exact geometry it was
+  /// sized for and only on the backend that produced it.  Default: 0.
+  virtual std::size_t conv_weight_pack_floats(const Conv2dGeom& g);
+
+  /// Packs the [O, C, kh, kw] filter tensor `w` into `dst`
+  /// (conv_weight_pack_floats(g) floats).  Only called when that size is
+  /// non-zero.  Default: contract violation.
+  virtual void conv_weight_pack(const Conv2dGeom& g, const float* w,
+                                float* dst);
+
+  /// conv2d_gn_act_fwd with the filters additionally supplied as a
+  /// pre-packed panel from conv_weight_pack (`packed_w` may be null: then
+  /// identical to conv2d_gn_act_fwd).  Results are bitwise identical with
+  /// and without the panel; the panel only hoists per-call weight packing
+  /// out of the GEMM.  `w` must still point at the raw filters (paths that
+  /// do not consume the packed form read it).  Default: forwards to
+  /// conv2d_gn_act_fwd, ignoring `packed_w`.
+  virtual void conv2d_gn_act_fwd_packed(const Conv2dGeom& g, int groups,
+                                        float eps, ActKind act, float slope,
+                                        const float* x, const float* w,
+                                        const float* packed_w,
+                                        const float* bias, const float* gamma,
+                                        const float* beta, float* y);
 };
 
 /// The active backend.  Defaults to the built-in CpuBackend; never null.

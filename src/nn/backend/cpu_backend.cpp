@@ -165,6 +165,46 @@ void pack_conv_sliver(const float* x, int C, int H, int W, int kh, int kw,
   }
 }
 
+/// Batched variant of pack_conv_sliver: the logical B operand is the
+/// horizontal concatenation of every sample's im2col matrix, (K x
+/// batch*cols), so sliver `s` may straddle sample boundaries.  Column
+/// n*cols + j holds sample n's unfold column j — exactly the bytes sample
+/// n's own pack_conv_sliver would produce for that column, so each sample's
+/// slice of the fused GEMM is bitwise the per-sample product.
+void pack_conv_sliver_batched(const float* x, int C, int H, int W, int kh,
+                              int kw, int stride, int pad, int Hout, int Wout,
+                              int batch, int s, float* dst) {
+  const int cols = Hout * Wout;
+  const int total = batch * cols;
+  const int j0 = s * kGemmNr;
+  const int nr = std::min(kGemmNr, total - j0);
+  int n[kGemmNr], oi[kGemmNr], oj[kGemmNr];
+  for (int jj = 0; jj < nr; ++jj) {
+    const int jg = j0 + jj;
+    n[jj] = jg / cols;
+    const int jl = jg % cols;
+    oi[jj] = jl / Wout;
+    oj[jj] = jl % Wout;
+  }
+  const int K = C * kh * kw;
+  const std::size_t sample_elems = static_cast<std::size_t>(C) * H * W;
+  for (int k = 0; k < K; ++k) {
+    const int c = k / (kh * kw);
+    const int ki = (k / kw) % kh;
+    const int kj = k % kw;
+    const float* plane = x + static_cast<std::size_t>(c) * H * W;
+    float* row = dst + static_cast<std::size_t>(k) * kGemmNr;
+    for (int jj = 0; jj < nr; ++jj) {
+      const int ii = oi[jj] * stride + ki - pad;
+      const int jw = oj[jj] * stride + kj - pad;
+      row[jj] = (ii >= 0 && ii < H && jw >= 0 && jw < W)
+                    ? plane[n[jj] * sample_elems + ii * W + jw]
+                    : 0.0f;
+    }
+    for (int jj = nr; jj < kGemmNr; ++jj) row[jj] = 0.0f;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Direct stride-1 convolution (the fused inference path).
 //
@@ -195,6 +235,7 @@ void pack_conv_sliver(const float* x, int C, int H, int W, int kh, int kw,
 /// 16-lane blocks halve the broadcast-load pressure per FLOP on AVX-512
 /// hosts (where they map to single zmm registers), 8-lane blocks fit the
 /// 16-register AVX2 file and the 8-wide bottleneck rows.
+typedef float VOut4 __attribute__((vector_size(4 * sizeof(float))));
 typedef float VOut8 __attribute__((vector_size(8 * sizeof(float))));
 typedef float VOut16 __attribute__((vector_size(16 * sizeof(float))));
 #endif
@@ -232,7 +273,13 @@ float conv_direct_one(const float* const* prows, const float* wo, int C,
 /// vector load feeds kConvOr independent accumulation chains, giving the
 /// ILP the single-chain scalar loop lacks, with the input rows shared
 /// across channels straight from L1.
-template <typename V>
+///
+/// All block kernels below take the filters either raw ([o][k] rows, WP =
+/// false) or as the conv_weight_pack transposed panel ([k][o] blocks, WP =
+/// true, `wgt` pointing at this kConvOr-channel block); the loaded values
+/// and the FMA order are identical either way, so the two instantiations
+/// are bitwise-equal and only differ in weight cache behavior.
+template <typename V, bool WP = false>
 void conv_direct_block(const float* const* prows, const float* wgt, int K,
                        int C, int kh, int kw, int j, std::int64_t cols,
                        float* out) {
@@ -254,9 +301,10 @@ void conv_direct_block(const float* const* prows, const float* wgt, int K,
         }
         V xv;
         __builtin_memcpy(&xv, row + kj, sizeof xv);
-        const float* wk = wgt + k;
+        const float* wk =
+            WP ? wgt + static_cast<std::size_t>(k) * kConvOr : wgt + k;
         for (int i = 0; i < kConvOr; ++i)
-          acc[i] += wk[static_cast<std::size_t>(i) * K] * xv;
+          acc[i] += (WP ? wk[i] : wk[static_cast<std::size_t>(i) * K]) * xv;
       }
     }
   for (int i = 0; i < kConvOr; ++i) {
@@ -269,7 +317,7 @@ void conv_direct_block(const float* const* prows, const float* wgt, int K,
 /// kernel issues one broadcast and two input loads for 2*kConvOr FMAs,
 /// easing the load-port pressure that bounds the single-block variant on
 /// wide output rows.  Per-element chains are untouched.
-template <typename V>
+template <typename V, bool WP = false>
 void conv_direct_block2(const float* const* prows, const float* wgt, int K,
                         int C, int kh, int kw, int j, std::int64_t cols,
                         float* out) {
@@ -296,9 +344,10 @@ void conv_direct_block2(const float* const* prows, const float* wgt, int K,
         V xv0, xv1;
         __builtin_memcpy(&xv0, row + kj, sizeof xv0);
         __builtin_memcpy(&xv1, row + kj + lanes, sizeof xv1);
-        const float* wk = wgt + k;
+        const float* wk =
+            WP ? wgt + static_cast<std::size_t>(k) * kConvOr : wgt + k;
         for (int i = 0; i < kConvOr; ++i) {
-          const float wi = wk[static_cast<std::size_t>(i) * K];
+          const float wi = WP ? wk[i] : wk[static_cast<std::size_t>(i) * K];
           acc0[i] += wi * xv0;
           acc1[i] += wi * xv1;
         }
@@ -347,6 +396,7 @@ void conv_direct_block1(const float* const* prows, const float* wo, int C,
 /// register on their own, capping them at the 8-lane FMA rate; pairing rows
 /// restores full-width FMAs.  Each lane still owns an independent
 /// GEMM-ordered chain, so pairing never perturbs a single output bit.
+template <bool WP = false>
 void conv_direct_block_pair(const float* const* prows0,
                             const float* const* prows1, const float* wgt,
                             int K, int C, int kh, int kw, int j, int wout,
@@ -378,9 +428,10 @@ void conv_direct_block_pair(const float* const* prows0,
         __builtin_memcpy(&hi, row1 + kj, sizeof hi);
         const V xv = __builtin_shufflevector(lo, hi, 0, 1, 2, 3, 4, 5, 6, 7,
                                              8, 9, 10, 11, 12, 13, 14, 15);
-        const float* wk = wgt + k;
+        const float* wk =
+            WP ? wgt + static_cast<std::size_t>(k) * kConvOr : wgt + k;
         for (int i = 0; i < kConvOr; ++i)
-          acc[i] += wk[static_cast<std::size_t>(i) * K] * xv;
+          acc[i] += (WP ? wk[i] : wk[static_cast<std::size_t>(i) * K]) * xv;
       }
     }
   for (int i = 0; i < kConvOr; ++i) {
@@ -391,14 +442,202 @@ void conv_direct_block_pair(const float* const* prows0,
                      half * sizeof(float));
   }
 }
+
+/// Two full-width OUTPUT ROWS sharing each weight broadcast: vector 0 is
+/// columns j..j+lanes of output row oi, vector 1 the same columns of row
+/// oi+1.  The column-pair variant (conv_direct_block2) needs 2*lanes
+/// columns in one row; 16-wide rows on a 16-lane host never have them, so
+/// each row runs a lone block at half the FMA-per-broadcast rate.  Pairing
+/// rows instead restores the 2x ratio with the same independent chains.
+template <typename V, bool WP = false>
+void conv_direct_block2_rows(const float* const* prows0,
+                             const float* const* prows1, const float* wgt,
+                             int K, int C, int kh, int kw, int j, int wout,
+                             std::int64_t cols, float* out) {
+  V total0[kConvOr] = {}, acc0[kConvOr] = {};
+  V total1[kConvOr] = {}, acc1[kConvOr] = {};
+  bool flushed = false;
+  int boundary = kGemmKc;
+  int k = 0;
+  for (int c = 0; c < C; ++c)
+    for (int ki = 0; ki < kh; ++ki) {
+      const std::size_t rk = static_cast<std::size_t>(c) * kh + ki;
+      const float* row0 = prows0[rk] + j;
+      const float* row1 = prows1[rk] + j;
+      for (int kj = 0; kj < kw; ++kj, ++k) {
+        if (k == boundary) {
+          for (int i = 0; i < kConvOr; ++i) {
+            total0[i] = flushed ? total0[i] + acc0[i] : acc0[i];
+            total1[i] = flushed ? total1[i] + acc1[i] : acc1[i];
+            acc0[i] = V{};
+            acc1[i] = V{};
+          }
+          flushed = true;
+          boundary += kGemmKc;
+        }
+        V xv0, xv1;
+        __builtin_memcpy(&xv0, row0 + kj, sizeof xv0);
+        __builtin_memcpy(&xv1, row1 + kj, sizeof xv1);
+        const float* wk =
+            WP ? wgt + static_cast<std::size_t>(k) * kConvOr : wgt + k;
+        for (int i = 0; i < kConvOr; ++i) {
+          const float wi = WP ? wk[i] : wk[static_cast<std::size_t>(i) * K];
+          acc0[i] += wi * xv0;
+          acc1[i] += wi * xv1;
+        }
+      }
+    }
+  for (int i = 0; i < kConvOr; ++i) {
+    const V v0 = flushed ? total0[i] + acc0[i] : acc0[i];
+    const V v1 = flushed ? total1[i] + acc1[i] : acc1[i];
+    float* dst = out + static_cast<std::int64_t>(i) * cols;
+    __builtin_memcpy(dst, &v0, sizeof v0);
+    __builtin_memcpy(dst + wout, &v1, sizeof v1);
+  }
+}
+
+/// FOUR 8-wide output rows as two row-pair vectors sharing each weight
+/// broadcast: vector 0 packs rows oi/oi+1 (conv_direct_block_pair's
+/// layout), vector 1 rows oi+2/oi+3.  Same FMA-per-broadcast doubling as
+/// conv_direct_block2_rows, one level narrower.
+template <bool WP = false>
+void conv_direct_block_pair2(const float* const* prows0,
+                             const float* const* prows1,
+                             const float* const* prows2,
+                             const float* const* prows3, const float* wgt,
+                             int K, int C, int kh, int kw, int j, int wout,
+                             std::int64_t cols, float* out) {
+  using V = VOut16;
+  constexpr int half = static_cast<int>(sizeof(V) / sizeof(float)) / 2;
+  V total0[kConvOr] = {}, acc0[kConvOr] = {};
+  V total1[kConvOr] = {}, acc1[kConvOr] = {};
+  bool flushed = false;
+  int boundary = kGemmKc;
+  int k = 0;
+  for (int c = 0; c < C; ++c)
+    for (int ki = 0; ki < kh; ++ki) {
+      const std::size_t rk = static_cast<std::size_t>(c) * kh + ki;
+      const float* row0 = prows0[rk] + j;
+      const float* row1 = prows1[rk] + j;
+      const float* row2 = prows2[rk] + j;
+      const float* row3 = prows3[rk] + j;
+      for (int kj = 0; kj < kw; ++kj, ++k) {
+        if (k == boundary) {
+          for (int i = 0; i < kConvOr; ++i) {
+            total0[i] = flushed ? total0[i] + acc0[i] : acc0[i];
+            total1[i] = flushed ? total1[i] + acc1[i] : acc1[i];
+            acc0[i] = V{};
+            acc1[i] = V{};
+          }
+          flushed = true;
+          boundary += kGemmKc;
+        }
+        VOut8 a, b, c2, d;
+        __builtin_memcpy(&a, row0 + kj, sizeof a);
+        __builtin_memcpy(&b, row1 + kj, sizeof b);
+        __builtin_memcpy(&c2, row2 + kj, sizeof c2);
+        __builtin_memcpy(&d, row3 + kj, sizeof d);
+        const V xv0 = __builtin_shufflevector(a, b, 0, 1, 2, 3, 4, 5, 6, 7, 8,
+                                              9, 10, 11, 12, 13, 14, 15);
+        const V xv1 = __builtin_shufflevector(c2, d, 0, 1, 2, 3, 4, 5, 6, 7, 8,
+                                              9, 10, 11, 12, 13, 14, 15);
+        const float* wk =
+            WP ? wgt + static_cast<std::size_t>(k) * kConvOr : wgt + k;
+        for (int i = 0; i < kConvOr; ++i) {
+          const float wi = WP ? wk[i] : wk[static_cast<std::size_t>(i) * K];
+          acc0[i] += wi * xv0;
+          acc1[i] += wi * xv1;
+        }
+      }
+    }
+  for (int i = 0; i < kConvOr; ++i) {
+    const V v0 = flushed ? total0[i] + acc0[i] : acc0[i];
+    const V v1 = flushed ? total1[i] + acc1[i] : acc1[i];
+    float* dst = out + static_cast<std::int64_t>(i) * cols;
+    __builtin_memcpy(dst, &v0, half * sizeof(float));
+    __builtin_memcpy(dst + wout, reinterpret_cast<const float*>(&v0) + half,
+                     half * sizeof(float));
+    __builtin_memcpy(dst + 2 * wout, &v1, half * sizeof(float));
+    __builtin_memcpy(dst + 3 * wout, reinterpret_cast<const float*>(&v1) + half,
+                     half * sizeof(float));
+  }
+}
+
+/// FOUR output rows packed into one 16-lane vector: lanes [q*4, q*4+4) are
+/// columns j..j+4 of output row oi+q.  The 4-wide UNet stages (a 16-window
+/// tile's middle encoder/decoder level) would otherwise fall to the packed
+/// GEMM, whose per-element unfold gather costs more than the product
+/// itself at these shapes; quad packing keeps them on the zero-copy direct
+/// kernel at full vector width.  Lanes are independent chains — packing
+/// never perturbs a single output bit.
+template <bool WP = false>
+void conv_direct_block_quad(const float* const* prows0,
+                            const float* const* prows1,
+                            const float* const* prows2,
+                            const float* const* prows3, const float* wgt,
+                            int K, int C, int kh, int kw, int j, int wout,
+                            std::int64_t cols, float* out) {
+  using V = VOut16;
+  constexpr int quarter = static_cast<int>(sizeof(V) / sizeof(float)) / 4;
+  V total[kConvOr] = {}, acc[kConvOr] = {};
+  bool flushed = false;
+  int boundary = kGemmKc;
+  int k = 0;
+  for (int c = 0; c < C; ++c)
+    for (int ki = 0; ki < kh; ++ki) {
+      const std::size_t rk = static_cast<std::size_t>(c) * kh + ki;
+      const float* row0 = prows0[rk] + j;
+      const float* row1 = prows1[rk] + j;
+      const float* row2 = prows2[rk] + j;
+      const float* row3 = prows3[rk] + j;
+      for (int kj = 0; kj < kw; ++kj, ++k) {
+        if (k == boundary) {
+          for (int i = 0; i < kConvOr; ++i) {
+            total[i] = flushed ? total[i] + acc[i] : acc[i];
+            acc[i] = V{};
+          }
+          flushed = true;
+          boundary += kGemmKc;
+        }
+        // Quarter-vector loads combined in registers (two insert levels);
+        // see conv_direct_block_pair for why a stack temporary would stall.
+        VOut4 q0, q1, q2, q3;
+        __builtin_memcpy(&q0, row0 + kj, sizeof q0);
+        __builtin_memcpy(&q1, row1 + kj, sizeof q1);
+        __builtin_memcpy(&q2, row2 + kj, sizeof q2);
+        __builtin_memcpy(&q3, row3 + kj, sizeof q3);
+        const VOut8 lo = __builtin_shufflevector(q0, q1, 0, 1, 2, 3, 4, 5, 6, 7);
+        const VOut8 hi = __builtin_shufflevector(q2, q3, 0, 1, 2, 3, 4, 5, 6, 7);
+        const V xv = __builtin_shufflevector(lo, hi, 0, 1, 2, 3, 4, 5, 6, 7,
+                                             8, 9, 10, 11, 12, 13, 14, 15);
+        const float* wk =
+            WP ? wgt + static_cast<std::size_t>(k) * kConvOr : wgt + k;
+        for (int i = 0; i < kConvOr; ++i)
+          acc[i] += (WP ? wk[i] : wk[static_cast<std::size_t>(i) * K]) * xv;
+      }
+    }
+  for (int i = 0; i < kConvOr; ++i) {
+    const V v = flushed ? total[i] + acc[i] : acc[i];
+    const float* vf = reinterpret_cast<const float*>(&v);
+    float* dst = out + static_cast<std::int64_t>(i) * cols;
+    for (int q = 0; q < 4; ++q)
+      __builtin_memcpy(dst + static_cast<std::int64_t>(q) * wout,
+                       vf + q * quarter, quarter * sizeof(float));
+  }
+}
 #endif
 
 /// One full output row (all O channels) from padded input row pointers.
 /// `prows[c*kh + ki]` holds the input row oi+ki-pad shifted by the padding:
 /// index j+kj reads input column j+kj-pad, zero outside the sample.
-void conv_direct_row(const float* const* prows, const float* wgt, int O,
-                     int K, int C, int kh, int kw, int Wout,
-                     std::int64_t cols, float* yrow) {
+///
+/// All row drivers take the raw filters in `wgt` plus the optional
+/// conv_weight_pack transposed panel in `wp` (WP = true; full kConvOr
+/// blocks only — scalar and remainder-channel paths always read `wgt`).
+template <bool WP>
+void conv_direct_row(const float* const* prows, const float* wgt,
+                     const float* wp, int O, int K, int C, int kh, int kw,
+                     int Wout, std::int64_t cols, float* yrow) {
   int o0 = 0;
 #if NEURFILL_CONV_VECTOR_EXT
 #if defined(__AVX512F__)
@@ -408,19 +647,23 @@ void conv_direct_row(const float* const* prows, const float* wgt, int O,
 #endif
   for (; o0 + kConvOr <= O; o0 += kConvOr) {
     const float* wo = wgt + static_cast<std::size_t>(o0) * K;
+    const float* wob = WP ? wp + static_cast<std::size_t>(o0) * K : wo;
     float* out = yrow + static_cast<std::int64_t>(o0) * cols;
     int j = 0;
     if (kWide) {
       for (; j + 32 <= Wout; j += 32)
-        conv_direct_block2<VOut16>(prows, wo, K, C, kh, kw, j, cols, out + j);
+        conv_direct_block2<VOut16, WP>(prows, wob, K, C, kh, kw, j, cols,
+                                       out + j);
       for (; j + 16 <= Wout; j += 16)
-        conv_direct_block<VOut16>(prows, wo, K, C, kh, kw, j, cols, out + j);
+        conv_direct_block<VOut16, WP>(prows, wob, K, C, kh, kw, j, cols,
+                                      out + j);
     } else {
       for (; j + 16 <= Wout; j += 16)
-        conv_direct_block2<VOut8>(prows, wo, K, C, kh, kw, j, cols, out + j);
+        conv_direct_block2<VOut8, WP>(prows, wob, K, C, kh, kw, j, cols,
+                                      out + j);
     }
     for (; j + 8 <= Wout; j += 8)
-      conv_direct_block<VOut8>(prows, wo, K, C, kh, kw, j, cols, out + j);
+      conv_direct_block<VOut8, WP>(prows, wob, K, C, kh, kw, j, cols, out + j);
     for (; j < Wout; ++j)
       for (int i = 0; i < kConvOr; ++i)
         out[static_cast<std::int64_t>(i) * cols + j] = conv_direct_one(
@@ -461,19 +704,21 @@ constexpr bool kConvPairRows = false;
 /// Two adjacent output rows oi (prows0) and oi+1 (prows1) at once, for
 /// narrow outputs.  `yrow` addresses row oi of channel 0; row oi+1 of every
 /// channel sits `wout` floats further into the same plane.
+template <bool WP>
 void conv_direct_row_pair(const float* const* prows0,
                           const float* const* prows1, const float* wgt,
-                          int O, int K, int C, int kh, int kw, int Wout,
-                          std::int64_t cols, float* yrow) {
+                          const float* wp, int O, int K, int C, int kh,
+                          int kw, int Wout, std::int64_t cols, float* yrow) {
 #if NEURFILL_CONV_VECTOR_EXT
   int o0 = 0;
   for (; o0 + kConvOr <= O; o0 += kConvOr) {
     const float* wo = wgt + static_cast<std::size_t>(o0) * K;
+    const float* wob = WP ? wp + static_cast<std::size_t>(o0) * K : wo;
     float* out = yrow + static_cast<std::int64_t>(o0) * cols;
     int j = 0;
     for (; j + 8 <= Wout; j += 8)
-      conv_direct_block_pair(prows0, prows1, wo, K, C, kh, kw, j,
-                             Wout, cols, out + j);
+      conv_direct_block_pair<WP>(prows0, prows1, wob, K, C, kh, kw, j,
+                                 Wout, cols, out + j);
     for (; j < Wout; ++j)
       for (int i = 0; i < kConvOr; ++i) {
         float* dst = out + static_cast<std::int64_t>(i) * cols + j;
@@ -491,9 +736,180 @@ void conv_direct_row_pair(const float* const* prows0,
     }
   }
 #else
-  conv_direct_row(prows0, wgt, O, K, C, kh, kw, Wout, cols, yrow);
-  conv_direct_row(prows1, wgt, O, K, C, kh, kw, Wout, cols, yrow + Wout);
+  conv_direct_row<WP>(prows0, wgt, wp, O, K, C, kh, kw, Wout, cols, yrow);
+  conv_direct_row<WP>(prows1, wgt, wp, O, K, C, kh, kw, Wout, cols,
+                      yrow + Wout);
 #endif
+}
+
+/// Four adjacent output rows oi..oi+3 at once, for 4-wide outputs.  `yrow`
+/// addresses row oi of channel 0; row oi+q of every channel sits q*wout
+/// floats further into the same plane.
+template <bool WP>
+void conv_direct_row_quad(const float* const* prows0,
+                          const float* const* prows1,
+                          const float* const* prows2,
+                          const float* const* prows3, const float* wgt,
+                          const float* wp, int O, int K, int C, int kh,
+                          int kw, int Wout, std::int64_t cols, float* yrow) {
+#if NEURFILL_CONV_VECTOR_EXT
+  int o0 = 0;
+  for (; o0 + kConvOr <= O; o0 += kConvOr) {
+    const float* wo = wgt + static_cast<std::size_t>(o0) * K;
+    const float* wob = WP ? wp + static_cast<std::size_t>(o0) * K : wo;
+    float* out = yrow + static_cast<std::int64_t>(o0) * cols;
+    int j = 0;
+    for (; j + 4 <= Wout; j += 4)
+      conv_direct_block_quad<WP>(prows0, prows1, prows2, prows3, wob, K, C,
+                                 kh, kw, j, Wout, cols, out + j);
+    for (; j < Wout; ++j)
+      for (int i = 0; i < kConvOr; ++i) {
+        float* dst = out + static_cast<std::int64_t>(i) * cols + j;
+        const float* wi = wo + static_cast<std::size_t>(i) * K;
+        dst[0] = conv_direct_one(prows0, wi, C, kh, kw, j);
+        dst[Wout] = conv_direct_one(prows1, wi, C, kh, kw, j);
+        dst[2 * Wout] = conv_direct_one(prows2, wi, C, kh, kw, j);
+        dst[3 * Wout] = conv_direct_one(prows3, wi, C, kh, kw, j);
+      }
+  }
+  for (; o0 < O; ++o0) {
+    const float* wo = wgt + static_cast<std::size_t>(o0) * K;
+    float* out = yrow + static_cast<std::int64_t>(o0) * cols;
+    for (int j = 0; j < Wout; ++j) {
+      out[j] = conv_direct_one(prows0, wo, C, kh, kw, j);
+      out[Wout + j] = conv_direct_one(prows1, wo, C, kh, kw, j);
+      out[2 * Wout + j] = conv_direct_one(prows2, wo, C, kh, kw, j);
+      out[3 * Wout + j] = conv_direct_one(prows3, wo, C, kh, kw, j);
+    }
+  }
+#else
+  conv_direct_row<WP>(prows0, wgt, wp, O, K, C, kh, kw, Wout, cols, yrow);
+  conv_direct_row<WP>(prows1, wgt, wp, O, K, C, kh, kw, Wout, cols,
+                      yrow + Wout);
+  conv_direct_row<WP>(prows2, wgt, wp, O, K, C, kh, kw, Wout, cols,
+                      yrow + 2 * Wout);
+  conv_direct_row<WP>(prows3, wgt, wp, O, K, C, kh, kw, Wout, cols,
+                      yrow + 3 * Wout);
+#endif
+}
+
+/// Two adjacent output rows oi and oi+1 at once for 16-wide outputs: each
+/// row is one full 16-lane block, the pair shares weight broadcasts
+/// (conv_direct_block2_rows).
+template <bool WP>
+void conv_direct_row2_wide(const float* const* prows0,
+                           const float* const* prows1, const float* wgt,
+                           const float* wp, int O, int K, int C, int kh,
+                           int kw, int Wout, std::int64_t cols, float* yrow) {
+#if NEURFILL_CONV_VECTOR_EXT
+  int o0 = 0;
+  for (; o0 + kConvOr <= O; o0 += kConvOr) {
+    const float* wo = wgt + static_cast<std::size_t>(o0) * K;
+    const float* wob = WP ? wp + static_cast<std::size_t>(o0) * K : wo;
+    float* out = yrow + static_cast<std::int64_t>(o0) * cols;
+    int j = 0;
+    for (; j + 16 <= Wout; j += 16)
+      conv_direct_block2_rows<VOut16, WP>(prows0, prows1, wob, K, C, kh, kw,
+                                          j, Wout, cols, out + j);
+    for (; j < Wout; ++j)
+      for (int i = 0; i < kConvOr; ++i) {
+        float* dst = out + static_cast<std::int64_t>(i) * cols + j;
+        const float* wi = wo + static_cast<std::size_t>(i) * K;
+        dst[0] = conv_direct_one(prows0, wi, C, kh, kw, j);
+        dst[Wout] = conv_direct_one(prows1, wi, C, kh, kw, j);
+      }
+  }
+  for (; o0 < O; ++o0) {
+    const float* wo = wgt + static_cast<std::size_t>(o0) * K;
+    float* out = yrow + static_cast<std::int64_t>(o0) * cols;
+    int j = 0;
+    for (; j + 16 <= Wout; j += 16) {
+      conv_direct_block1<VOut16>(prows0, wo, C, kh, kw, j, out);
+      conv_direct_block1<VOut16>(prows1, wo, C, kh, kw, j, out + Wout);
+    }
+    for (; j < Wout; ++j) {
+      out[j] = conv_direct_one(prows0, wo, C, kh, kw, j);
+      out[Wout + j] = conv_direct_one(prows1, wo, C, kh, kw, j);
+    }
+  }
+#else
+  conv_direct_row<WP>(prows0, wgt, wp, O, K, C, kh, kw, Wout, cols, yrow);
+  conv_direct_row<WP>(prows1, wgt, wp, O, K, C, kh, kw, Wout, cols,
+                      yrow + Wout);
+#endif
+}
+
+/// Four adjacent 8-wide output rows oi..oi+3 at once: two row-pair vectors
+/// sharing weight broadcasts (conv_direct_block_pair2).
+template <bool WP>
+void conv_direct_row_quad8(const float* const* prows0,
+                           const float* const* prows1,
+                           const float* const* prows2,
+                           const float* const* prows3, const float* wgt,
+                           const float* wp, int O, int K, int C, int kh,
+                           int kw, int Wout, std::int64_t cols, float* yrow) {
+#if NEURFILL_CONV_VECTOR_EXT
+  int o0 = 0;
+  for (; o0 + kConvOr <= O; o0 += kConvOr) {
+    const float* wo = wgt + static_cast<std::size_t>(o0) * K;
+    const float* wob = WP ? wp + static_cast<std::size_t>(o0) * K : wo;
+    float* out = yrow + static_cast<std::int64_t>(o0) * cols;
+    int j = 0;
+    for (; j + 8 <= Wout; j += 8)
+      conv_direct_block_pair2<WP>(prows0, prows1, prows2, prows3, wob, K, C,
+                                  kh, kw, j, Wout, cols, out + j);
+    for (; j < Wout; ++j)
+      for (int i = 0; i < kConvOr; ++i) {
+        float* dst = out + static_cast<std::int64_t>(i) * cols + j;
+        const float* wi = wo + static_cast<std::size_t>(i) * K;
+        dst[0] = conv_direct_one(prows0, wi, C, kh, kw, j);
+        dst[Wout] = conv_direct_one(prows1, wi, C, kh, kw, j);
+        dst[2 * Wout] = conv_direct_one(prows2, wi, C, kh, kw, j);
+        dst[3 * Wout] = conv_direct_one(prows3, wi, C, kh, kw, j);
+      }
+  }
+  for (; o0 < O; ++o0) {
+    const float* wo = wgt + static_cast<std::size_t>(o0) * K;
+    float* out = yrow + static_cast<std::int64_t>(o0) * cols;
+    for (int j = 0; j < Wout; ++j) {
+      out[j] = conv_direct_one(prows0, wo, C, kh, kw, j);
+      out[Wout + j] = conv_direct_one(prows1, wo, C, kh, kw, j);
+      out[2 * Wout + j] = conv_direct_one(prows2, wo, C, kh, kw, j);
+      out[3 * Wout + j] = conv_direct_one(prows3, wo, C, kh, kw, j);
+    }
+  }
+#else
+  conv_direct_row_pair<WP>(prows0, prows1, wgt, wp, O, K, C, kh, kw, Wout,
+                           cols, yrow);
+  conv_direct_row_pair<WP>(prows2, prows3, wgt, wp, O, K, C, kh, kw, Wout,
+                           cols, yrow + 2 * Wout);
+#endif
+}
+
+/// Routes one row-group job to the row driver matching its geometry (see
+/// the rpj selection in conv2d_gn_act_fwd_packed).  `ptrs` holds rpj
+/// consecutive pointer tables of n_rows entries each.
+template <bool WP>
+void conv_direct_rows_dispatch(int rpj, int Wout, const float* const* ptrs,
+                               std::size_t n_rows, const float* w,
+                               const float* wp, int O, int K, int C, int kh,
+                               int kw, std::int64_t cols, float* yrow) {
+  if (rpj == 4 && Wout == 4)
+    conv_direct_row_quad<WP>(ptrs, ptrs + n_rows, ptrs + 2 * n_rows,
+                             ptrs + 3 * n_rows, w, wp, O, K, C, kh, kw, Wout,
+                             cols, yrow);
+  else if (rpj == 4)
+    conv_direct_row_quad8<WP>(ptrs, ptrs + n_rows, ptrs + 2 * n_rows,
+                              ptrs + 3 * n_rows, w, wp, O, K, C, kh, kw,
+                              Wout, cols, yrow);
+  else if (rpj == 2 && Wout == 16)
+    conv_direct_row2_wide<WP>(ptrs, ptrs + n_rows, w, wp, O, K, C, kh, kw,
+                              Wout, cols, yrow);
+  else if (rpj == 2)
+    conv_direct_row_pair<WP>(ptrs, ptrs + n_rows, w, wp, O, K, C, kh, kw,
+                             Wout, cols, yrow);
+  else
+    conv_direct_row<WP>(ptrs, w, wp, O, K, C, kh, kw, Wout, cols, yrow);
 }
 
 inline float apply_act(ActKind act, float slope, float v) {
@@ -555,39 +971,60 @@ void CpuBackend::conv2d_fwd(const Conv2dGeom& g, const float* x,
   check_unfold_geometry("conv2d_fwd", H, W, kh, kw, g.stride, g.padding, Hout,
                         Wout);
   const bool identity = identity_unfold(g);
-  // Persistent unfold scratch: the (K, cols) im2col matrix is rebuilt for
-  // every batch element of every conv in the network, so it lives in a
-  // grow-only thread-local aligned buffer instead of a per-call vector —
-  // zero allocations in steady state, and 64-byte alignment feeds the
-  // packed GEMM full cache lines.  The identity unfold (1x1, stride 1, no
-  // padding) skips the copy and streams the input sample directly.
-  static thread_local AlignedBuffer<float> tls_col;
   const std::size_t unfold_elems = static_cast<std::size_t>(K) * cols;
-  float* col = identity ? nullptr : tls_col.ensure(unfold_elems);
   // Small layers fork no jobs at all (see kSerialConvUnfoldElems above).
+  // The threshold scales with the batch: a layer too small to be worth
+  // forking per sample can still fill every core when the batch axis
+  // multiplies the work (batched surrogate inference, training
+  // minibatches).  Scheduling only — results are bitwise unchanged.
   std::optional<runtime::ThreadPool::SerialRegion> serial;
-  if (unfold_elems <= kSerialConvUnfoldElems) serial.emplace();
+  if (unfold_elems * static_cast<std::size_t>(g.batch) <=
+      kSerialConvUnfoldElems)
+    serial.emplace();
   const std::size_t bias_grain = runtime::grain_for_cost(
       1.0 * static_cast<double>(cols), static_cast<std::size_t>(O));
-  for (int n = 0; n < g.batch; ++n) {
-    const float* xn = x + static_cast<std::int64_t>(n) * C * H * W;
-    const float* rhs = xn;
-    if (!identity) {
-      im2col(xn, C, H, W, kh, kw, g.stride, g.padding, Hout, Wout, col);
-      rhs = col;
-    }
-    float* po = y + static_cast<std::int64_t>(n) * O * cols;
-    gemm_nn(O, cols, K, w, rhs, po, false);
-    if (bias) {
-      runtime::parallel_for(bias_grain, static_cast<std::size_t>(O),
-                            [=](std::size_t o0, std::size_t o1) {
-                              for (std::size_t o = o0; o < o1; ++o)
-                                for (int i = 0; i < cols; ++i)
-                                  po[o * static_cast<std::size_t>(cols) + i] +=
-                                      bias[o];
-                            });
-    }
-  }
+  // Samples are independent (disjoint output planes), so the batch loop is
+  // itself a parallel_for; each sample's per-element arithmetic is a pure
+  // function of that sample, so the outer decomposition never changes
+  // results.  Inner primitives degrade to inline blocks when the batch
+  // level already forked (nested-parallelism rule, docs/runtime.md).  One
+  // sample costs ~2*O*cols*K FLOPs at the packed kernel's ~10 FLOP/ns.
+  const double sample_ns =
+      2.0 * static_cast<double>(O) * static_cast<double>(cols) *
+      static_cast<double>(K) / 10.0;
+  runtime::parallel_for(
+      runtime::grain_for_cost(sample_ns, static_cast<std::size_t>(g.batch)),
+      static_cast<std::size_t>(g.batch), [=](std::size_t n0, std::size_t n1) {
+        // Persistent unfold scratch: the (K, cols) im2col matrix is rebuilt
+        // for every batch element of every conv in the network, so it lives
+        // in a grow-only thread-local aligned buffer instead of a per-call
+        // vector — zero allocations in steady state, and 64-byte alignment
+        // feeds the packed GEMM full cache lines.  The identity unfold
+        // (1x1, stride 1, no padding) skips the copy and streams the input
+        // sample directly.
+        static thread_local AlignedBuffer<float> tls_col;
+        float* col = identity ? nullptr : tls_col.ensure(unfold_elems);
+        for (std::size_t ns = n0; ns < n1; ++ns) {
+          const int n = static_cast<int>(ns);
+          const float* xn = x + static_cast<std::int64_t>(n) * C * H * W;
+          const float* rhs = xn;
+          if (!identity) {
+            im2col(xn, C, H, W, kh, kw, g.stride, g.padding, Hout, Wout, col);
+            rhs = col;
+          }
+          float* po = y + static_cast<std::int64_t>(n) * O * cols;
+          gemm_nn(O, cols, K, w, rhs, po, false);
+          if (bias) {
+            runtime::parallel_for(
+                bias_grain, static_cast<std::size_t>(O),
+                [=](std::size_t o0, std::size_t o1) {
+                  for (std::size_t o = o0; o < o1; ++o)
+                    for (int i = 0; i < cols; ++i)
+                      po[o * static_cast<std::size_t>(cols) + i] += bias[o];
+                });
+          }
+        }
+      });
 }
 
 void CpuBackend::conv2d_bwd(const Conv2dGeom& g, const float* x,
@@ -846,11 +1283,62 @@ void CpuBackend::concat_channels_fwd(int batch, int channels_a, int channels_b,
   }
 }
 
+/// Does the fused block take the packed-GEMM fallback for a single sample
+/// (stride or an output too narrow for the direct kernel's vector blocks)?
+/// 4-wide outputs with a multiple-of-4 height stay direct on 16-lane hosts
+/// via quad row packing (conv_direct_block_quad).  The branch in
+/// conv2d_gn_act_fwd_packed below consumes this predicate directly;
+/// batch-independent by construction.
+static bool fused_conv_uses_gemm(const Conv2dGeom& g) {
+  if (g.stride != 1) return true;
+  if (g.out_width >= 8) return false;
+  return !(kConvPairRows && g.out_width == 4 && g.out_height % 4 == 0);
+}
+
+std::size_t CpuBackend::conv_weight_pack_floats(const Conv2dGeom& g) {
+  // GEMM-fallback convs consume a gemm_pack_a A panel — per sample at
+  // batch 1, as one whole-batch product at batch > 1.  Direct-kernel convs
+  // consume the filters transposed to [k][o] in kConvOr-channel blocks:
+  // the raw [o][k] layout makes every k-step touch kConvOr distinct cache
+  // lines (one per output channel), which falls out of L1 as soon as
+  // O * K * 4 bytes does — exactly the deep narrow stages; the transposed
+  // panel puts each k's block of weights on one line.  Values and FMA
+  // order are untouched, so the packed form is bitwise-neutral.  Only full
+  // kConvOr blocks are packed; the remainder channels (the 1-channel head)
+  // read the raw filters.
+  const int K = g.in_channels * g.kernel_h * g.kernel_w;
+  if (fused_conv_uses_gemm(g)) return gemm_packed_a_floats(g.out_channels, K);
+  return static_cast<std::size_t>(g.out_channels - g.out_channels % kConvOr) *
+         static_cast<std::size_t>(K);
+}
+
+void CpuBackend::conv_weight_pack(const Conv2dGeom& g, const float* w,
+                                  float* dst) {
+  const int O = g.out_channels;
+  const int K = g.in_channels * g.kernel_h * g.kernel_w;
+  if (fused_conv_uses_gemm(g)) {
+    gemm_pack_a(w, O, K, dst);
+    return;
+  }
+  for (int ob = 0; ob + kConvOr <= O; ob += kConvOr)
+    for (int k = 0; k < K; ++k)
+      for (int i = 0; i < kConvOr; ++i)
+        *dst++ = w[static_cast<std::size_t>(ob + i) * K + k];
+}
+
 void CpuBackend::conv2d_gn_act_fwd(const Conv2dGeom& g, int groups, float eps,
                                    ActKind act, float slope, const float* x,
                                    const float* w, const float* bias,
                                    const float* gamma, const float* beta,
                                    float* y) {
+  conv2d_gn_act_fwd_packed(g, groups, eps, act, slope, x, w, nullptr, bias,
+                           gamma, beta, y);
+}
+
+void CpuBackend::conv2d_gn_act_fwd_packed(
+    const Conv2dGeom& g, int groups, float eps, ActKind act, float slope,
+    const float* x, const float* w, const float* packed_w, const float* bias,
+    const float* gamma, const float* beta, float* y) {
   NF_TRACE_SPAN("nn.conv2d_fused");
   const int C = g.in_channels, H = g.height, W = g.width;
   const int O = g.out_channels, kh = g.kernel_h, kw = g.kernel_w;
@@ -864,17 +1352,60 @@ void CpuBackend::conv2d_gn_act_fwd(const Conv2dGeom& g, int groups, float eps,
   NF_CHECK(groups == 0 || (gamma && beta),
            "conv2d_gn_act_fwd: normalization without gamma/beta");
   const std::size_t unfold_elems = static_cast<std::size_t>(K) * cols;
+  // As in conv2d_fwd, the serial threshold scales with the batch so batched
+  // inference forks even on layers too small to fork per sample.
   std::optional<runtime::ThreadPool::SerialRegion> serial;
-  if (unfold_elems <= kSerialConvUnfoldElems) serial.emplace();
+  if (unfold_elems * static_cast<std::size_t>(g.batch) <=
+      kSerialConvUnfoldElems)
+    serial.emplace();
 
   bool epilogue_in_kernel = false;
-  // The direct kernel's vector blocks need at least 8 output columns per
-  // row; below that every element falls to the scalar path, whose serial
-  // FMA chain runs ~4x slower per product than the GEMM (which flattens
-  // all Hout*Wout pixels into one vectorizable axis).  Narrow outputs —
-  // the deep stages of a small-window UNet — take the GEMM branch instead;
-  // the shared chain contract keeps the two bitwise identical.
-  if (g.stride == 1 && Wout >= 8) {
+  if (g.batch > 1 && fused_conv_uses_gemm(g)) {
+    // Whole-batch fused GEMM: every sample's unfold columns concatenate
+    // into one (K x batch*cols) right-hand side and the filters multiply
+    // it in a single product.  The per-sample fallback at these narrow
+    // outputs runs the micro-kernel on mostly-padding slivers (a 2x2 plane
+    // fills 4 of 16 lanes) and pays the per-call GEMM setup per sample;
+    // fusing the batch restores full-width slivers and amortizes every
+    // per-call cost across B samples.  Bitwise: each output element's
+    // accumulation chain in the wide GEMM is identical to its chain in the
+    // per-sample product — the K-slab decomposition depends only on K, and
+    // columns are independent accumulator lanes — so batch-B stays byte-
+    // identical to B batch-1 runs (asserted by tests/test_inference.cpp).
+    const int NB = g.batch * cols;
+    // GEMM output is (O x batch*cols) — sample-minor — while y is
+    // (batch x O x cols), so the product lands in scratch and a pure copy
+    // fans the rows out per sample.
+    static thread_local AlignedBuffer<float> tls_cbig;
+    float* cbig = tls_cbig.ensure(static_cast<std::size_t>(O) * NB);
+    const auto gather = [=](int s, float* dst) {
+      pack_conv_sliver_batched(x, C, H, W, kh, kw, g.stride, g.padding, Hout,
+                               Wout, g.batch, s, dst);
+    };
+    if (packed_w)
+      gemm_prepacked_a(O, NB, K, packed_w, gather, cbig, false);
+    else
+      gemm_packed_b(O, NB, K, w, gather, cbig, false);
+    const std::size_t out_rows = static_cast<std::size_t>(g.batch) * O;
+    runtime::parallel_for(
+        runtime::grain_for_cost(0.5 * cols, out_rows), out_rows,
+        [=](std::size_t r0, std::size_t r1) {
+          for (std::size_t r = r0; r < r1; ++r) {
+            const std::size_t n = r / static_cast<std::size_t>(O);
+            const std::size_t o = r % static_cast<std::size_t>(O);
+            std::memcpy(y + r * cols,
+                        cbig + o * static_cast<std::size_t>(NB) + n * cols,
+                        sizeof(float) * static_cast<std::size_t>(cols));
+          }
+        });
+  } else if (!fused_conv_uses_gemm(g)) {
+    // The direct kernel's vector blocks need at least 8 output columns per
+    // row (or 4 with quad row packing); below that every element falls to
+    // the scalar path, whose serial FMA chain runs ~4x slower per product
+    // than the GEMM (which flattens all Hout*Wout pixels into one
+    // vectorizable axis).  Outputs narrower still — the deepest stages of
+    // a small-window UNet — take the GEMM branch instead; the shared chain
+    // contract keeps the two bitwise identical.
     // Direct convolution (see the block comment above conv_direct_one).
     // The zero-padded input plane is materialized ONCE per call (disjoint
     // row writes, any order — the pads are constants), then every output
@@ -915,10 +1446,15 @@ void CpuBackend::conv2d_gn_act_fwd(const Conv2dGeom& g, int groups, float eps,
           });
       padded = pad;
     }
-    // Narrow outputs pair adjacent rows per job to fill wide vectors; the
-    // pairing depends only on the geometry, never the thread count.
+    // Group adjacent rows per job so the block kernels can fill wide
+    // vectors (4- and 8-wide outputs) and share weight broadcasts across
+    // rows (8- and 16-wide); the grouping depends only on the geometry,
+    // never the thread count.
+    const bool quad = kConvPairRows && Wout == 4;  // gated by Hout % 4 above
+    const bool quad8 = kConvPairRows && Wout == 8 && Hout % 4 == 0;
     const bool pair = kConvPairRows && Wout == 8 && Hout % 2 == 0;
-    const int rpj = pair ? 2 : 1;  // output rows per job
+    const bool pair16 = kConvPairRows && Wout == 16 && Hout % 2 == 0;
+    const int rpj = quad || quad8 ? 4 : pair || pair16 ? 2 : 1;
     const int jobs_per_sample = Hout / rpj;
     const std::size_t jobs =
         static_cast<std::size_t>(g.batch) * jobs_per_sample;
@@ -958,11 +1494,14 @@ void CpuBackend::conv2d_gn_act_fwd(const Conv2dGeom& g, int groups, float eps,
                                  prow_len;
             float* yrow = y + static_cast<std::int64_t>(n) * O * cols +
                           static_cast<std::int64_t>(oi) * Wout;
-            if (rpj == 2)
-              conv_direct_row_pair(ptrs, ptrs + n_rows, w, O, K, C, kh, kw,
-                                   Wout, cols, yrow);
+            if (packed_w)
+              conv_direct_rows_dispatch<true>(rpj, Wout, ptrs, n_rows, w,
+                                              packed_w, O, K, C, kh, kw,
+                                              cols, yrow);
             else
-              conv_direct_row(ptrs, w, O, K, C, kh, kw, Wout, cols, yrow);
+              conv_direct_rows_dispatch<false>(rpj, Wout, ptrs, n_rows, w,
+                                               nullptr, O, K, C, kh, kw,
+                                               cols, yrow);
             if (!fold) continue;
             // Bias + activation on the rows this job just wrote, exactly the
             // arithmetic of the standalone epilogue pass (bias add only when
@@ -985,22 +1524,44 @@ void CpuBackend::conv2d_gn_act_fwd(const Conv2dGeom& g, int groups, float eps,
     // its right-hand side gathered straight from the input sample
     // (pack_conv_sliver) — no im2col buffer in this path either, and
     // bitwise identical to the direct kernel by the shared chain contract.
+    // When the caller pre-packed the (constant) filters, the per-call A
+    // packing disappears too: gemm_prepacked_a consumes the panel with the
+    // identical decomposition, so the product is bitwise unchanged.  The
+    // batch loop parallelizes over samples (disjoint outputs; per-sample
+    // GEMM decomposition is batch-independent, so chains never change).
     const bool identity = identity_unfold(g);
-    for (int n = 0; n < g.batch; ++n) {
-      const float* xn = x + static_cast<std::int64_t>(n) * C * H * W;
-      float* yn = y + static_cast<std::int64_t>(n) * O * cols;
-      if (identity) {
-        gemm_nn(O, cols, K, w, xn, yn, false);
-      } else {
-        gemm_packed_b(
-            O, cols, K, w,
-            [=](int s, float* dst) {
-              pack_conv_sliver(xn, C, H, W, kh, kw, g.stride, g.padding, Hout,
-                               Wout, s, dst);
-            },
-            yn, false);
-      }
-    }
+    const double sample_ns =
+        2.0 * static_cast<double>(O) * static_cast<double>(cols) *
+        static_cast<double>(K) / 10.0;
+    runtime::parallel_for(
+        runtime::grain_for_cost(sample_ns, static_cast<std::size_t>(g.batch)),
+        static_cast<std::size_t>(g.batch),
+        [=](std::size_t n0, std::size_t n1) {
+          for (std::size_t ns = n0; ns < n1; ++ns) {
+            const int n = static_cast<int>(ns);
+            const float* xn = x + static_cast<std::int64_t>(n) * C * H * W;
+            float* yn = y + static_cast<std::int64_t>(n) * O * cols;
+            if (packed_w) {
+              gemm_prepacked_a(
+                  O, cols, K, packed_w,
+                  [=](int s, float* dst) {
+                    pack_conv_sliver(xn, C, H, W, kh, kw, g.stride, g.padding,
+                                     Hout, Wout, s, dst);
+                  },
+                  yn, false);
+            } else if (identity) {
+              gemm_nn(O, cols, K, w, xn, yn, false);
+            } else {
+              gemm_packed_b(
+                  O, cols, K, w,
+                  [=](int s, float* dst) {
+                    pack_conv_sliver(xn, C, H, W, kh, kw, g.stride, g.padding,
+                                     Hout, Wout, s, dst);
+                  },
+                  yn, false);
+            }
+          }
+        });
   }
 
   // Epilogue.  Bias add, group statistics, normalization, and activation
@@ -1015,7 +1576,9 @@ void CpuBackend::conv2d_gn_act_fwd(const Conv2dGeom& g, int groups, float eps,
     runtime::parallel_for(
         runtime::grain_for_cost(8.0 * static_cast<double>(gsize), jobs), jobs,
         [=](std::size_t j0, std::size_t j1) {
-          for (std::size_t job = j0; job < j1; ++job) {
+          // One group's bias/stats/normalize, the unfused kernels'
+          // arithmetic verbatim.
+          const auto gn_one = [=](std::size_t job) {
             const int n = static_cast<int>(job) / groups;
             const int gi = static_cast<int>(job) % groups;
             float* base =
@@ -1059,7 +1622,74 @@ void CpuBackend::conv2d_gn_act_fwd(const Conv2dGeom& g, int groups, float eps,
                 row[i] = apply_act(act, slope, v);
               }
             }
+          };
+          // Four group chains interleaved per step: each group's mean and
+          // variance stay the exact serial double chains of the unfused
+          // kernels (flat order, one accumulator per group), and the
+          // independent chains hide the FP-add latency that makes a lone
+          // chain ~3 ns per element.  No value ever crosses chains, so the
+          // result is bitwise identical for any range partition and any
+          // interleave width — the remainder jobs just run one at a time.
+          constexpr int kIl = 4;
+          std::size_t job = j0;
+          for (; job + kIl <= j1; job += kIl) {
+            float* bases[kIl];
+            int gis[kIl];
+            for (int b = 0; b < kIl; ++b) {
+              const std::size_t jb = job + static_cast<std::size_t>(b);
+              const int n = static_cast<int>(jb) / groups;
+              gis[b] = static_cast<int>(jb) % groups;
+              bases[b] =
+                  y + (static_cast<std::int64_t>(n) * O + gis[b] * cpg) * cols;
+            }
+            double m[kIl] = {};
+            if (bias) {
+              for (int c = 0; c < cpg; ++c) {
+                float bv[kIl];
+                float* rows[kIl];
+                for (int b = 0; b < kIl; ++b) {
+                  bv[b] = bias[gis[b] * cpg + c];
+                  rows[b] = bases[b] + static_cast<std::int64_t>(c) * cols;
+                }
+                for (int i = 0; i < cols; ++i)
+                  for (int b = 0; b < kIl; ++b) {
+                    const float v = rows[b][i] + bv[b];
+                    rows[b][i] = v;
+                    m[b] += static_cast<double>(v);
+                  }
+              }
+            } else {
+              for (std::int64_t i = 0; i < gsize; ++i)
+                for (int b = 0; b < kIl; ++b)
+                  m[b] += static_cast<double>(bases[b][i]);
+            }
+            for (int b = 0; b < kIl; ++b) m[b] /= static_cast<double>(gsize);
+            double var[kIl] = {};
+            for (std::int64_t i = 0; i < gsize; ++i)
+              for (int b = 0; b < kIl; ++b) {
+                const double d = static_cast<double>(bases[b][i]) - m[b];
+                var[b] += d * d;
+              }
+            for (int b = 0; b < kIl; ++b) {
+              var[b] /= static_cast<double>(gsize);
+              const double istd =
+                  1.0 / std::sqrt(var[b] + static_cast<double>(eps));
+              for (int c = 0; c < cpg; ++c) {
+                const float gm = gamma[gis[b] * cpg + c];
+                const float bt = beta[gis[b] * cpg + c];
+                float* row = bases[b] + static_cast<std::int64_t>(c) * cols;
+                for (int i = 0; i < cols; ++i) {
+                  const float v =
+                      static_cast<float>((static_cast<double>(row[i]) - m[b]) *
+                                         istd) *
+                          gm +
+                      bt;
+                  row[i] = apply_act(act, slope, v);
+                }
+              }
+            }
           }
+          for (; job < j1; ++job) gn_one(job);
         });
   } else if (!epilogue_in_kernel && (bias || act != ActKind::kNone)) {
     const std::size_t rows = static_cast<std::size_t>(g.batch) * O;

@@ -45,6 +45,14 @@ class CpuBackend final : public Backend {
                          ActKind act, float slope, const float* x,
                          const float* w, const float* bias, const float* gamma,
                          const float* beta, float* y) override;
+  std::size_t conv_weight_pack_floats(const Conv2dGeom& g) override;
+  void conv_weight_pack(const Conv2dGeom& g, const float* w,
+                        float* dst) override;
+  void conv2d_gn_act_fwd_packed(const Conv2dGeom& g, int groups, float eps,
+                                ActKind act, float slope, const float* x,
+                                const float* w, const float* packed_w,
+                                const float* bias, const float* gamma,
+                                const float* beta, float* y) override;
 };
 
 }  // namespace neurfill::nn

@@ -27,18 +27,19 @@
 //     registers; there is no data-dependent branching in the hot loop.
 //
 // Determinism: the tile/slab/sliver decomposition is a pure function of
-// (M, N, K) — never of the thread count — and each C tile is written by
-// exactly one parallel block per K-slab, with K-slabs processed in
-// ascending order by the same block owner.  Every C element therefore
-// accumulates its products in the same fixed order at any thread count,
-// making results bitwise identical from 1 thread to N (asserted by
-// tests/test_runtime.cpp).  Within one element the order is: slab partials
-// in ascending k-slab order, each partial summed over ascending k.
+// (M, N, K) — never of the thread count — and each C element is written by
+// exactly one parallel block (the one owning its row tile and column
+// chunk) across every K-slab, with K-slabs processed in ascending order by
+// that owner.  Every C element therefore accumulates its products in the
+// same fixed order at any thread count, making results bitwise identical
+// from 1 thread to N (asserted by tests/test_runtime.cpp).  Within one
+// element the order is: slab partials in ascending k-slab order, each
+// partial summed over ascending k.
 //
-// Parallel grain: blocks are row tiles; the grain is derived from the
-// per-tile FLOP count via runtime::grain_for_cost with the sustained
-// kernel throughput measured by bench/bench_runtime_scaling, so small
-// products run inline and large ones split into ~25 us blocks.
+// Parallel grain: blocks are (row tile, column chunk) pairs; the grain is
+// derived from the per-block FLOP count via runtime::grain_for_cost with
+// the sustained kernel throughput measured by bench/bench_runtime_scaling,
+// so small products run inline and large ones split into ~25 us blocks.
 
 namespace neurfill::nn {
 
@@ -205,14 +206,25 @@ void micro_kernel(int kc, const float* __restrict__ ap,
   }
 }
 
+/// Offset of row tile `t`'s panel inside a gemm_pack_a buffer.  Tiles
+/// before `t` are all full (kMc rows, kMc/kMr slivers) and contribute
+/// t_slivers * K * kMr floats each; within a tile, slab k0's block starts
+/// after its t_slivers * k0 * kMr predecessor floats (all earlier slabs are
+/// kKc deep).
+std::size_t packed_a_tile_offset(int t, int K) {
+  return static_cast<std::size_t>(t) * (kMc / kMr) * K * kMr;
+}
+
 /// The driver proper, generic over how B slivers are produced: the three
 /// public transpose variants pack from a materialized B, gemm_packed_b
 /// forwards a caller gather.  Everything after packing is identical, so all
 /// entries share one decomposition and one bitwise-determinism argument.
+/// When `prepacked_a` is non-null it holds the gemm_pack_a panel for A and
+/// the in-loop A packing is skipped (A itself may then be null).
 template <typename PackB>
 void gemm_driver_impl(int M, int N, int K, const float* A,
                       const PackB& pack_b_fn, float* C, bool accumulate,
-                      Op aop) {
+                      Op aop, const float* prepacked_a = nullptr) {
   NF_TRACE_SPAN("nn.gemm");
   NF_COUNTER_ADD("nn.gemm_flops", gemm_flops(M, N, K));
   if (M <= 0 || N <= 0) return;
@@ -244,37 +256,69 @@ void gemm_driver_impl(int M, int N, int K, const float* A,
         });
   }
 
-  // Row tiles are the parallel blocks; each block owns a disjoint row range
-  // of C across every K-slab, so slab partials accumulate in fixed order.
+  // Parallel blocks are (row tile, column chunk) pairs.  The column split
+  // matters for the skinny prepacked products the inference path produces
+  // (M = output channels, a handful of row slivers; N = batch x pixels,
+  // thousands of columns): row tiles alone would leave one block and zero
+  // scaling.  It is gated on prepacked_a because for the materialized-A
+  // paths row tiles already occupy the pool, and the finer jobs plus the
+  // per-chunk A re-pack measurably cost the mid-size autograd GEMMs at 4
+  // threads (bench_runtime_scaling conv2d_fwd_speedup_4t).  Each C element
+  // is still written by exactly one block — the one owning its (tile,
+  // chunk) — across every K-slab, slabs in ascending order, so the
+  // per-element accumulation chain is untouched by the extra split (a pure
+  // function of (M, N, K) and the packing mode, never of the thread
+  // count).
   const int m_tiles = ceil_div(M, kMc);
-  const double tile_ns = 2.0 * std::min(M, kMc) * static_cast<double>(N) *
-                         static_cast<double>(K) / kKernelFlopsPerNs;
+  constexpr int kNChunkSlivers = 16;  // 256 columns per chunk
+  const int chunk_slivers = prepacked_a ? kNChunkSlivers : n_slivers;
+  const int n_chunks = ceil_div(n_slivers, chunk_slivers);
+  const std::size_t jobs =
+      static_cast<std::size_t>(m_tiles) * static_cast<std::size_t>(n_chunks);
+  const double job_ns = 2.0 * std::min(M, kMc) *
+                        static_cast<double>(std::min(N, chunk_slivers * kNr)) *
+                        static_cast<double>(K) / kKernelFlopsPerNs;
   runtime::parallel_for(
-      runtime::grain_for_cost(tile_ns, static_cast<std::size_t>(m_tiles)),
-      static_cast<std::size_t>(m_tiles), [=](std::size_t t0, std::size_t t1) {
+      runtime::grain_for_cost(job_ns, jobs), jobs,
+      [=](std::size_t j0, std::size_t j1) {
         // Per-thread A panel scratch (kMc x kKc floats, ~96 KiB), reused
         // across every tile and every call this thread ever runs.
         static thread_local AlignedBuffer<float> tls_ap;
-        float* ap = tls_ap.ensure(static_cast<std::size_t>(kMc) * kKc);
-        for (std::size_t t = t0; t < t1; ++t) {
+        float* scratch_ap =
+            prepacked_a ? nullptr
+                        : tls_ap.ensure(static_cast<std::size_t>(kMc) * kKc);
+        for (std::size_t j = j0; j < j1; ++j) {
+          const std::size_t t = j / static_cast<std::size_t>(n_chunks);
+          const int js0 = static_cast<int>(j % static_cast<std::size_t>(
+                                                   n_chunks)) *
+                          chunk_slivers;
+          const int js1 = std::min(n_slivers, js0 + chunk_slivers);
           const int i0 = static_cast<int>(t) * kMc;
           const int tile_rows = std::min(kMc, M - i0);
           const int t_slivers = ceil_div(tile_rows, kMr);
           for (int k0 = 0; k0 < K; k0 += kKc) {
             const int kc = std::min(kKc, K - k0);
             const bool overwrite = (k0 == 0) && !accumulate;
-            for (int is = 0; is < t_slivers; ++is)
-              pack_a_sliver(aop, A, M, K, i0 + is * kMr,
-                            std::min(kMr, tile_rows - is * kMr), k0, kc,
-                            ap + static_cast<std::size_t>(is) * kc * kMr);
-            for (int js = 0; js < n_slivers; ++js) {
+            const float* ap;
+            if (prepacked_a) {
+              ap = prepacked_a + packed_a_tile_offset(static_cast<int>(t), K) +
+                   static_cast<std::size_t>(t_slivers) * k0 * kMr;
+            } else {
+              for (int is = 0; is < t_slivers; ++is)
+                pack_a_sliver(aop, A, M, K, i0 + is * kMr,
+                              std::min(kMr, tile_rows - is * kMr), k0, kc,
+                              scratch_ap + static_cast<std::size_t>(is) * kc *
+                                               kMr);
+              ap = scratch_ap;
+            }
+            for (int js = js0; js < js1; ++js) {
               const float* bps =
                   bp + (static_cast<std::size_t>(js) * K + k0) * kNr;
               const int nr = std::min(kNr, N - js * kNr);
               for (int is = 0; is < t_slivers; ++is) {
                 const int mr = std::min(kMr, tile_rows - is * kMr);
-                micro_kernel(kc, ap + static_cast<std::size_t>(is) * kc * kMr,
-                             bps,
+                micro_kernel(kc,
+                             ap + static_cast<std::size_t>(is) * kc * kMr, bps,
                              C +
                                  static_cast<std::size_t>(i0 + is * kMr) * N +
                                  static_cast<std::size_t>(js) * kNr,
@@ -308,6 +352,51 @@ void gemm_packed_b(int M, int N, int K, const float* A,
                "gemm_packed_b: null input operand");
   }
   gemm_driver_impl(M, N, K, A, pack_b, C, accumulate, Op::kNone);
+}
+
+std::size_t gemm_packed_a_floats(int M, int K) {
+  NF_CHECK(M >= 0 && K >= 0, "gemm_packed_a_floats: negative dimension M=%d K=%d",
+           M, K);
+  std::size_t slivers = 0;
+  for (int i0 = 0; i0 < M; i0 += kMc)
+    slivers += static_cast<std::size_t>(ceil_div(std::min(kMc, M - i0), kMr));
+  return slivers * static_cast<std::size_t>(K) * kMr;
+}
+
+void gemm_pack_a(const float* A, int M, int K, float* dst) {
+  NF_CHECK(M >= 0 && K >= 0, "gemm_pack_a: negative dimension M=%d K=%d", M, K);
+  if (M <= 0 || K <= 0) return;
+  NF_CHECK(A != nullptr && dst != nullptr, "gemm_pack_a: null operand");
+  // Serial: runs once per constant operand (session compile), not per GEMM.
+  const int m_tiles = ceil_div(M, kMc);
+  for (int t = 0; t < m_tiles; ++t) {
+    const int i0 = t * kMc;
+    const int tile_rows = std::min(kMc, M - i0);
+    const int t_slivers = ceil_div(tile_rows, kMr);
+    float* tile_dst = dst + packed_a_tile_offset(t, K);
+    for (int k0 = 0; k0 < K; k0 += kKc) {
+      const int kc = std::min(kKc, K - k0);
+      float* slab_dst = tile_dst + static_cast<std::size_t>(t_slivers) * k0 * kMr;
+      for (int is = 0; is < t_slivers; ++is)
+        pack_a_sliver(Op::kNone, A, M, K, i0 + is * kMr,
+                      std::min(kMr, tile_rows - is * kMr), k0, kc,
+                      slab_dst + static_cast<std::size_t>(is) * kc * kMr);
+    }
+  }
+}
+
+void gemm_prepacked_a(int M, int N, int K, const float* packed_a,
+                      const GemmPackBFn& pack_b, float* C, bool accumulate) {
+  NF_CHECK(M >= 0 && N >= 0 && K >= 0,
+           "gemm_prepacked_a: negative dimension M=%d N=%d K=%d", M, N, K);
+  if (M > 0 && N > 0) {
+    NF_CHECK(C != nullptr, "gemm_prepacked_a: null C with M=%d N=%d", M, N);
+    if (K > 0)
+      NF_CHECK(packed_a != nullptr && pack_b != nullptr,
+               "gemm_prepacked_a: null input operand");
+  }
+  gemm_driver_impl(M, N, K, static_cast<const float*>(nullptr), pack_b, C,
+                   accumulate, Op::kNone, packed_a);
 }
 
 void gemm_nn(int M, int N, int K, const float* A, const float* B, float* C,

@@ -36,4 +36,23 @@ using GemmPackBFn = std::function<void(int sliver, float* dst)>;
 void gemm_packed_b(int M, int N, int K, const float* A,
                    const GemmPackBFn& pack_b, float* C, bool accumulate);
 
+/// Floats of the pre-packed panel gemm_pack_a produces for an (M x K)
+/// row-major A operand.  The layout is the driver's internal Mr-interleaved
+/// tile/slab panel order and is opaque to callers: a panel is valid only
+/// for the exact (M, K) it was packed for.
+std::size_t gemm_packed_a_floats(int M, int K);
+
+/// Packs the (M x K) row-major operand A once, for repeated use by
+/// gemm_prepacked_a.  Intended for constant operands (inference weights):
+/// packing is hoisted out of every subsequent multiply.
+void gemm_pack_a(const float* A, int M, int K, float* dst);
+
+/// gemm_packed_b with the A operand supplied as a pre-packed panel from
+/// gemm_pack_a.  Runs the identical tile/slab/sliver decomposition and
+/// micro-kernel — the panel holds exactly the bytes the driver would have
+/// packed in-loop — so the result is bitwise identical to gemm_packed_b on
+/// the raw A at any thread count.
+void gemm_prepacked_a(int M, int N, int K, const float* packed_a,
+                      const GemmPackBFn& pack_b, float* C, bool accumulate);
+
 }  // namespace neurfill::nn

@@ -7,6 +7,7 @@
 #include "common/aligned.hpp"
 #include "common/check.hpp"
 #include "nn/module.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 // Graph compilation + execution for the tape-free inference fast path.
@@ -107,7 +108,8 @@ int InferenceSession::add_conv_block(const void* conv_module,
 
 InferenceSession::InferenceSession(const UNet& net, int height, int width,
                                    InferenceOptions options)
-    : fuse_(options.fuse) {
+    : fuse_(options.fuse),
+      max_batch_(options.max_batch > 1 ? options.max_batch : 1) {
   const UNetConfig& cfg = net.config();
   NF_CHECK(height > 0 && width > 0, "InferenceSession: bad extent %dx%d",
            height, width);
@@ -197,6 +199,34 @@ InferenceSession::InferenceSession(const UNet& net, int height, int width,
            values_[out_value_].channels, cfg.out_channels);
 
   plan_arena(options.reuse_buffers);
+  if (options.prepack_weights) prepack_weights();
+}
+
+void InferenceSession::prepack_weights() {
+  // Snapshot every conv block with a backend packed form into one panel
+  // buffer.  Runs once at compile time on the then-active backend; run()
+  // only hands the panels to that backend's packed entry point, whose
+  // contract makes them bitwise-neutral (same decomposition, same bytes the
+  // in-loop packer would have produced).
+  Backend& be = backend();
+  std::size_t total = 0;
+  std::vector<std::size_t> sizes(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind != Node::Kind::kConvBlock) continue;
+    sizes[i] = be.conv_weight_pack_floats(nodes_[i].conv.geom);
+    total += sizes[i];
+  }
+  if (total == 0) return;
+  pack_backend_ = &be;
+  float* base = packed_weights_.ensure(total);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (sizes[i] == 0) continue;
+    be.conv_weight_pack(nodes_[i].conv.geom, nodes_[i].conv.weight,
+                        base + offset);
+    nodes_[i].conv.packed_offset = static_cast<std::ptrdiff_t>(offset);
+    offset += sizes[i];
+  }
 }
 
 void InferenceSession::plan_arena(bool reuse) {
@@ -286,14 +316,34 @@ void InferenceSession::run(const float* input, float* output,
   NF_CHECK(input != nullptr && output != nullptr,
            "InferenceSession::run: null buffer");
   NF_TRACE_SPAN("nn.infer_run");
+  NF_GAUGE_SET("infer.batch", batch);
+  NF_COUNTER_ADD("infer.samples", batch);
+  if (batch > 1) NF_COUNTER_ADD("infer.batched_runs", 1);
 
   // Grow-only per-thread arena: zero allocation in steady state, and
   // concurrent run() calls from different threads never share activations.
+  // The arena is sized for max(batch, max_batch_) so a session planned for
+  // a batch ceiling never reallocates when the batch varies below it; the
+  // high-water tracker feeds the gauge and the grow-event counter that the
+  // zero-steady-state-allocation test pins.
   static thread_local AlignedBuffer<float> tls_arena;
-  float* arena =
-      tls_arena.ensure(arena_floats_ * static_cast<std::size_t>(batch));
+  static thread_local std::size_t tls_arena_high_water = 0;
+  const int plan_batch = batch > max_batch_ ? batch : max_batch_;
+  const std::size_t need =
+      arena_floats_ * static_cast<std::size_t>(plan_batch);
+  if (need > tls_arena_high_water) {
+    tls_arena_high_water = need;
+    NF_COUNTER_ADD("infer.arena_grow_events", 1);
+    NF_GAUGE_SET("infer.arena_high_water_bytes",
+                 static_cast<double>(need * sizeof(float)));
+  }
+  float* arena = tls_arena.ensure(need);
 
   Backend& be = backend();
+  // Panels belong to the backend that packed them; after a backend swap the
+  // session silently falls back to the pack-per-call path (same results).
+  const float* packs =
+      (&be == pack_backend_) ? packed_weights_.data() : nullptr;
   for (const Node& node : nodes_) {
     const ValueSpec& in_spec = values_[node.in0];
     const float* in0 = in_spec.external
@@ -305,10 +355,13 @@ void InferenceSession::run(const float* input, float* output,
         Conv2dGeom g = node.conv.geom;
         g.batch = batch;
         if (fuse_) {
-          be.conv2d_gn_act_fwd(g, node.conv.groups, node.conv.eps,
-                               node.conv.act, node.conv.slope, in0,
-                               node.conv.weight, node.conv.bias,
-                               node.conv.gamma, node.conv.beta, out);
+          const float* pw = (packs != nullptr && node.conv.packed_offset >= 0)
+                                ? packs + node.conv.packed_offset
+                                : nullptr;
+          be.conv2d_gn_act_fwd_packed(g, node.conv.groups, node.conv.eps,
+                                      node.conv.act, node.conv.slope, in0,
+                                      node.conv.weight, pw, node.conv.bias,
+                                      node.conv.gamma, node.conv.beta, out);
         } else {
           be.conv2d_fwd(g, in0, node.conv.weight, node.conv.bias, out);
           const std::int64_t numel = static_cast<std::int64_t>(batch) *

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "nn/backend/backend.hpp"
 #include "nn/tensor.hpp"
 #include "nn/unet.hpp"
@@ -32,14 +33,28 @@ struct InferenceOptions {
   /// kernel.  Off runs the unfused backend kernel chain in place — the
   /// fusion-free reference path.
   bool fuse = true;
+  /// Pre-pack constant conv weight panels at compile time through the
+  /// backend (Backend::conv_weight_pack), hoisting the GEMM's per-call A
+  /// packing out of every forward.  Results are bitwise identical either
+  /// way; off keeps the pack-per-call reference path.
+  bool prepack_weights = true;
+  /// Plan the per-thread arena for at least this batch size on the first
+  /// run(), so a session that alternates batch sizes up to `max_batch`
+  /// reaches zero steady-state allocation immediately instead of growing
+  /// on the first large batch.  Larger run() batches still work (the arena
+  /// grows once).  Clamped to >= 1.
+  int max_batch = 1;
 };
 
 class InferenceSession {
  public:
   /// Compiles `net` for inputs of spatial extent height x width (each must
   /// be positive and divisible by 2^depth).  Parameter storage is shared
-  /// with (and kept alive independently of) `net`; the session reflects
-  /// the weight values current at each run() call.
+  /// with (and kept alive independently of) `net`.  Weights are treated as
+  /// constant from compile time on: layers with a backend packed form are
+  /// snapshotted into pre-packed panels here (InferenceOptions::
+  /// prepack_weights), so mutating parameters after construction is
+  /// unsupported — rebuild the session after weight updates.
   InferenceSession(const UNet& net, int height, int width,
                    InferenceOptions options = {});
 
@@ -78,6 +93,9 @@ class InferenceSession {
     float eps = 0.0f;
     ActKind act = ActKind::kNone;
     float slope = 0.0f;
+    /// Offset of this block's pre-packed weight panel in packed_weights_,
+    /// or -1 when the layer has no packed form (or prepacking is off).
+    std::ptrdiff_t packed_offset = -1;
   };
 
   struct Node {
@@ -93,11 +111,18 @@ class InferenceSession {
   int add_conv_block(const void* conv_module, const void* norm_module,
                      ActKind act, int in_id);
   void plan_arena(bool reuse);
+  void prepack_weights();
   float* value_ptr(int vid, float* arena, int batch) const;
 
   std::vector<ValueSpec> values_;
   std::vector<Node> nodes_;
   std::vector<Tensor> keep_;  ///< shares ownership of the parameter storage
+  /// Compile-time weight panels (Backend::conv_weight_pack), one region per
+  /// conv block with a packed form; valid only on the backend that was
+  /// active at compile time (run() passes them only through that backend's
+  /// packed entry point, which ignores panels it did not produce).
+  AlignedBuffer<float> packed_weights_;
+  Backend* pack_backend_ = nullptr;  ///< backend the panels were packed on
   std::size_t arena_floats_ = 0;
   int out_value_ = -1;
   int in_channels_ = 0;
@@ -105,6 +130,7 @@ class InferenceSession {
   int height_ = 0;
   int width_ = 0;
   bool fuse_ = true;
+  int max_batch_ = 1;
 };
 
 }  // namespace neurfill::nn

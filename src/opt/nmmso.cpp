@@ -170,6 +170,22 @@ Nmmso::PlannedMove Nmmso::plan_evolution(std::size_t swarm_index) {
 void Nmmso::evaluate_moves(std::vector<PlannedMove>& moves) {
   NF_TRACE_SPAN("opt.nmmso_batch");
   NF_COUNTER_ADD("opt.nmmso_evaluations", moves.size());
+  if (batch_f_ && !moves.empty()) {
+    // One call evaluates the whole iteration's move batch (one batched
+    // surrogate forward); values are contractually identical to per-move
+    // scalar calls, so sanitize and budget-account exactly as below.
+    NF_TRACE_SPAN("opt.nmmso_batch_objective");
+    std::vector<VecD> xs;
+    xs.reserve(moves.size());
+    for (const PlannedMove& m : moves) xs.push_back(m.x);
+    const std::vector<double> values = batch_f_(xs);
+    if (values.size() != moves.size())
+      throw std::logic_error("Nmmso: batch objective returned wrong count");
+    for (std::size_t m = 0; m < moves.size(); ++m)
+      moves[m].value = sanitize_value(values[m]);
+    evaluations_ += static_cast<int>(moves.size());
+    return;
+  }
   if (opt_.parallel_evaluations && moves.size() > 1) {
     PlannedMove* pm = moves.data();
     const ObjectiveFn& f = f_;

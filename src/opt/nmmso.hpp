@@ -60,6 +60,18 @@ class Nmmso {
   /// free); pass nullptr-tolerant objectives.
   Nmmso(ObjectiveFn f, Box box, const NmmsoOptions& options = NmmsoOptions());
 
+  /// Installs a batched value objective: each iteration's planned move
+  /// batch then goes through one call instead of per-move `f` calls.  The
+  /// batch function must return exactly the values `f` would for the same
+  /// points (the search mixes both paths — out-of-batch evaluations such as
+  /// merge midpoints, hive-off tests, and immigrants stay scalar — so the
+  /// located modes are identical with or without it).  Overrides
+  /// NmmsoOptions::parallel_evaluations for the move batch; the callee
+  /// decides its own parallelism.
+  void set_batch_objective(BatchObjectiveFn batch_f) {
+    batch_f_ = std::move(batch_f);
+  }
+
   /// Runs until the evaluation budget is exhausted; returns the located
   /// modes sorted best first.
   std::vector<Mode> run();
@@ -116,6 +128,7 @@ class Nmmso {
   Swarm make_swarm(VecD x, double val);
 
   ObjectiveFn f_;
+  BatchObjectiveFn batch_f_;  ///< optional; see set_batch_objective
   Box box_;
   NmmsoOptions opt_;
   Rng rng_;

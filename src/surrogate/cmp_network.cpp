@@ -1,14 +1,17 @@
 #include "surrogate/cmp_network.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/aligned.hpp"
 #include "common/rng.hpp"
 #include "nn/backend/backend.hpp"
 #include "nn/ops.hpp"
 #include "nn/serialize.hpp"
+#include "runtime/parallel.hpp"
 #include "surrogate/infer.hpp"
 
 namespace neurfill {
@@ -139,10 +142,13 @@ CmpNetwork::CmpNetwork(std::shared_ptr<const CmpSurrogate> surrogate,
   const int divisor = 1 << surrogate_->config().unet.depth;
   static_ = build_static_features(ext, surrogate_->config().features, divisor);
   // Graph-compile the UNet once for this extraction's padded plane; every
-  // no-gradient evaluate()/predict_heights() then runs tape-free.
+  // no-gradient evaluate()/predict_heights() then runs tape-free.  Acquired
+  // through the process-wide session cache, so repeated constructions over
+  // the same frozen surrogate and plane size (the fullchip tile loop) share
+  // one compiled session and its pre-packed weight panels.
   if (surrogate_->fast_inference_enabled())
-    fast_ = std::make_unique<SurrogateInference>(
-        *surrogate_, static_[0].padded_rows, static_[0].padded_cols);
+    fast_ = acquire_surrogate_inference(*surrogate_, static_[0].padded_rows,
+                                        static_[0].padded_cols);
 }
 
 CmpNetwork::~CmpNetwork() = default;
@@ -299,8 +305,6 @@ CmpNetwork::Eval CmpNetwork::evaluate_fast(const std::vector<GridD>& x) const {
   // evaluation (tests/test_inference.cpp pins the bitwise equality).
   const int pr = static_[0].padded_rows, pc = static_[0].padded_cols;
   const std::size_t n = static_cast<std::size_t>(pr) * pc;
-  const std::int64_t n64 = static_cast<std::int64_t>(n);
-  nn::Backend& be = nn::backend();
 
   std::vector<std::vector<float>> fills(x.size());
   std::vector<const float*> fill_ptrs;
@@ -312,8 +316,26 @@ CmpNetwork::Eval CmpNetwork::evaluate_fast(const std::vector<GridD>& x) const {
   }
   std::vector<std::vector<float>> heights;
   fast_->predict_heights(static_, fill_ptrs, heights);
+  return score_height_planes(heights);
+}
 
-  std::vector<float> mask(n, 0.0f);
+CmpNetwork::Eval CmpNetwork::score_height_planes(
+    const std::vector<std::vector<float>>& heights) const {
+  const int pr = static_[0].padded_rows, pc = static_[0].padded_cols;
+  const std::size_t n = static_cast<std::size_t>(pr) * pc;
+  const std::int64_t n64 = static_cast<std::int64_t>(n);
+  nn::Backend& be = nn::backend();
+
+  // Per-thread scratch: evaluate_batch scores candidates concurrently, and
+  // repeated calls must not allocate in steady state.  The mask is rebuilt
+  // each call (cheap, and rows_/cols_ differ between network instances).
+  static thread_local AlignedBuffer<float> tls_score;
+  float* scratch = tls_score.ensure(3 * n + static_cast<std::size_t>(pc));
+  float* mask = scratch;
+  float* hm = scratch + n;
+  float* work = scratch + 2 * n;
+  float* col = scratch + 3 * n;
+  std::memset(mask, 0, n * sizeof(float));
   for (std::size_t i = 0; i < rows_; ++i)
     for (std::size_t j = 0; j < cols_; ++j)
       mask[i * static_cast<std::size_t>(pc) + j] = 1.0f;
@@ -323,20 +345,17 @@ CmpNetwork::Eval CmpNetwork::evaluate_fast(const std::vector<GridD>& x) const {
   const float eta = static_cast<float>(surrogate_->config().outlier_eta);
 
   float sigma_total = 0.0f, sigma_star_total = 0.0f, ol_total = 0.0f;
-  std::vector<float> hm(n), work(n);
-  std::vector<float> col(static_cast<std::size_t>(pc));
   for (const std::vector<float>& height : heights) {
     const float* h = height.data();
-    be.binary_map(nn::BinaryKind::kMul, h, mask.data(), hm.data(), n64);
+    be.binary_map(nn::BinaryKind::kMul, h, mask, hm, n64);
     const float mean_h =
-        static_cast<float>(be.reduce_sum(hm.data(), n64)) * inv_count;
+        static_cast<float>(be.reduce_sum(hm, n64)) * inv_count;
     // var = sum(((h - mean) * mask)^2) / count
     for (std::size_t i = 0; i < n; ++i) work[i] = h[i] - mean_h;
-    be.binary_map(nn::BinaryKind::kMul, work.data(), mask.data(), work.data(),
-                  n64);
-    be.unary_map(nn::UnaryKind::kSquare, 0.0f, work.data(), work.data(), n64);
+    be.binary_map(nn::BinaryKind::kMul, work, mask, work, n64);
+    be.unary_map(nn::UnaryKind::kSquare, 0.0f, work, work, n64);
     const float var =
-        static_cast<float>(be.reduce_sum(work.data(), n64)) * inv_count;
+        static_cast<float>(be.reduce_sum(work, n64)) * inv_count;
     sigma_total = sigma_total + var;
     // Line deviation: per-column mean over the valid rows (sum_axis is a
     // serial double accumulation per column, in row order).
@@ -353,21 +372,19 @@ CmpNetwork::Eval CmpNetwork::evaluate_fast(const std::vector<GridD>& x) const {
             static_cast<std::size_t>(i) * pc + static_cast<std::size_t>(j);
         work[k] = h[k] - col[static_cast<std::size_t>(j)];
       }
-    be.binary_map(nn::BinaryKind::kMul, work.data(), mask.data(), work.data(),
-                  n64);
-    be.unary_map(nn::UnaryKind::kAbs, 0.0f, work.data(), work.data(), n64);
+    be.binary_map(nn::BinaryKind::kMul, work, mask, work, n64);
+    be.unary_map(nn::UnaryKind::kAbs, 0.0f, work, work, n64);
     sigma_star_total =
-        sigma_star_total + static_cast<float>(be.reduce_sum(work.data(), n64));
+        sigma_star_total + static_cast<float>(be.reduce_sum(work, n64));
     // Outliers: smooth max(0, H - (mean + 3*sigma_l)).
     const float var_eps = var + 1e-6f;
     const float sig_l = std::sqrt(var_eps);
     const float three_sig = sig_l * 3.0f;
     const float threshold = mean_h + three_sig;
     for (std::size_t i = 0; i < n; ++i) work[i] = h[i] - threshold;
-    be.unary_map(nn::UnaryKind::kSoftplus, eta, work.data(), work.data(), n64);
-    be.binary_map(nn::BinaryKind::kMul, work.data(), mask.data(), work.data(),
-                  n64);
-    ol_total = ol_total + static_cast<float>(be.reduce_sum(work.data(), n64));
+    be.unary_map(nn::UnaryKind::kSoftplus, eta, work, work, n64);
+    be.binary_map(nn::BinaryKind::kMul, work, mask, work, n64);
+    ol_total = ol_total + static_cast<float>(be.reduce_sum(work, n64));
   }
 
   const auto apply_cal = [](float t, const MetricCalibration& c) {
@@ -405,6 +422,55 @@ CmpNetwork::Eval CmpNetwork::evaluate_fast(const std::vector<GridD>& x) const {
   out.heights.reserve(heights.size());
   for (const std::vector<float>& height : heights)
     out.heights.push_back(crop_plane(height, rows_, cols_, pc));
+  return out;
+}
+
+std::vector<CmpNetwork::Eval> CmpNetwork::evaluate_batch(
+    const std::vector<std::vector<GridD>>& xs) const {
+  std::vector<Eval> out(xs.size());
+  if (xs.empty()) return out;
+  for (const std::vector<GridD>& x : xs)
+    if (x.size() != static_.size())
+      throw std::invalid_argument(
+          "CmpNetwork::evaluate_batch: layer count mismatch");
+  if (!fast_) {
+    // Fast path disabled (--no-fast-inference): same values, one candidate
+    // at a time through the autograd pipeline.
+    for (std::size_t b = 0; b < xs.size(); ++b) out[b] = evaluate(xs[b], false);
+    return out;
+  }
+
+  const int pc = static_[0].padded_cols;
+  const std::size_t n =
+      static_cast<std::size_t>(static_[0].padded_rows) * pc;
+  const std::size_t B = xs.size();
+  const std::size_t L = static_.size();
+
+  std::vector<std::vector<float>> planes(B * L);
+  std::vector<std::vector<const float*>> fill_ptrs(B);
+  for (std::size_t b = 0; b < B; ++b) {
+    fill_ptrs[b].reserve(L);
+    for (std::size_t l = 0; l < L; ++l) {
+      std::vector<float>& plane = planes[b * L + l];
+      plane.assign(n, 0.0f);
+      fill_to_plane(xs[b][l], rows_, cols_, pc, plane);
+      fill_ptrs[b].push_back(plane.data());
+    }
+  }
+
+  // One batched session run per layer for all candidates; each candidate's
+  // height planes are byte-identical to a solo predict_heights.
+  std::vector<std::vector<std::vector<float>>> heights;
+  fast_->predict_heights_batch(static_, fill_ptrs, heights);
+
+  // Candidates score independently (per-thread scratch); roughly 20 ns per
+  // plane element across the metric passes.
+  const std::size_t grain = runtime::grain_for_cost(
+      20.0 * static_cast<double>(L) * static_cast<double>(n), B);
+  runtime::parallel_for(grain, B, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b)
+      out[b] = score_height_planes(heights[b]);
+  });
   return out;
 }
 

@@ -112,6 +112,17 @@ class CmpNetwork {
 
   Eval evaluate(const std::vector<GridD>& x, bool with_grad) const;
 
+  /// Value-only evaluation of B candidate fill solutions in one call: the
+  /// candidate density grids are assembled into one [B, C, H, W] stack per
+  /// layer and the UNet runs a single batched session forward, then the
+  /// objective terms (Eqs. 10a-c) fan back out per candidate.  Each
+  /// returned Eval (gradients never filled) is byte-identical to
+  /// evaluate(xs[b], false) — and therefore to the autograd path — at any
+  /// thread count, so batched and serial evaluations mix freely inside one
+  /// optimization.  Falls back to per-candidate evaluation when the fast
+  /// path is disabled.
+  std::vector<Eval> evaluate_batch(const std::vector<std::vector<GridD>>& xs) const;
+
   /// Predicted heights only (a cheap forward; used by quality callbacks).
   std::vector<GridD> predict_heights(const std::vector<GridD>& x) const;
 
@@ -147,13 +158,20 @@ class CmpNetwork {
   /// float-op; bitwise equal to the autograd value (the SQP line search
   /// mixes the two paths, so "within tolerance" would not be enough).
   Eval evaluate_fast(const std::vector<GridD>& x) const;
+  /// Objective terms + merge from one candidate's predicted height planes
+  /// (the post-inference half of evaluate_fast); thread-safe (per-thread
+  /// scratch) so evaluate_batch can score candidates concurrently.
+  Eval score_height_planes(const std::vector<std::vector<float>>& heights) const;
 
   std::shared_ptr<const CmpSurrogate> surrogate_;
   std::vector<StaticLayerFeatures> static_;
   ScoreCoefficients coeffs_;
   std::size_t rows_ = 0, cols_ = 0;
   MetricCalibration cal_sigma_, cal_sigma_star_, cal_ol_;
-  std::unique_ptr<SurrogateInference> fast_;  ///< null when disabled
+  /// Compiled fast path; null when disabled.  Shared through the process-
+  /// wide session cache (surrogate/infer.hpp), so tile solves over the same
+  /// surrogate and plane size reuse one compiled session.
+  std::shared_ptr<const SurrogateInference> fast_;
 };
 
 }  // namespace neurfill

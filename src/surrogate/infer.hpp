@@ -21,11 +21,17 @@ namespace neurfill {
 /// per extraction, tools build one per chip (or per tile).
 class SurrogateInference {
  public:
+  /// Largest candidate batch the compiled session plans its arena for up
+  /// front (predict_heights_batch still accepts bigger batches; the arena
+  /// then grows once).  Sized for one NMMSO move batch.
+  static constexpr int kDefaultMaxBatch = 32;
+
   /// Compiles the surrogate's UNet for padded_rows x padded_cols planes
   /// (must be divisible by 2^depth).  Holds shared ownership of the
-  /// parameter storage; weight updates are reflected on the next call.
+  /// parameter storage; weights are snapshotted at compile time (packed
+  /// panels) — rebuild after weight updates.
   SurrogateInference(const CmpSurrogate& surrogate, int padded_rows,
-                     int padded_cols);
+                     int padded_cols, int max_batch = kDefaultMaxBatch);
 
   int padded_rows() const { return rows_; }
   int padded_cols() const { return cols_; }
@@ -39,6 +45,21 @@ class SurrogateInference {
                        const std::vector<const float*>& fills,
                        std::vector<std::vector<float>>& heights) const;
 
+  /// Batched predict_heights over B candidate fill solutions that share the
+  /// static layer features: `fills[b][l]` is candidate b's padded fill
+  /// plane for layer l, `heights[b][l]` its height plane.  Per layer, the B
+  /// candidate feature stacks are assembled into one [B, C, H, W] input and
+  /// the UNet runs once at batch B; extraction and the post-processing
+  /// chain run per candidate slice with the identical kernel sequence, so
+  /// every candidate's heights are byte-identical to a predict_heights call
+  /// on that candidate alone (pinned by tests/test_inference.cpp).  The
+  /// layer loop stays serial — layer l+1's incoming topography chains from
+  /// layer l — batching is across candidates within a layer.
+  void predict_heights_batch(
+      const std::vector<StaticLayerFeatures>& layers,
+      const std::vector<std::vector<const float*>>& fills,
+      std::vector<std::vector<std::vector<float>>>& heights) const;
+
   /// The compiled UNet (batched NCHW entry point for tools and tests).
   const nn::InferenceSession& session() const { return session_; }
 
@@ -48,5 +69,24 @@ class SurrogateInference {
   nn::InferenceSession session_;
   int rows_ = 0, cols_ = 0;
 };
+
+/// Process-wide cache of compiled SurrogateInference sessions, keyed by the
+/// surrogate's architecture + extraction constants, a hash of its parameter
+/// bytes, the padded plane size, and max_batch.  Compiling a session packs
+/// every constant conv weight panel, which is pure overhead to repeat when
+/// the fullchip driver solves hundreds of equally-sized tiles against one
+/// frozen surrogate — with the cache they all share one compiled session
+/// (sessions are immutable and thread-safe, so sharing is free).  Thread-
+/// safe; a weight update changes the hash and naturally misses.  Emits
+/// surrogate.session_cache_hits / surrogate.session_cache_misses counters.
+std::shared_ptr<const SurrogateInference> acquire_surrogate_inference(
+    const CmpSurrogate& surrogate, int padded_rows, int padded_cols,
+    int max_batch = SurrogateInference::kDefaultMaxBatch);
+
+/// Number of cached sessions (tests/diagnostics).
+std::size_t surrogate_inference_cache_size();
+
+/// Drops every cached session (tests; in-flight shared_ptrs stay valid).
+void clear_surrogate_inference_cache();
 
 }  // namespace neurfill

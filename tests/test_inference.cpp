@@ -18,8 +18,10 @@
 #include "nn/infer/session.hpp"
 #include "nn/tensor.hpp"
 #include "nn/unet.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/parallel.hpp"
 #include "surrogate/cmp_network.hpp"
+#include "surrogate/infer.hpp"
 
 namespace neurfill {
 namespace {
@@ -178,6 +180,63 @@ TEST(InferenceSession, BatchMatchesLoopedSingles) {
   EXPECT_TRUE(bitwise_equal(batched.data(), looped.data(), batched.size()));
 }
 
+TEST(InferenceSession, PrepackedWeightsMatchPackPerCall) {
+  // Compile-time weight panels must be bitwise neutral against the
+  // pack-per-call reference, on both the direct conv path (wide outputs)
+  // and the GEMM fallback (narrow outputs, where the panel is actually
+  // consumed), serial and batched.
+  Rng rng(18);
+  UNet net(small_config(true), rng);
+  for (const int W : {16, 8}) {  // W=8 drives the deeper levels through GEMM
+    const int H = 16, B = 4;
+    const std::size_t in_plane = 3u * H * W;
+    const std::size_t out_plane = static_cast<std::size_t>(H) * W;
+    InferenceOptions nopack;
+    nopack.prepack_weights = false;
+    const InferenceSession packed(net, H, W);
+    const InferenceSession reference(net, H, W, nopack);
+
+    const auto input = random_input(B * in_plane, 120);
+    std::vector<float> a(B * out_plane), b(a.size());
+    packed.run(input.data(), a.data());
+    reference.run(input.data(), b.data());
+    EXPECT_TRUE(bitwise_equal(a.data(), b.data(), out_plane)) << "W=" << W;
+    packed.run(input.data(), a.data(), B);
+    reference.run(input.data(), b.data(), B);
+    EXPECT_TRUE(bitwise_equal(a.data(), b.data(), a.size()))
+        << "W=" << W << " batched";
+  }
+}
+
+TEST(InferenceSession, BatchedArenaReachesZeroSteadyStateAllocation) {
+  // With max_batch planned up front, the first run sizes the per-thread
+  // arena once and every later run — any batch up to max_batch — performs
+  // no further growth (infer.arena_grow_events counts requested-size
+  // high-water increases on this thread).
+  Rng rng(19);
+  UNet net(small_config(true), rng);
+  const int H = 16, W = 16, kMaxBatch = 8;
+  InferenceOptions opt;
+  opt.max_batch = kMaxBatch;
+  const InferenceSession session(net, H, W, opt);
+  const std::size_t in_plane = 3u * H * W;
+  const std::size_t out_plane = static_cast<std::size_t>(H) * W;
+  const auto input = random_input(kMaxBatch * in_plane, 121);
+  std::vector<float> out(kMaxBatch * out_plane);
+
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  obs::Counter& grows = obs::counter("infer.arena_grow_events");
+  session.run(input.data(), out.data(), 1);  // plans for kMaxBatch
+  const std::int64_t after_first = grows.value();
+  for (const int batch : {1, 2, kMaxBatch, 3}) {
+    session.run(input.data(), out.data(), batch);
+    EXPECT_EQ(grows.value(), after_first) << "batch " << batch;
+  }
+  EXPECT_GE(obs::counter("infer.samples").value(), kMaxBatch);
+  obs::set_metrics_enabled(was_enabled);
+}
+
 TEST(InferenceSession, BitwiseDeterministicAcrossThreadCounts) {
   Rng rng(16);
   UNet net(small_config(true), rng);
@@ -296,6 +355,77 @@ TEST(CmpNetworkFast, EvaluateMatchesModulePathBitwise) {
     for (std::size_t i = 0; i < gf.grad[l].rows(); ++i)
       for (std::size_t j = 0; j < gf.grad[l].cols(); ++j)
         EXPECT_EQ(gf.grad[l](i, j), gs.grad[l](i, j));
+}
+
+TEST(CmpNetworkFast, EvaluateBatchMatchesSerialBitwise) {
+  // Cross-candidate batching: evaluate_batch must return, per candidate,
+  // exactly the Eval that evaluate(x, false) returns — the NMMSO move
+  // batches and the PKB sweep rely on batched and serial evaluations being
+  // interchangeable mid-optimization.
+  const Layout layout = make_design('a', 8, 100.0, 3);
+  const WindowExtraction ext = extract_windows(layout);
+  SurrogateConfig cfg;
+  cfg.unet.base_channels = 4;
+  cfg.unet.depth = 2;
+  auto surrogate = std::make_shared<CmpSurrogate>(cfg, 7);
+  ScoreCoefficients coeffs;
+  coeffs.beta_sigma = 1000.0;
+  coeffs.beta_sigma_star = 1e5;
+  coeffs.beta_ol = 100.0;
+  const CmpNetwork net(surrogate, ext, coeffs);
+
+  Rng rng(21);
+  for (const int B : {1, 2, 7, 32}) {
+    std::vector<std::vector<GridD>> xs(
+        static_cast<std::size_t>(B),
+        std::vector<GridD>(3, GridD(8, 8, 0.0)));
+    for (auto& x : xs)
+      for (auto& g : x)
+        for (auto& v : g) v = rng.uniform(0.0, 0.3);
+
+    const std::vector<CmpNetwork::Eval> batched = net.evaluate_batch(xs);
+    ASSERT_EQ(batched.size(), xs.size());
+    for (int b = 0; b < B; ++b) {
+      const CmpNetwork::Eval solo = net.evaluate(xs[static_cast<std::size_t>(b)],
+                                                 false);
+      const CmpNetwork::Eval& eb = batched[static_cast<std::size_t>(b)];
+      EXPECT_EQ(eb.s_plan, solo.s_plan) << "B=" << B << " b=" << b;
+      EXPECT_EQ(eb.sigma, solo.sigma);
+      EXPECT_EQ(eb.sigma_star, solo.sigma_star);
+      EXPECT_EQ(eb.outliers, solo.outliers);
+      ASSERT_EQ(eb.heights.size(), solo.heights.size());
+      for (std::size_t l = 0; l < eb.heights.size(); ++l)
+        for (std::size_t i = 0; i < eb.heights[l].rows(); ++i)
+          for (std::size_t j = 0; j < eb.heights[l].cols(); ++j)
+            ASSERT_EQ(eb.heights[l](i, j), solo.heights[l](i, j))
+                << "B=" << B << " b=" << b << " layer " << l;
+    }
+  }
+}
+
+TEST(SurrogateSessionCache, SharedAcrossNetworksAndKeyedByWeights) {
+  clear_surrogate_inference_cache();
+  const Layout layout = make_design('a', 8, 100.0, 3);
+  const WindowExtraction ext = extract_windows(layout);
+  SurrogateConfig cfg;
+  cfg.unet.base_channels = 4;
+  cfg.unet.depth = 2;
+  auto surrogate = std::make_shared<CmpSurrogate>(cfg, 7);
+  ScoreCoefficients coeffs;
+
+  // Repeated constructions over one frozen surrogate + plane size (the
+  // fullchip tile loop) share a single compiled session.
+  const CmpNetwork a(surrogate, ext, coeffs);
+  const CmpNetwork b(surrogate, ext, coeffs);
+  EXPECT_EQ(surrogate_inference_cache_size(), 1u);
+
+  // Different weights (same architecture and plane size) must miss.
+  auto other = std::make_shared<CmpSurrogate>(cfg, 8);
+  const CmpNetwork c(other, ext, coeffs);
+  EXPECT_EQ(surrogate_inference_cache_size(), 2u);
+
+  clear_surrogate_inference_cache();
+  EXPECT_EQ(surrogate_inference_cache_size(), 0u);
 }
 
 }  // namespace

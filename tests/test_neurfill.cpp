@@ -14,6 +14,7 @@
 #include "fill/neurfill.hpp"
 #include "fill/report.hpp"
 #include "geom/designs.hpp"
+#include "runtime/parallel.hpp"
 #include "surrogate/trainer.hpp"
 
 namespace neurfill {
@@ -152,6 +153,48 @@ TEST_F(NeurFillPipeline, MmAtLeastMatchesSurrogateObjectiveOfPkb) {
   const double f_pkb = obj(problem_->flatten(pkb.x), nullptr);
   const double f_mm = obj(problem_->flatten(mm.x), nullptr);
   EXPECT_LE(f_mm, f_pkb + 1e-6);
+}
+
+TEST_F(NeurFillPipeline, BatchedMmMatchesAutogradPathAcrossThreadCounts) {
+  // Full-drive determinism gate for cross-candidate batching: the MM flow
+  // (batched NMMSO move evaluations, batched PKB sweep, prepacked session
+  // weights) must produce byte-identical fills to the --no-fast-inference
+  // autograd path, at 1, 2, and 8 threads.
+  NeurFillOptions opt;
+  opt.sqp.max_iterations = 4;
+  opt.pkb_steps = 4;
+  opt.nmmso.max_evaluations = 30;
+  opt.mm_starts = 2;
+
+  (*surrogate_)->set_fast_inference(false);
+  CmpNetwork slow(*surrogate_, problem_->extraction(),
+                  problem_->coefficients());
+  (*surrogate_)->set_fast_inference(true);
+  slow.set_calibration(network_->sigma_calibration(),
+                       network_->sigma_star_calibration(),
+                       network_->outlier_calibration());
+
+  std::vector<VecD> fills;
+  long fast_evals = 0, slow_evals = 0;
+  for (const int threads : {1, 2, 8}) {
+    runtime::set_thread_count(threads);
+    const FillRunResult fast_res = neurfill_mm(*problem_, *network_, opt);
+    const FillRunResult slow_res = neurfill_mm(*problem_, slow, opt);
+    fast_evals = fast_res.objective_evaluations;
+    slow_evals = slow_res.objective_evaluations;
+    fills.push_back(problem_->flatten(fast_res.x));
+    fills.push_back(problem_->flatten(slow_res.x));
+  }
+  runtime::set_thread_count(0);  // restore the environment default
+
+  // Batched and serial paths must also agree on the evaluation count (the
+  // batch accounts one evaluation per candidate).
+  EXPECT_EQ(fast_evals, slow_evals);
+  for (std::size_t r = 1; r < fills.size(); ++r) {
+    ASSERT_EQ(fills[0].size(), fills[r].size());
+    for (std::size_t i = 0; i < fills[0].size(); ++i)
+      ASSERT_EQ(fills[0][i], fills[r][i]) << "run " << r << " var " << i;
+  }
 }
 
 TEST_F(NeurFillPipeline, ReportScoresAreAssembled) {

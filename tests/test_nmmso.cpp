@@ -1,6 +1,7 @@
 // Tests for the NMMSO multi-modal optimizer on functions with known peaks.
 
 #include <cmath>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -103,6 +104,45 @@ TEST(Nmmso, DeterministicForSeed) {
     EXPECT_EQ(m1[i].value, m2[i].value);
     EXPECT_EQ(m1[i].x[0], m2[i].x[0]);
   }
+}
+
+TEST(Nmmso, BatchObjectiveMatchesScalarRun) {
+  // A batched objective that returns exactly the scalar values must leave
+  // the search unchanged: same modes, same evaluation count, and every
+  // planned move batch routed through the batch call.
+  const ObjectiveFn f = [](const VecD& x, VecD*) { return equal_maxima(x[0]); };
+  NmmsoOptions opt;
+  opt.max_evaluations = 1000;
+  opt.seed = 11;
+  const auto scalar = Nmmso(f, box1d(0.0, 1.0), opt).run();
+
+  int batch_calls = 0, batch_points = 0;
+  Nmmso batched_solver(f, box1d(0.0, 1.0), opt);
+  batched_solver.set_batch_objective(
+      [&](const std::vector<VecD>& xs) -> std::vector<double> {
+        ++batch_calls;
+        batch_points += static_cast<int>(xs.size());
+        std::vector<double> v(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i) v[i] = equal_maxima(xs[i][0]);
+        return v;
+      });
+  const auto batched = batched_solver.run();
+
+  EXPECT_GT(batch_calls, 0);
+  EXPECT_GT(batch_points, batch_calls);  // real batches, not all singletons
+  ASSERT_EQ(scalar.size(), batched.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(scalar[i].value, batched[i].value);
+    EXPECT_EQ(scalar[i].x[0], batched[i].x[0]);
+  }
+}
+
+TEST(Nmmso, BatchObjectiveWrongCountThrows) {
+  const ObjectiveFn f = [](const VecD& x, VecD*) { return equal_maxima(x[0]); };
+  Nmmso solver(f, box1d(0.0, 1.0), NmmsoOptions());
+  solver.set_batch_objective(
+      [](const std::vector<VecD>&) { return std::vector<double>{}; });
+  EXPECT_THROW(solver.run(), std::logic_error);
 }
 
 TEST(Nmmso, MergesDuplicateSwarmsOnUnimodal) {

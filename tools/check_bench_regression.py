@@ -17,6 +17,10 @@ Gated keys, higher is better:
   infer_vs_autograd_speedup -- InferenceSession UNet forward vs the autograd
                             module path, single thread (the redesign's
                             acceptance floor is 2x; the gate keeps it there)
+  fill_evals_per_s        -- fill-loop objective evaluations per second
+                            through the batched candidate pipeline
+                            (bench_fill_throughput; one session run per
+                            layer for the whole NMMSO move batch)
 
 Gated keys, lower is better:
   fullchip_tile_ms        -- mean per-tile solve cost of the tiled driver
@@ -24,6 +28,9 @@ Gated keys, lower is better:
                              means the halo/stitch logic stopped converging)
   unet_infer_ms_1t        -- absolute single-thread latency of the compiled
                              inference session on the bench shape
+  unet_infer_b8_ms_per_sample -- per-sample latency of a batch-8 session
+                             run; keeps cross-candidate batching from ever
+                             costing more per sample than batch-1
 
 A higher-is-better value below (1 - tolerance) * baseline fails; a
 lower-is-better value above (1 + tolerance) * baseline fails.  The default
@@ -38,9 +45,10 @@ import json
 import sys
 
 GATED_KEYS_HIGHER = ("gemm_gflops_1t", "gemm_speedup_4t",
-                     "conv2d_fwd_speedup_4t", "infer_vs_autograd_speedup")
+                     "conv2d_fwd_speedup_4t", "infer_vs_autograd_speedup",
+                     "fill_evals_per_s")
 GATED_KEYS_LOWER = ("fullchip_tile_ms", "fullchip_stitch_passes",
-                    "unet_infer_ms_1t")
+                    "unet_infer_ms_1t", "unet_infer_b8_ms_per_sample")
 
 
 def main() -> int:
