@@ -1,0 +1,170 @@
+// Serve-path overhead bench: an in-process nf_serve daemon (journal +
+// scheduler + runner + poll() transport) driven by a loopback client.
+//
+// Two summary numbers, both about the daemon machinery rather than the
+// solver (jobs use the cheap lin method on a tiny design, so admission,
+// journaling, scheduling, and the socket round-trip dominate):
+//  * serve_jobs_per_s -- end-to-end completed jobs per second through
+//    submit -> journal -> worker -> artifact -> status (higher is better);
+//  * serve_p99_ms     -- p99 request/reply round-trip latency of a ping on
+//    a live daemon (lower is better; this is what a client pays to talk to
+//    the daemon at all).
+//
+// Emits a one-line JSON summary; --json FILE writes the same object for CI
+// (tools/check_bench_regression.py gates both keys).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "geom/designs.hpp"
+#include "geom/glf_io.hpp"
+#include "runtime/parallel.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace neurfill;
+using namespace neurfill::serve;
+
+constexpr int kJobs = 30;
+constexpr int kPings = 400;
+
+double p99_ms(std::vector<double>& samples_s) {
+  std::sort(samples_s.begin(), samples_s.end());
+  const std::size_t idx = std::min(
+      samples_s.size() - 1,
+      static_cast<std::size_t>(0.99 *
+                               static_cast<double>(samples_s.size())));
+  return samples_s[idx] * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+
+  const std::string work = "bench_serve_work";
+  std::error_code ignored;
+  std::filesystem::remove_all(work, ignored);
+  std::filesystem::create_directories(work);
+  write_glf_file(work + "/in.glf", make_design('a', 4, 100.0, 7));
+
+  runtime::set_thread_count(1);
+  DaemonOptions dopt;
+  dopt.scheduler.queue_capacity = kJobs + 1;
+  Expected<std::unique_ptr<Daemon>> daemon =
+      Daemon::create(dopt, work + "/journal");
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "error: %s\n", daemon.error().to_string().c_str());
+    return 1;
+  }
+  Expected<Server> server = Server::listen(0, "");
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.error().to_string().c_str());
+    return 1;
+  }
+  Daemon& d = **daemon;
+  std::thread transport([&] { (void)server->run(d); });
+  std::thread worker([&] { d.run_worker(); });
+
+  Expected<Client> client = Client::connect(server->port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.error().to_string().c_str());
+    return 1;
+  }
+
+  // Warm-up job: first solve pays one-time setup (scratch buffers etc.).
+  (void)client->request_line(
+      "{\"op\":\"submit\",\"design\":\"" + work + "/in.glf\",\"out\":\"" +
+      work + "/warm.glf\",\"method\":\"lin\"}");
+
+  // Throughput: submit kJobs, then poll the last one to completion (the
+  // worker is FIFO, so the last completing means all completed).
+  Timer jobs_timer;
+  std::string last_id;
+  for (int i = 0; i < kJobs; ++i) {
+    Expected<std::string> reply = client->request_line(
+        "{\"op\":\"submit\",\"design\":\"" + work + "/in.glf\",\"out\":\"" +
+        work + "/out_" + std::to_string(i) + ".glf\",\"method\":\"lin\"}");
+    if (!reply.ok() || reply->find("\"ok\":true") == std::string::npos) {
+      std::fprintf(stderr, "submit %d failed: %s\n", i,
+                   reply.ok() ? reply->c_str()
+                              : reply.error().to_string().c_str());
+      return 1;
+    }
+    const std::size_t at = reply->find("\"id\":\"");
+    last_id = reply->substr(at + 6, reply->find('"', at + 6) - at - 6);
+  }
+  for (;;) {
+    Expected<std::string> st = client->request_line(
+        "{\"op\":\"status\",\"id\":\"" + last_id + "\"}");
+    if (!st.ok()) {
+      std::fprintf(stderr, "status poll failed: %s\n",
+                   st.error().to_string().c_str());
+      return 1;
+    }
+    if (st->find("\"state\":\"completed\"") != std::string::npos) break;
+    if (st->find("\"state\":\"failed\"") != std::string::npos) {
+      std::fprintf(stderr, "bench job failed: %s\n", st->c_str());
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double jobs_per_s = kJobs / jobs_timer.elapsed_seconds();
+
+  // Round-trip latency on the live (now idle) daemon.
+  std::vector<double> rtt_s;
+  rtt_s.reserve(kPings);
+  for (int i = 0; i < kPings; ++i) {
+    Timer t;
+    Expected<std::string> pong = client->request_line("{\"op\":\"ping\"}");
+    if (!pong.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n",
+                   pong.error().to_string().c_str());
+      return 1;
+    }
+    rtt_s.push_back(t.elapsed_seconds());
+  }
+  const double p99 = p99_ms(rtt_s);
+
+  (void)client->request_line("{\"op\":\"drain\"}");
+  worker.join();
+  transport.join();
+  runtime::set_thread_count(0);
+
+  std::printf("=== serve daemon overhead, %d lin jobs + %d pings ===\n",
+              kJobs, kPings);
+  std::printf("end-to-end throughput: %8.1f jobs/s\n", jobs_per_s);
+  std::printf("ping round-trip p99:   %8.3f ms\n", p99);
+
+  char json[160];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"serve\",\"serve_jobs_per_s\":%.1f,"
+                "\"serve_p99_ms\":%.3f}",
+                jobs_per_s, p99);
+  std::printf("\nJSON: %s\n", json);
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+  std::filesystem::remove_all(work, ignored);
+  return 0;
+}

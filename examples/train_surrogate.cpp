@@ -12,8 +12,9 @@
 // procedure of Fig. 8.
 //
 // Training checkpoints after every epoch (<prefix>.{meta,weights,train});
-// SIGINT stops after the current sample with the last completed epoch
-// durable on disk, and `--resume` continues from it.
+// SIGINT/SIGTERM stop after the current sample with the last completed
+// epoch durable on disk (exit 128+signal), and `--resume` continues from
+// it.
 
 #include <atomic>
 #include <csignal>
@@ -34,7 +35,11 @@
 
 namespace {
 std::atomic<bool> g_interrupt{false};
-void handle_sigint(int) { g_interrupt.store(true); }
+std::atomic<int> g_signal{0};
+void handle_signal(int sig) {
+  g_signal.store(sig);
+  g_interrupt.store(true);
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,7 +94,11 @@ int main(int argc, char** argv) {
   opt.checkpoint_prefix = out;  // interruption-safe: save every epoch
   opt.resume = resume;          // continue from <out>.train when present
   opt.interrupt = &g_interrupt;
-  std::signal(SIGINT, handle_sigint);
+  // SIGTERM and SIGINT share one checkpoint-consistent path: stop after
+  // the current sample, leave the last completed epoch durable, exit
+  // 128+signal (130 for SIGINT, 143 for SIGTERM — docs/robustness.md).
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
 
   Timer timer;
   const TrainStats stats = train_surrogate(surrogate, datagen, opt);
@@ -105,7 +114,8 @@ int main(int argc, char** argv) {
     std::printf("interrupted; last completed epoch is durable at %s "
                 "(rerun with --resume)\n",
                 out.c_str());
-    return 130;
+    const int sig = g_signal.load();
+    return 128 + (sig > 0 ? sig : SIGINT);
   }
 
   Expected<void> saved = save_surrogate(surrogate, out);

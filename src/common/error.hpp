@@ -34,6 +34,9 @@ enum class ErrorCode {
   kInterrupted,        ///< operator interrupt (SIGINT) acknowledged
   kResourceExhausted,  ///< allocation or capacity failure
   kInvalidArgument,    ///< caller-provided data is unusable
+  kOverloaded,         ///< admission shed the request (backpressure/drain)
+  kQueueFull,          ///< a bounded table/queue is at capacity
+  kRetryExhausted,     ///< retries with backoff all failed
 };
 
 const char* error_code_name(ErrorCode code);
@@ -75,6 +78,9 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kInterrupted: return "interrupted";
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kRetryExhausted: return "retry_exhausted";
   }
   return "unknown";
 }

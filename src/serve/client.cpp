@@ -1,0 +1,126 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace neurfill::serve {
+namespace {
+
+std::string errno_message() {
+  return std::error_code(errno, std::generic_category()).message();
+}
+
+[[nodiscard]] Expected<int> connect_fd(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Error(ErrorCode::kIo, "serve.client",
+                 "socket() failed: " + errno_message());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string msg = errno_message();
+    ::close(fd);
+    return Error(ErrorCode::kIo, "serve.client",
+                 "cannot connect to 127.0.0.1:" + std::to_string(port) +
+                     ": " + msg);
+  }
+  return fd;
+}
+
+[[nodiscard]] Expected<void> send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error(ErrorCode::kIo, "serve.client",
+                   "send() failed: " + errno_message());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Expected<void>();
+}
+
+}  // namespace
+
+[[nodiscard]] Expected<Client> Client::connect(int port) {
+  Expected<int> fd = connect_fd(port);
+  if (!fd.ok()) return fd.error();
+  return Client(*fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)) {
+  other.fd_ = -1;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+[[nodiscard]] Expected<std::string> Client::request_line(const std::string& line) {
+  Expected<void> sent = send_all(fd_, line + "\n");
+  if (!sent.ok()) return sent.error();
+  for (;;) {
+    const std::size_t eol = buf_.find('\n');
+    if (eol != std::string::npos) {
+      std::string reply = buf_.substr(0, eol);
+      buf_.erase(0, eol + 1);
+      if (!reply.empty() && reply.back() == '\r') reply.pop_back();
+      return reply;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0)
+      return Error(ErrorCode::kIo, "serve.client",
+                   "daemon closed the connection mid-reply");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error(ErrorCode::kIo, "serve.client",
+                   "recv() failed: " + errno_message());
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+[[nodiscard]] Expected<JsonValue> Client::request(const JsonValue& req) {
+  Expected<std::string> reply = request_line(json_render(req));
+  if (!reply.ok()) return reply.error();
+  return json_parse(*reply);
+}
+
+[[nodiscard]] Expected<std::string> Client::http_get(int port, const std::string& path) {
+  Expected<int> fd = connect_fd(port);
+  if (!fd.ok()) return fd.error();
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  Expected<void> sent = send_all(*fd, req);
+  if (!sent.ok()) {
+    ::close(*fd);
+    return sent.error();
+  }
+  std::string all;
+  for (;;) {
+    char chunk[4096];
+    const ssize_t n = ::recv(*fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    all.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(*fd);
+  const std::size_t sep = all.find("\r\n\r\n");
+  if (sep == std::string::npos)
+    return Error(ErrorCode::kIo, "serve.client",
+                 "malformed HTTP response (no header terminator)");
+  return all.substr(sep + 4);
+}
+
+}  // namespace neurfill::serve

@@ -1,0 +1,45 @@
+#pragma once
+
+// Minimal blocking loopback client for the nf_serve daemon: the test
+// suite's and bench's way to speak the line-delimited JSON protocol and
+// the GET surface without shelling out.  One connection per Client;
+// requests are synchronous (send one line, read one line).  Not part of
+// the daemon's own robustness surface — failures come back as structured
+// errors and the caller decides.
+
+#include <string>
+
+#include "common/error.hpp"
+#include "serve/protocol.hpp"
+
+namespace neurfill::serve {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:`port`.
+  [[nodiscard]] static Expected<Client> connect(int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request line and reads one reply line.
+  [[nodiscard]] Expected<std::string> request_line(const std::string& line);
+
+  /// request_line + JSON parsing of the reply.
+  [[nodiscard]] Expected<JsonValue> request(const JsonValue& req);
+
+  /// One-shot HTTP GET on a fresh connection (the daemon closes after a
+  /// GET); returns the body, dropping status line and headers.
+  [[nodiscard]] static Expected<std::string> http_get(int port,
+                                                      const std::string& path);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  std::string buf_;  ///< bytes read past the last returned line
+};
+
+}  // namespace neurfill::serve

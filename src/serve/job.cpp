@@ -1,0 +1,140 @@
+#include "serve/job.hpp"
+
+namespace neurfill::serve {
+namespace {
+
+constexpr std::uint32_t kJobFormatVersion = 1;
+
+}  // namespace
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+std::vector<char> JobRecord::serialize() const {
+  ByteWriter w;
+  w.u32(kJobFormatVersion);
+  w.str(id);
+  w.str(spec.design);
+  w.str(spec.out);
+  w.str(spec.method);
+  w.str(spec.surrogate);
+  w.f64(spec.window_um);
+  w.f64(spec.deadline_s);
+  w.u32(static_cast<std::uint32_t>(spec.max_attempts));
+  w.u32(static_cast<std::uint32_t>(state));
+  w.u32(static_cast<std::uint32_t>(attempts.size()));
+  for (const JobAttempt& a : attempts) {
+    w.u32(a.ok ? 1u : 0u);
+    w.u32(static_cast<std::uint32_t>(a.code));
+    w.str(a.message);
+    w.f64(a.runtime_s);
+  }
+  w.u64(outcome.dummies);
+  w.f64(outcome.runtime_s);
+  w.i64(outcome.evaluations);
+  w.u32(outcome.timed_out ? 1u : 0u);
+  w.u32(outcome.degraded ? 1u : 0u);
+  w.str(final_error);
+  return w.take();
+}
+
+[[nodiscard]] Expected<JobRecord> JobRecord::deserialize(const std::vector<char>& payload) {
+  ByteReader r(payload);
+  const std::uint32_t version = r.u32();
+  if (r.ok() && version != kJobFormatVersion)
+    return Error(ErrorCode::kCorrupt, "serve.journal",
+                 "job record format version " + std::to_string(version) +
+                     " (expected " + std::to_string(kJobFormatVersion) + ")");
+  JobRecord rec;
+  rec.id = r.str();
+  rec.spec.design = r.str();
+  rec.spec.out = r.str();
+  rec.spec.method = r.str();
+  rec.spec.surrogate = r.str();
+  rec.spec.window_um = r.f64();
+  rec.spec.deadline_s = r.f64();
+  rec.spec.max_attempts = static_cast<int>(r.u32());
+  const std::uint32_t state_raw = r.u32();
+  const std::uint32_t attempt_count = r.u32();
+  // Bounded before allocation: a corrupt count must not drive a giant
+  // reserve (each attempt is at least 16 payload bytes).
+  if (r.ok() && attempt_count > payload.size() / 16)
+    return Error(ErrorCode::kCorrupt, "serve.journal",
+                 "job record claims " + std::to_string(attempt_count) +
+                     " attempts in " + std::to_string(payload.size()) +
+                     " bytes");
+  for (std::uint32_t i = 0; r.ok() && i < attempt_count; ++i) {
+    JobAttempt a;
+    a.ok = r.u32() != 0;
+    a.code = static_cast<ErrorCode>(r.u32());
+    a.message = r.str();
+    a.runtime_s = r.f64();
+    rec.attempts.push_back(a);
+  }
+  rec.outcome.dummies = r.u64();
+  rec.outcome.runtime_s = r.f64();
+  rec.outcome.evaluations = r.i64();
+  rec.outcome.timed_out = r.u32() != 0;
+  rec.outcome.degraded = r.u32() != 0;
+  rec.final_error = r.str();
+  if (!r.ok() || !r.at_end())
+    return Error(ErrorCode::kCorrupt, "serve.journal",
+                 "job record payload is truncated or carries trailing bytes");
+  if (state_raw > static_cast<std::uint32_t>(JobState::kCancelled))
+    return Error(ErrorCode::kCorrupt, "serve.journal",
+                 "job record state " + std::to_string(state_raw) +
+                     " is out of range");
+  rec.state = static_cast<JobState>(state_raw);
+  return rec;
+}
+
+JsonValue JobRecord::to_json() const {
+  JsonValue v = json_object();
+  v.object["id"] = json_string(id);
+  v.object["state"] = json_string(job_state_name(state));
+  v.object["design"] = json_string(spec.design);
+  v.object["out"] = json_string(spec.out);
+  v.object["method"] = json_string(spec.method);
+  if (!spec.surrogate.empty())
+    v.object["surrogate"] = json_string(spec.surrogate);
+  v.object["window"] = json_number(spec.window_um);
+  if (spec.deadline_s > 0.0)
+    v.object["deadline_s"] = json_number(spec.deadline_s);
+  v.object["max_attempts"] = json_number(spec.max_attempts);
+  JsonValue attempts_json;
+  attempts_json.kind = JsonValue::Kind::kArray;
+  for (const JobAttempt& a : attempts) {
+    JsonValue aj = json_object();
+    aj.object["ok"] = json_bool(a.ok);
+    if (!a.ok) {
+      aj.object["code"] = json_string(error_code_name(a.code));
+      aj.object["error"] = json_string(a.message);
+    }
+    aj.object["runtime_s"] = json_number(a.runtime_s);
+    attempts_json.array.push_back(std::move(aj));
+  }
+  v.object["attempts"] = std::move(attempts_json);
+  if (state == JobState::kCompleted) {
+    JsonValue oj = json_object();
+    oj.object["dummies"] = json_number(static_cast<double>(outcome.dummies));
+    oj.object["runtime_s"] = json_number(outcome.runtime_s);
+    oj.object["evaluations"] =
+        json_number(static_cast<double>(outcome.evaluations));
+    oj.object["timed_out"] = json_bool(outcome.timed_out);
+    oj.object["degraded"] = json_bool(outcome.degraded);
+    v.object["outcome"] = std::move(oj);
+  }
+  if (state == JobState::kFailed)
+    v.object["error"] = json_string(final_error);
+  return v;
+}
+
+}  // namespace neurfill::serve

@@ -1,0 +1,93 @@
+#pragma once
+
+// Job model of the nf_serve daemon (docs/serving.md).
+//
+// A job is one fill/simulate request: a design in, an artifact out, a
+// method, and robustness budgets (deadline, attempts).  The JobRecord is
+// the single source of truth for a job's lifecycle; every state transition
+// is journaled (serve/journal.hpp) *before* it takes effect, so a SIGKILL
+// at any instant leaves a record the restarted daemon can act on.
+//
+// Lifecycle state machine:
+//
+//   queued ──start──▶ running ──ok──▶ completed
+//     ▲                 │ recoverable error, attempts left
+//     └──retry/backoff──┘
+//                       │ attempts exhausted / permanent error ──▶ failed
+//   queued ──cancel──▶ cancelled
+//
+// A `running` record on disk means the daemon died mid-attempt: recovery
+// re-queues it, and the solve resumes from its snapshot (bitwise-identical
+// results, the PR-5 contract).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/checkpoint.hpp"
+#include "common/error.hpp"
+#include "serve/protocol.hpp"
+
+namespace neurfill::serve {
+
+/// What the client asked for.  Paths are daemon-side (the daemon and its
+/// clients share a filesystem, the chiploop-style job-dir contract).
+struct JobSpec {
+  std::string design;     ///< input GLF path
+  std::string out;        ///< output GLF path (written atomically)
+  std::string method;     ///< lin | tao | cai | pkb | mm
+  std::string surrogate;  ///< weight prefix ("" = daemon default)
+  double window_um = 100.0;
+  double deadline_s = 0.0;  ///< per-job wall budget from admission (0 = none)
+  int max_attempts = 0;     ///< 0 = daemon default
+};
+
+enum class JobState : std::uint32_t {
+  kQueued = 0,
+  kRunning = 1,
+  kCompleted = 2,
+  kFailed = 3,
+  kCancelled = 4,
+};
+
+const char* job_state_name(JobState s);
+
+/// One execution attempt: how it ended.  `code` is meaningful only when
+/// `ok` is false.
+struct JobAttempt {
+  bool ok = false;
+  ErrorCode code = ErrorCode::kIo;
+  std::string message;   ///< structured one-liner (Error::to_string)
+  double runtime_s = 0.0;
+};
+
+/// Result summary of a completed job (mirrors the nf_fill stderr line).
+struct JobOutcome {
+  std::uint64_t dummies = 0;
+  double runtime_s = 0.0;
+  std::int64_t evaluations = 0;
+  bool timed_out = false;
+  bool degraded = false;
+};
+
+/// The durable job record: spec + state + attempt history + outcome.
+struct JobRecord {
+  std::string id;  ///< "j000001"-style, assigned at admission
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  std::vector<JobAttempt> attempts;
+  JobOutcome outcome;       ///< valid when state == kCompleted
+  std::string final_error;  ///< valid when state == kFailed
+
+  /// Serialization into one NFCP "job" section payload and back.  The
+  /// reader validates the format version and rejects trailing bytes, so a
+  /// record that passed the container's CRC still cannot half-parse.
+  std::vector<char> serialize() const;
+  [[nodiscard]] static Expected<JobRecord> deserialize(
+      const std::vector<char>& payload);
+
+  /// Client-facing JSON rendering (status replies, the /jobs/<id> page).
+  JsonValue to_json() const;
+};
+
+}  // namespace neurfill::serve

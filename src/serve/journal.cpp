@@ -1,0 +1,117 @@
+#include "serve/journal.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <system_error>
+
+#include "common/fault.hpp"
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
+namespace neurfill::serve {
+namespace {
+
+std::string errno_message() {
+  return std::error_code(errno, std::generic_category()).message();
+}
+
+}  // namespace
+
+[[nodiscard]] Expected<JobJournal> JobJournal::open(const std::string& dir) {
+  if (dir.empty())
+    return Error(ErrorCode::kInvalidArgument, "serve.journal",
+                 "journal directory must not be empty");
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+    return Error(ErrorCode::kIo, "serve.journal",
+                 "cannot create journal directory '" + dir +
+                     "': " + errno_message());
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
+    return Error(ErrorCode::kIo, "serve.journal",
+                 "journal path '" + dir + "' is not a directory");
+  return JobJournal(dir);
+}
+
+std::string JobJournal::record_path(const std::string& id) const {
+  return dir_ + "/job_" + id + ".nfcp";
+}
+
+std::string JobJournal::snapshot_path(const std::string& id) const {
+  return dir_ + "/" + id + ".snap";
+}
+
+[[nodiscard]] Expected<void> JobJournal::write(const JobRecord& rec) const {
+  NF_TRACE_SPAN("serve.journal_commit");
+  if (NF_FAULT("serve.journal_write"))
+    return Error(ErrorCode::kIo, "serve.journal",
+                 "injected journal-write failure for job " + rec.id);
+  CheckpointWriter w;
+  w.add_section("job", rec.serialize());
+  return w.commit(record_path(rec.id));
+}
+
+void JobJournal::remove(const std::string& id) const {
+  std::remove(record_path(id).c_str());
+  std::remove(snapshot_path(id).c_str());
+}
+
+[[nodiscard]] Expected<JobJournal::Recovery> JobJournal::recover() const {
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr)
+    return Error(ErrorCode::kIo, "serve.journal",
+                 "cannot scan journal directory '" + dir_ +
+                     "': " + errno_message());
+  std::vector<std::string> names;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() > 9 && name.rfind("job_", 0) == 0 &&
+        name.compare(name.size() - 5, 5, ".nfcp") == 0)
+      names.push_back(name);
+  }
+  ::closedir(d);
+  // Directory order is filesystem-dependent; id order is the deterministic
+  // recovery order (ids are assigned monotonically at admission).
+  std::sort(names.begin(), names.end());
+
+  Recovery out;
+  for (const std::string& name : names) {
+    const std::string path = dir_ + "/" + name;
+    const auto quarantine = [&](const Error& err) {
+      LOG_WARN("serve.journal: quarantining corrupt record %s: %s",
+               path.c_str(), err.to_string().c_str());
+      std::rename(path.c_str(), (path + ".corrupt").c_str());
+      ++out.quarantined;
+    };
+    Expected<CheckpointReader> reader = CheckpointReader::open(path);
+    if (!reader.ok()) {
+      quarantine(reader.error());
+      continue;
+    }
+    Expected<const std::vector<char>*> payload = reader->section("job");
+    if (!payload.ok()) {
+      quarantine(payload.error());
+      continue;
+    }
+    Expected<JobRecord> rec = JobRecord::deserialize(**payload);
+    if (!rec.ok()) {
+      quarantine(rec.error());
+      continue;
+    }
+    // The filename must agree with the record it holds: a record copied
+    // over another job's file would otherwise resurrect under a wrong id.
+    if (record_path(rec->id) != path) {
+      quarantine(Error(ErrorCode::kCorrupt, "serve.journal",
+                       "record in '" + path + "' claims id '" + rec->id +
+                           "'"));
+      continue;
+    }
+    out.records.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+}  // namespace neurfill::serve

@@ -1,0 +1,68 @@
+#pragma once
+
+// Crash-safe write-ahead job journal (docs/serving.md).
+//
+// One NFCP checkpoint file per job — `<dir>/job_<id>.nfcp`, single "job"
+// section — committed through the atomic temp+fsync+rename path, so every
+// journaled transition is durable before it takes effect and a SIGKILL at
+// any instant leaves either the previous record or the new one, never a
+// torn one.  Snapshots of in-flight solves live next to the records as
+// `<dir>/<id>.snap` (the nf_fill snapshot machinery), giving a restarted
+// daemon mid-attempt resume for free.
+//
+// Recovery scans the directory once: a record that fails CRC validation or
+// parsing is *quarantined* (renamed to `<name>.corrupt`) and skipped — the
+// daemon never acts on, or serves, a mangled record.  `tests/
+// test_serve.cpp` proves this for a truncation at every byte prefix and a
+// bit flip at every byte.
+//
+// Fault site: `serve.journal_write` fails the record commit (on top of the
+// io.short_write/io.rename sites inside the shared atomic-file path).  At
+// admission the caller rejects the submission — the write-ahead contract
+// forbids accepting a job that is not durable; on later transitions the
+// caller logs and continues, losing only that transition's resume
+// granularity (docs/robustness.md).
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/job.hpp"
+
+namespace neurfill::serve {
+
+class JobJournal {
+ public:
+  /// Creates `dir` when missing.  Fails with a structured error when the
+  /// directory cannot be created or is not writable.
+  [[nodiscard]] static Expected<JobJournal> open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Durably records `rec` (atomic commit; NF_FAULT("serve.journal_write")).
+  [[nodiscard]] Expected<void> write(const JobRecord& rec) const;
+
+  /// Removes a job's record and snapshot (reaping; best-effort).
+  void remove(const std::string& id) const;
+
+  /// The solve-snapshot path that rides next to the record.
+  std::string snapshot_path(const std::string& id) const;
+  /// The record path for `id`.
+  std::string record_path(const std::string& id) const;
+
+  struct Recovery {
+    std::vector<JobRecord> records;  ///< every valid record, sorted by id
+    std::size_t quarantined = 0;     ///< corrupt files renamed *.corrupt
+  };
+
+  /// Scans the journal directory.  Corrupt records are quarantined, never
+  /// returned; the daemon re-queues queued/running records and keeps
+  /// terminal ones for status queries.
+  [[nodiscard]] Expected<Recovery> recover() const;
+
+ private:
+  explicit JobJournal(std::string dir) : dir_(std::move(dir)) {}
+  std::string dir_;
+};
+
+}  // namespace neurfill::serve

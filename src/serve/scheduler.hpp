@@ -1,0 +1,155 @@
+#pragma once
+
+// Job scheduler of the nf_serve daemon (docs/serving.md): admission
+// control, a bounded FIFO run queue, retry with deterministic exponential
+// backoff, and graceful drain.
+//
+// Robustness by construction:
+//  * Admission rejects cheap-to-reject *early* instead of timing out late:
+//    a full queue, a closed (draining) daemon, a job whose deadline the
+//    backlog estimate already dooms, or a predicted wait beyond the
+//    queue-wide admission cap all return a structured error in
+//    microseconds — kOverloaded for backpressure/shedding, kQueueFull for
+//    the bounded job table (docs/robustness.md taxonomy).
+//  * Every state transition is persisted write-ahead through the injected
+//    `persist` callback before it takes effect; a persist failure at
+//    admission rejects the submission (an un-journaled job must never be
+//    accepted), later failures degrade to a warning.
+//  * Retries are *jitter-free*: the backoff delay is the pure function
+//    retry_delay_s(attempt) = min(base * 2^(attempt-1), cap), so a retry
+//    schedule is reproducible from the attempt history alone.
+//  * The worker loop runs jobs one at a time — each solve parallelizes
+//    internally through the deterministic runtime pool, which keeps
+//    results independent of daemon load (bitwise the same as nf_fill).
+//
+// Threading: every public method is safe to call from any thread (one
+// mutex); run_worker() occupies its calling thread until stop() or a
+// completed drain.  The scheduler itself spawns no threads — the daemon's
+// transport thread lives in tools/nf_serve.cpp.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/deadline.hpp"
+#include "common/error.hpp"
+#include "serve/job.hpp"
+
+namespace neurfill::serve {
+
+/// The deterministic retry schedule: min(base * 2^(failures-1), cap)
+/// seconds before attempt `failures + 1`.  Pure — no jitter, no clock.
+double retry_delay_s(int failures, double base_s, double cap_s);
+
+/// True when a failed attempt with this code should be retried (transient
+/// I/O, degraded numerics); permanent input errors and expired deadlines
+/// fail the job immediately.
+bool is_recoverable(ErrorCode code);
+
+struct SchedulerOptions {
+  std::size_t queue_capacity = 32;  ///< waiting jobs before backpressure
+  std::size_t max_records = 4096;   ///< tracked records before kQueueFull
+  int default_max_attempts = 3;
+  double backoff_base_s = 0.25;
+  double backoff_cap_s = 30.0;
+  /// Queue-wide admission deadline: when > 0, a submission whose predicted
+  /// queue wait (backlog x mean job seconds) exceeds this is shed with
+  /// kOverloaded even if the job itself carries no deadline.
+  double admit_wait_cap_s = 0.0;
+};
+
+class Scheduler {
+ public:
+  /// `execute` runs one attempt (blocking; internally parallel) and returns
+  /// the outcome or a structured error.  `persist` durably journals a
+  /// record and is called with the scheduler mutex HELD — it must not call
+  /// back into the scheduler.
+  using ExecuteFn = std::function<Expected<JobOutcome>(
+      const JobRecord& rec, const Deadline& deadline,
+      const std::string& snapshot_path, const std::atomic<bool>* interrupt)>;
+  using PersistFn = std::function<Expected<void>(const JobRecord& rec)>;
+  /// Maps a job id to its solve-snapshot path (journal layout).
+  using SnapshotPathFn = std::function<std::string(const std::string& id)>;
+
+  Scheduler(SchedulerOptions options, ExecuteFn execute, PersistFn persist,
+            SnapshotPathFn snapshot_path);
+
+  /// Admission.  On success the job is journaled, queued, and its id
+  /// returned; on rejection nothing is retained.
+  [[nodiscard]] Expected<std::string> submit(JobSpec spec);
+
+  /// Re-installs a recovered record: queued/running records re-enter the
+  /// queue (a running record means the previous process died mid-attempt),
+  /// terminal ones stay queryable.  Call before run_worker().
+  void restore(JobRecord rec);
+
+  /// Cancels a queued job (running jobs are not preempted).  False when
+  /// the id is unknown or the job is not queued.
+  bool cancel(const std::string& id);
+
+  /// Snapshot of a job record; false when the id is unknown.
+  bool find(const std::string& id, JobRecord* out) const;
+
+  /// Stops admission; run_worker returns once the running job has finished
+  /// (or checkpointed, once interrupt_running() fires at the drain
+  /// deadline).  Queued jobs stay durably journaled for the next start.
+  void begin_drain();
+  bool draining() const;
+
+  /// Asks the in-flight solve to checkpoint and stop (the drain-deadline
+  /// path; pkb/mm write a final snapshot and re-queue).
+  void interrupt_running();
+
+  /// Blocks running jobs until stop() or a completed drain.
+  void run_worker();
+
+  /// Immediate stop for tests: the worker returns after the current job.
+  void stop();
+
+  struct Stats {
+    std::size_t queued = 0;
+    std::size_t records = 0;
+    bool running = false;
+    bool draining = false;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    JobRecord rec;
+    Deadline deadline;   ///< armed at admission from spec.deadline_s
+    Deadline retry_due;  ///< infinite = runnable now
+  };
+
+  /// Journals with the lock held; admission failures propagate, later
+  /// transitions degrade to a warning (docs/serving.md).
+  void persist_or_warn(const JobRecord& rec);
+  /// Picks the first runnable queued id, honoring retry_due.  Returns
+  /// false when none is runnable; *wait_s is the seconds until the nearest
+  /// retry becomes due (infinity when the queue is empty).
+  bool next_runnable(std::string* id, double* wait_s);
+  void finish_attempt(Entry& e, const Expected<JobOutcome>& result);
+
+  SchedulerOptions opts_;
+  ExecuteFn execute_;
+  PersistFn persist_;
+  SnapshotPathFn snapshot_path_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::map<std::string, Entry> records_;
+  std::deque<std::string> queue_;
+  std::uint64_t next_id_ = 1;
+  std::string running_id_;
+  bool draining_ = false;
+  bool stop_ = false;
+  double mean_job_s_ = 0.0;  ///< EMA of attempt wall time (admission model)
+  std::atomic<bool> interrupt_{false};
+};
+
+}  // namespace neurfill::serve

@@ -1,0 +1,230 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/fault.hpp"
+#include "common/log.hpp"
+#include "serve/protocol.hpp"
+
+namespace neurfill::serve {
+namespace {
+
+// One request line (or HTTP request head) may not exceed this; a client
+// sending more gets a structured error and is dropped.  Replies are small
+// (status JSON), so the output cap only guards a non-draining peer.
+constexpr std::size_t kMaxInBytes = 1 << 20;
+constexpr std::size_t kMaxOutBytes = 4u << 20;
+constexpr int kTickMs = 50;
+
+std::string errno_message() {
+  return std::error_code(errno, std::generic_category()).message();
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+[[nodiscard]] Expected<Server> Server::listen(int port, const std::string& port_file) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Error(ErrorCode::kIo, "serve.net",
+                 "socket() failed: " + errno_message());
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string msg = errno_message();
+    ::close(fd);
+    return Error(ErrorCode::kIo, "serve.net",
+                 "cannot bind 127.0.0.1:" + std::to_string(port) + ": " + msg);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string msg = errno_message();
+    ::close(fd);
+    return Error(ErrorCode::kIo, "serve.net", "listen() failed: " + msg);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string msg = errno_message();
+    ::close(fd);
+    return Error(ErrorCode::kIo, "serve.net", "getsockname() failed: " + msg);
+  }
+  const int bound_port = ntohs(bound.sin_port);
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return Error(ErrorCode::kIo, "serve.net",
+                 "cannot make the listening socket non-blocking");
+  }
+  if (!port_file.empty()) {
+    const std::string text = std::to_string(bound_port) + "\n";
+    Expected<void> wrote =
+        atomic_write_file(port_file, text.data(), text.size(), "serve.net");
+    if (!wrote.ok()) {
+      ::close(fd);
+      return wrote.error();
+    }
+  }
+  return Server(fd, bound_port);
+}
+
+Server::Server(Server&& other) noexcept
+    : listen_fd_(other.listen_fd_),
+      port_(other.port_),
+      conns_(std::move(other.conns_)) {
+  other.listen_fd_ = -1;
+}
+
+Server::~Server() {
+  for (const auto& [fd, conn] : conns_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::accept_new() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or a transient accept failure: keep serving
+    if (NF_FAULT("serve.accept")) {
+      LOG_WARN("serve.net: injected accept failure; dropping connection");
+      ::close(fd);
+      continue;
+    }
+    if (!set_nonblocking(fd)) {
+      LOG_WARN("serve.net: cannot make an accepted socket non-blocking");
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, Conn{});
+  }
+}
+
+bool Server::read_some(int fd, Conn& c, Handler& handler) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    c.in.append(buf, static_cast<std::size_t>(n));
+    if (c.in.size() > kMaxInBytes) {
+      c.out += error_reply(Error(ErrorCode::kInvalidArgument, "serve.net",
+                                 "request exceeds " +
+                                     std::to_string(kMaxInBytes) + " bytes"));
+      c.out += '\n';
+      c.close_after_flush = true;
+      return true;
+    }
+  }
+  if (!c.http && c.in.size() >= 4 && c.in.compare(0, 4, "GET ") == 0)
+    c.http = true;
+  if (c.http) {
+    // Serve the GET as soon as the request line is complete; the remaining
+    // headers are irrelevant to this minimal endpoint set.
+    const std::size_t eol = c.in.find('\n');
+    if (eol == std::string::npos) return true;
+    std::string line = c.in.substr(0, eol);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t sp = line.find(' ', 4);
+    const std::string path =
+        sp == std::string::npos ? line.substr(4) : line.substr(4, sp - 4);
+    c.out += handler.handle_get(path);
+    c.close_after_flush = true;
+    c.in.clear();
+    return true;
+  }
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t eol = c.in.find('\n', start);
+    if (eol == std::string::npos) break;
+    std::string line = c.in.substr(start, eol - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = eol + 1;
+    if (line.empty()) continue;
+    c.out += handler.handle_line(line);
+    c.out += '\n';
+    if (c.out.size() > kMaxOutBytes) c.close_after_flush = true;
+  }
+  c.in.erase(0, start);
+  return true;
+}
+
+bool Server::write_some(int fd, Conn& c) {
+  while (!c.out.empty()) {
+    std::size_t want = c.out.size();
+    if (NF_FAULT("serve.reply_short_write")) {
+      // A torn reply: half the bytes go out, then the connection drops.
+      // Job state is unaffected — replies are sent only after the journal
+      // commit — so the client retries its query and sees the truth.
+      want = want / 2;
+      if (want > 0) (void)::send(fd, c.out.data(), want, MSG_NOSIGNAL);
+      LOG_WARN("serve.net: injected short write; dropping connection");
+      return false;
+    }
+    const ssize_t n = ::send(fd, c.out.data(), want, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    c.out.erase(0, static_cast<std::size_t>(n));
+  }
+  return !c.close_after_flush;
+}
+
+[[nodiscard]] Expected<void> Server::run(Handler& handler) {
+  while (!handler.done()) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(), kTickMs);
+    if (rc < 0 && errno != EINTR)
+      return Error(ErrorCode::kIo, "serve.net",
+                   "poll() failed: " + errno_message());
+    handler.tick();
+    if (rc <= 0) continue;
+    if (fds[0].revents & POLLIN) accept_new();
+    std::vector<int> drop;
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn& c = it->second;
+      bool alive = true;
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
+      if (alive && (fds[i].revents & POLLIN))
+        alive = read_some(fd, c, handler);
+      if (alive && !c.out.empty()) alive = write_some(fd, c);
+      if (alive && c.out.empty() && c.close_after_flush) alive = false;
+      if (!alive) drop.push_back(fd);
+    }
+    for (const int fd : drop) {
+      ::close(fd);
+      conns_.erase(fd);
+    }
+  }
+  return Expected<void>();
+}
+
+}  // namespace neurfill::serve

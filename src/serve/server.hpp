@@ -1,0 +1,90 @@
+#pragma once
+
+// The transport of the nf_serve daemon (docs/serving.md): a single-threaded
+// poll() event loop over one loopback listening socket, speaking two
+// protocols sniffed from the first bytes of each connection:
+//  * line-delimited JSON — one request object per line, one reply line per
+//    request, connections stay open for pipelining;
+//  * minimal HTTP GET (HTTP/1.0, Connection: close) — for /metrics,
+//    /healthz and /jobs/<id>, so a curl or a scraper needs no client.
+//
+// Robustness by construction: every fd is non-blocking, so one stalled
+// client can never wedge the daemon; per-connection input and output
+// buffers are capped (an over-long line is answered with a structured
+// error and the connection dropped); accept/read/write errors degrade to
+// dropping that one connection.  The loop calls Handler::tick() every poll
+// timeout (~50 ms), which is where drain-deadline bookkeeping lives — the
+// transport itself never blocks longer than one tick.
+//
+// Fault sites (docs/robustness.md): `serve.accept` fails an incoming
+// accept (the daemon logs and keeps serving); `serve.reply_short_write`
+// truncates a reply mid-write and drops the connection (the client sees a
+// torn reply; job state is untouched because replies are written only
+// after the journal commit).
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace neurfill::serve {
+
+/// What the daemon plugs into the event loop.  Handlers run on the loop
+/// thread; they must not block (job execution happens on the worker).
+class Handler {
+ public:
+  virtual ~Handler() = default;
+  /// One JSON request line (without the newline) -> one reply line.
+  virtual std::string handle_line(const std::string& line) = 0;
+  /// One HTTP GET -> a complete HTTP response (see http_response()).
+  virtual std::string handle_get(const std::string& path) = 0;
+  /// Called once per poll timeout; drain bookkeeping lives here.
+  virtual void tick() = 0;
+  /// True once the loop should exit (drain finished / fatal).
+  virtual bool done() const = 0;
+};
+
+class Server {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).  When
+  /// `port_file` is non-empty the bound port is published there via the
+  /// atomic write path, so scripts can wait for the file and race nothing.
+  [[nodiscard]] static Expected<Server> listen(int port,
+                                               const std::string& port_file);
+
+  Server(Server&& other) noexcept;
+  Server& operator=(Server&&) = delete;
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  int port() const { return port_; }
+
+  /// Runs the event loop until handler.done().  Returns an error only for
+  /// a fatal transport failure (the listening socket dying); per-
+  /// connection failures are handled inside the loop.
+  [[nodiscard]] Expected<void> run(Handler& handler);
+
+ private:
+  explicit Server(int listen_fd, int port)
+      : listen_fd_(listen_fd), port_(port) {}
+
+  struct Conn {
+    std::string in;
+    std::string out;
+    bool http = false;         ///< sniffed "GET " prefix
+    bool close_after_flush = false;
+  };
+
+  void accept_new();
+  /// False when the connection should be dropped.
+  bool read_some(int fd, Conn& c, Handler& handler);
+  bool write_some(int fd, Conn& c);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::map<int, Conn> conns_;
+};
+
+}  // namespace neurfill::serve

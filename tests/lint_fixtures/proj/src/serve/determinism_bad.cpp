@@ -1,0 +1,12 @@
+// The serve daemon is numeric-scope code (src/serve/ is named in the
+// determinism rule's prefixes): a job's artifact must be bitwise identical
+// no matter which daemon run produced it, so ambient entropy and raw
+// threads are flagged here exactly as in a solver file.  (The daemon's one
+// transport thread lives in tools/nf_serve.cpp, outside this scope.)
+
+void serve_entry() {
+  long stamp = time(nullptr);   // LINT[determinism]
+  std::thread t([] {});         // LINT[determinism]
+  (void)stamp;
+  t.join();
+}

@@ -2,9 +2,12 @@
 
 #include <cmath>
 #include <complex>
+#include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "common/fft.hpp"
 #include "common/grid2d.hpp"
 #include "common/rng.hpp"
@@ -196,6 +199,57 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_NEAR(percentile(xs, 50.0), 5.0, 1e-12);
   EXPECT_NEAR(percentile(xs, 0.0), 0.0, 1e-12);
   EXPECT_NEAR(percentile(xs, 100.0), 10.0, 1e-12);
+}
+
+TEST(ErrorTaxonomy, EveryCodeHasADistinctStableName) {
+  // Every ErrorCode must format to a distinct, machine-greppable name —
+  // the serve protocol ships these strings to clients ("overloaded",
+  // "queue_full", "retry_exhausted" are part of the wire contract).
+  const ErrorCode codes[] = {
+      ErrorCode::kNonConverged,      ErrorCode::kNumericPoison,
+      ErrorCode::kIo,                ErrorCode::kNotFound,
+      ErrorCode::kCorrupt,           ErrorCode::kDeadlineExceeded,
+      ErrorCode::kInterrupted,       ErrorCode::kResourceExhausted,
+      ErrorCode::kInvalidArgument,   ErrorCode::kOverloaded,
+      ErrorCode::kQueueFull,         ErrorCode::kRetryExhausted,
+  };
+  std::set<std::string> names;
+  for (const ErrorCode code : codes) {
+    const std::string name = error_code_name(code);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+  EXPECT_EQ(std::string(error_code_name(ErrorCode::kOverloaded)),
+            "overloaded");
+  EXPECT_EQ(std::string(error_code_name(ErrorCode::kQueueFull)),
+            "queue_full");
+  EXPECT_EQ(std::string(error_code_name(ErrorCode::kRetryExhausted)),
+            "retry_exhausted");
+}
+
+TEST(ErrorTaxonomy, RoundTripsThroughWhatFormatting) {
+  // An Error thrown as ErrorException must survive both ways: the typed
+  // `err` carries the code, and the generic what() string embeds the
+  // "[subsystem] code: message" rendering so a plain catch still logs the
+  // full context.
+  const ErrorCode codes[] = {
+      ErrorCode::kOverloaded, ErrorCode::kQueueFull,
+      ErrorCode::kRetryExhausted, ErrorCode::kIo, ErrorCode::kCorrupt,
+  };
+  for (const ErrorCode code : codes) {
+    const Error err(code, "serve.test", "round trip");
+    try {
+      throw ErrorException(err);
+    } catch (const ErrorException& e) {
+      EXPECT_EQ(e.err.code, code);
+      const std::string what = e.what();
+      EXPECT_EQ(what, err.to_string());
+      EXPECT_NE(what.find(error_code_name(code)), std::string::npos);
+      EXPECT_NE(what.find("[serve.test]"), std::string::npos);
+      EXPECT_NE(what.find("round trip"), std::string::npos);
+    }
+  }
 }
 
 TEST(Stats, HistogramClampsAndCounts) {

@@ -21,6 +21,10 @@ Gated keys, higher is better:
                             through the batched candidate pipeline
                             (bench_fill_throughput; one session run per
                             layer for the whole NMMSO move batch)
+  serve_jobs_per_s        -- end-to-end jobs per second through the
+                            nf_serve daemon machinery (bench_serve: submit
+                            -> journal -> worker -> artifact -> status,
+                            cheap lin jobs so the daemon overhead dominates)
 
 Gated keys, lower is better:
   fullchip_tile_ms        -- mean per-tile solve cost of the tiled driver
@@ -31,6 +35,9 @@ Gated keys, lower is better:
   unet_infer_b8_ms_per_sample -- per-sample latency of a batch-8 session
                              run; keeps cross-candidate batching from ever
                              costing more per sample than batch-1
+  serve_p99_ms            -- p99 ping round-trip latency against a live
+                             daemon (bench_serve); what any client pays to
+                             talk to the daemon at all
 
 A higher-is-better value below (1 - tolerance) * baseline fails; a
 lower-is-better value above (1 + tolerance) * baseline fails.  The default
@@ -46,9 +53,10 @@ import sys
 
 GATED_KEYS_HIGHER = ("gemm_gflops_1t", "gemm_speedup_4t",
                      "conv2d_fwd_speedup_4t", "infer_vs_autograd_speedup",
-                     "fill_evals_per_s")
+                     "fill_evals_per_s", "serve_jobs_per_s")
 GATED_KEYS_LOWER = ("fullchip_tile_ms", "fullchip_stitch_passes",
-                    "unet_infer_ms_1t", "unet_infer_b8_ms_per_sample")
+                    "unet_infer_ms_1t", "unet_infer_b8_ms_per_sample",
+                    "serve_p99_ms")
 
 
 def main() -> int:

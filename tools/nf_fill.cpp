@@ -7,9 +7,10 @@
 // Robustness (docs/robustness.md): `--deadline-s` bounds the wall clock and
 // returns the best feasible fill with a [timed-out] report flag;
 // `--snapshot` checkpoints the optimization periodically and `--resume`
-// continues a killed run to a bitwise-identical result; SIGINT writes a
-// final snapshot and exits 130.  Exit codes: 0 success, 1 runtime/input
-// failure (structured one-line error, no stack trace), 2 usage error.
+// continues a killed run to a bitwise-identical result; SIGINT/SIGTERM
+// write a final snapshot and exit 128+signal (130/143).  Exit codes: 0
+// success, 1 runtime/input failure (structured one-line error, no stack
+// trace), 2 usage error.
 
 #include <sys/stat.h>
 
@@ -36,7 +37,11 @@ using namespace neurfill;
 namespace {
 
 std::atomic<bool> g_interrupt{false};
-void handle_sigint(int) { g_interrupt.store(true); }
+std::atomic<int> g_signal{0};
+void handle_signal(int sig) {
+  g_signal.store(sig);
+  g_interrupt.store(true);
+}
 
 std::shared_ptr<CmpSurrogate> obtain_surrogate(const std::string& prefix,
                                                const WindowExtraction& ext,
@@ -358,7 +363,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "nf_fill: note: --snapshot/--resume only apply to pkb/mm\n");
   eopt.window_um = window_um;
-  std::signal(SIGINT, handle_sigint);
+  // SIGTERM and SIGINT share one checkpoint-consistent handler: the solve
+  // writes a final snapshot and the tool exits 128+signal (130 for SIGINT,
+  // 143 for SIGTERM — docs/robustness.md).
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
   std::fprintf(stderr, "nf_fill: method=%s threads=%d\n", method.c_str(),
                runtime::thread_count());
 
@@ -371,7 +380,8 @@ int main(int argc, char** argv) {
   } catch (const ErrorException& e) {
     if (e.err.code == ErrorCode::kInterrupted) {
       std::fprintf(stderr, "nf_fill: %s\n", e.err.message.c_str());
-      rc = 130;
+      const int sig = g_signal.load();
+      rc = 128 + (sig > 0 ? sig : SIGINT);
     } else {
       std::fprintf(stderr, "error: %s\n", e.err.to_string().c_str());
       rc = 1;

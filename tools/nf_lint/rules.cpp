@@ -87,7 +87,7 @@ bool numeric_scope(const std::string& rel) {
                                     "src/nn/backend/", "src/nn/infer/",
                                     "src/fill/", "src/surrogate/",
                                     "src/geom/", "src/layout/",
-                                    "src/fullchip/"};
+                                    "src/fullchip/", "src/serve/"};
   for (const char* p : kPrefixes)
     if (starts_with(rel, p)) return true;
   return starts_with(rel, "src/common/fft");
